@@ -1,0 +1,33 @@
+//! Criterion bench regenerating **Fig. 7** (comm volume over time, weak /
+//! 2 GPUs) and **Fig. 10** (strong / 4 GPUs), printing the burstiness
+//! summary of each regenerated series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench_harness::{comm_volume_strong_4gpu, comm_volume_weak_2gpu};
+
+const SCALE: usize = 32;
+const BATCHES: usize = 2;
+
+fn bench_comm_volume(c: &mut Criterion) {
+    let f7 = comm_volume_weak_2gpu(SCALE, BATCHES);
+    let (p7, b7) = f7.burstiness();
+    println!("\nFig 7 (regenerated): burstiness pgas={p7:.2} baseline={b7:.2}");
+    let f10 = comm_volume_strong_4gpu(SCALE, BATCHES);
+    let (p10, b10) = f10.burstiness();
+    println!("Fig 10 (regenerated): burstiness pgas={p10:.2} baseline={b10:.2}\n");
+
+    let mut g = c.benchmark_group("fig7_fig10_comm_volume");
+    g.sample_size(10);
+    g.bench_function("fig7_weak_2gpu", |b| {
+        b.iter(|| black_box(comm_volume_weak_2gpu(SCALE, BATCHES).burstiness()))
+    });
+    g.bench_function("fig10_strong_4gpu", |b| {
+        b.iter(|| black_box(comm_volume_strong_4gpu(SCALE, BATCHES).burstiness()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_comm_volume);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for the §V extensions: the backward pass (EXT-1), the
+//! multi-node aggregator (EXT-2) and the coalescing ablation (EXT-3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench_harness::{backward_comparison, message_size_ablation, multinode_aggregator};
+use desim::Dur;
+
+const SCALE: usize = 64;
+const BATCHES: usize = 2;
+
+fn bench_extensions(c: &mut Criterion) {
+    let bw = backward_comparison(4, SCALE, BATCHES);
+    println!(
+        "\nEXT-1 backward (regenerated, 4 GPUs): baseline {} vs pgas {} ({:.2}x)",
+        bw.baseline.total,
+        bw.pgas.total,
+        bw.speedup()
+    );
+
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    for gpus in 2..=4usize {
+        g.bench_with_input(BenchmarkId::new("ext1_backward", gpus), &gpus, |b, &gpus| {
+            b.iter(|| black_box(backward_comparison(gpus, SCALE, BATCHES).speedup()))
+        });
+    }
+    g.bench_function("ext2_multinode_aggregator", |b| {
+        b.iter(|| black_box(multinode_aggregator(10_000, Dur::from_us(50)).aggregated))
+    });
+    g.bench_function("ext3_msgsize_ablation", |b| {
+        b.iter(|| black_box(message_size_ablation(2, SCALE, BATCHES).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Microbenchmarks of the stack's primitives: hashing, pooling, plan
+//! construction, the real (functional) lookup kernel, the simulated
+//! all-to-all, and one-sided puts. These are host-side costs of the
+//! reproduction itself, useful for keeping the simulator fast.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use desim::SimTime;
+use emb_retrieval::{
+    EmbLayerConfig, ForwardPlan, IndexHasher, PoolingOp, SparseBatch,
+};
+use gpusim::{Machine, MachineConfig};
+use pgas_rt::{OneSided, SymmetricHeap};
+use simccl::{all_to_all_timed, CollectiveConfig};
+
+fn bench_primitives(c: &mut Criterion) {
+    // --- Hashing. ---
+    let mut g = c.benchmark_group("hash");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("splitmix_10k", |b| {
+        let h = IndexHasher::new(3, 1_000_000, 42);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for raw in 0..10_000u64 {
+                acc ^= h.row(black_box(raw));
+            }
+            acc
+        })
+    });
+    g.finish();
+
+    // --- Pooling. ---
+    let mut g = c.benchmark_group("pooling");
+    let rows: Vec<Vec<f32>> = (0..64).map(|i| vec![i as f32; 64]).collect();
+    let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+    for op in [PoolingOp::Sum, PoolingOp::Mean, PoolingOp::Max] {
+        g.bench_function(format!("{op:?}_64x64"), |b| {
+            let mut out = vec![0.0f32; 64];
+            b.iter(|| {
+                op.pool(black_box(&refs), &mut out);
+                out[0]
+            })
+        });
+    }
+    g.finish();
+
+    // --- Batch generation + plan building. ---
+    let cfg = EmbLayerConfig::paper_weak_scaling(4).scaled_down(32);
+    let mut g = c.benchmark_group("plan");
+    g.sample_size(10);
+    g.bench_function("generate_counts_only", |b| {
+        b.iter(|| black_box(SparseBatch::generate_counts_only(&cfg.batch_spec(), 1)))
+    });
+    let batch = SparseBatch::generate_counts_only(&cfg.batch_spec(), 1);
+    g.bench_function("build_forward_plan", |b| {
+        b.iter(|| {
+            black_box(ForwardPlan::build(
+                &batch,
+                &cfg.sharding(),
+                cfg.dim,
+                cfg.pooling,
+                cfg.bags_per_block,
+            ))
+        })
+    });
+    g.finish();
+
+    // --- Simulated all-to-all. ---
+    let mut g = c.benchmark_group("simccl");
+    g.sample_size(20);
+    g.bench_function("all_to_all_timed_4gpu", |b| {
+        let bytes = vec![vec![1 << 20; 4]; 4];
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::dgx_v100(4));
+            black_box(all_to_all_timed(
+                &mut m,
+                &CollectiveConfig::default(),
+                &bytes,
+                &[SimTime::ZERO; 4],
+            ))
+        })
+    });
+    g.finish();
+
+    // --- One-sided puts: timed and functional. ---
+    let mut g = c.benchmark_group("pgas");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("put_rows_nbi_1k", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::dgx_v100(2));
+            let mut os = OneSided::new(&mut m);
+            for i in 0..1000u64 {
+                os.put_rows_nbi(0, 1, 1, 256, SimTime::from_ns(i * 100));
+            }
+            black_box(os.quiet(0, SimTime::ZERO))
+        })
+    });
+    g.bench_function("heap_put_1k_rows", |b| {
+        let mut heap = SymmetricHeap::new(2);
+        let seg = heap.alloc(64 * 1000);
+        let row = vec![1.0f32; 64];
+        b.iter(|| {
+            for i in 0..1000 {
+                heap.put(seg, i * 64, black_box(&row), 1);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

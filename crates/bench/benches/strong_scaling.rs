@@ -1,0 +1,40 @@
+//! Criterion bench regenerating **Table II / Fig. 8 / Fig. 9** (strong
+//! scaling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench_harness::{scaled, speedup_table, strong_scaling};
+use emb_retrieval::backend::{BaselineBackend, ExecMode, PgasFusedBackend, RetrievalBackend};
+use emb_retrieval::EmbLayerConfig;
+use gpusim::{Machine, MachineConfig};
+
+const SCALE: usize = 32;
+const BATCHES: usize = 3;
+
+fn bench_strong_scaling(c: &mut Criterion) {
+    let table = strong_scaling(4, SCALE, BATCHES);
+    println!("\n{}", speedup_table(&table, "Table II (regenerated, scaled)"));
+
+    let mut g = c.benchmark_group("table2_fig8_fig9_strong_scaling");
+    g.sample_size(10);
+    for gpus in 1..=4usize {
+        let cfg = scaled(EmbLayerConfig::paper_strong_scaling(gpus), SCALE, BATCHES);
+        g.bench_with_input(BenchmarkId::new("baseline", gpus), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut m = Machine::new(MachineConfig::dgx_v100(cfg.n_gpus));
+                black_box(BaselineBackend::new().run(&mut m, cfg, ExecMode::Timing).report.total)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("pgas", gpus), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut m = Machine::new(MachineConfig::dgx_v100(cfg.n_gpus));
+                black_box(PgasFusedBackend::new().run(&mut m, cfg, ExecMode::Timing).report.total)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strong_scaling);
+criterion_main!(benches);

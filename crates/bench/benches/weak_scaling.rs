@@ -1,0 +1,47 @@
+//! Criterion bench regenerating **Table I / Fig. 5 / Fig. 6** (weak
+//! scaling). Each bench iteration simulates a full multi-batch run of one
+//! backend at one GPU count; the *simulated* speedups are printed once so
+//! the paper's table is visible in bench output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench_harness::{run_pair, scaled, speedup_table, weak_scaling};
+use emb_retrieval::backend::{BaselineBackend, ExecMode, PgasFusedBackend, RetrievalBackend};
+use emb_retrieval::EmbLayerConfig;
+use gpusim::{Machine, MachineConfig};
+
+const SCALE: usize = 32;
+const BATCHES: usize = 3;
+
+fn bench_weak_scaling(c: &mut Criterion) {
+    // Print the regenerated Table I once, from the same configs the bench
+    // exercises.
+    let table = weak_scaling(4, SCALE, BATCHES);
+    println!("\n{}", speedup_table(&table, "Table I (regenerated, scaled)"));
+
+    let mut g = c.benchmark_group("table1_fig5_fig6_weak_scaling");
+    g.sample_size(10);
+    for gpus in 1..=4usize {
+        let cfg = scaled(EmbLayerConfig::paper_weak_scaling(gpus), SCALE, BATCHES);
+        g.bench_with_input(BenchmarkId::new("baseline", gpus), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut m = Machine::new(MachineConfig::dgx_v100(cfg.n_gpus));
+                black_box(BaselineBackend::new().run(&mut m, cfg, ExecMode::Timing).report.total)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("pgas", gpus), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut m = Machine::new(MachineConfig::dgx_v100(cfg.n_gpus));
+                black_box(PgasFusedBackend::new().run(&mut m, cfg, ExecMode::Timing).report.total)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("pair", gpus), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_pair(cfg).speedup()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_weak_scaling);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Text/CSV formatting of experiment results in the paper's shape.
+
+use std::fmt::Write as _;
+
+use desim::SimTime;
+
+use crate::{CommVolumeResult, ScalingResult};
+
+/// Render the paper's speedup table (Table I / Table II).
+pub fn speedup_table(r: &ScalingResult, title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== {title} ==");
+    let mut header = String::from("| Speedup            |");
+    let mut row = String::from("| PGAS over baseline |");
+    for p in r.runs.iter().skip(1) {
+        let _ = write!(header, " {} GPUs |", p.gpus);
+        let _ = write!(row, " {:.2}x  |", p.speedup());
+    }
+    let _ = writeln!(s, "{header}");
+    let _ = writeln!(s, "{row}");
+    let _ = writeln!(s, "geomean speedup (2+ GPUs): {:.2}x", r.geomean_speedup());
+    s
+}
+
+/// Render a scaling-factor series (Fig. 5 / Fig. 8).
+pub fn scaling_factor_series(r: &ScalingResult, title: &str, strong: bool) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== {title} ==");
+    let _ = writeln!(s, "gpus,baseline_factor,pgas_factor,ideal");
+    for p in &r.runs {
+        let g = p.gpus;
+        let ideal = if strong { g as f64 } else { 1.0 };
+        let _ = writeln!(
+            s,
+            "{g},{:.4},{:.4},{:.1}",
+            r.weak_factor(g, false),
+            r.weak_factor(g, true),
+            ideal
+        );
+    }
+    s
+}
+
+/// Render the runtime breakdown (Fig. 6 / Fig. 9), milliseconds.
+pub fn breakdown_table(r: &ScalingResult, title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== {title} ==");
+    let _ = writeln!(
+        s,
+        "gpus,baseline_compute_ms,baseline_comm_ms,baseline_sync_unpack_ms,baseline_total_ms,pgas_total_ms"
+    );
+    for p in &r.runs {
+        let b = &p.baseline.breakdown;
+        let _ = writeln!(
+            s,
+            "{},{:.3},{:.3},{:.3},{:.3},{:.3}",
+            p.gpus,
+            b.compute.as_millis_f64(),
+            b.communication.as_millis_f64(),
+            b.sync_unpack.as_millis_f64(),
+            p.baseline.total.as_millis_f64(),
+            p.pgas.total.as_millis_f64(),
+        );
+    }
+    s
+}
+
+/// Render a communication-volume-over-time series (Fig. 7 / Fig. 10) as CSV
+/// in the paper's 256-byte units.
+pub fn comm_volume_series(r: &CommVolumeResult, title: &str, max_points: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== {title} ==");
+    let (bp, bb) = r.burstiness();
+    let _ = writeln!(
+        s,
+        "# burstiness (cv): pgas={bp:.2} baseline={bb:.2}; volume unit = 256 B"
+    );
+    let _ = writeln!(s, "time_ms,pgas_units,baseline_units");
+    let horizon = r.pgas_end.max(r.baseline_end);
+    let bucket = r.pgas.bucket_width();
+    let n = ((horizon.as_ns().div_ceil(bucket.as_ns())) as usize).min(max_points);
+    let p = r.pgas.buckets();
+    let b = r.baseline.buckets();
+    for i in 0..n {
+        let t = (SimTime::ZERO + bucket * i as u64).as_millis_f64();
+        let pv = p.get(i).copied().unwrap_or(0.0) / 256.0;
+        let bv = b.get(i).copied().unwrap_or(0.0) / 256.0;
+        let _ = writeln!(s, "{t:.4},{pv:.1},{bv:.1}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weak_scaling;
+
+    #[test]
+    fn tables_render() {
+        let r = weak_scaling(2, 512, 2);
+        let t = speedup_table(&r, "Table I");
+        assert!(t.contains("2 GPUs"));
+        assert!(t.contains("geomean"));
+        let f = scaling_factor_series(&r, "Fig 5", false);
+        assert!(f.lines().count() >= 4);
+        let b = breakdown_table(&r, "Fig 6");
+        assert!(b.contains("baseline_compute_ms"));
+    }
+
+    #[test]
+    fn comm_series_renders() {
+        let r = crate::comm_volume_weak_2gpu(512, 2);
+        let s = comm_volume_series(&r, "Fig 7", 50);
+        assert!(s.contains("time_ms"));
+        assert!(s.lines().count() > 5);
+    }
+}

@@ -1,0 +1,29 @@
+//! # bench-harness — regenerate every table and figure of the paper
+//!
+//! One function per experiment in the paper's evaluation (§IV), plus the
+//! §V-derived extensions. Each returns structured results; the `reproduce`
+//! binary formats them as the paper's tables/series and writes CSVs.
+//!
+//! | Paper artifact | Function |
+//! |---|---|
+//! | Table I (weak-scaling speedup) | [`weak_scaling`] |
+//! | Fig. 5 (weak-scaling factor) | [`weak_scaling`] |
+//! | Fig. 6 (weak runtime breakdown) | [`weak_scaling`] |
+//! | Fig. 7 (comm volume over time, 2 GPUs) | [`comm_volume_weak_2gpu`] |
+//! | Table II (strong-scaling speedup) | [`strong_scaling`] |
+//! | Fig. 8 (strong-scaling factor) | [`strong_scaling`] |
+//! | Fig. 9 (strong runtime breakdown) | [`strong_scaling`] |
+//! | Fig. 10 (comm volume over time, 4 GPUs) | [`comm_volume_strong_4gpu`] |
+//! | EXT-1 backward pass | [`backward_comparison`] |
+//! | EXT-2 multi-node aggregator | [`multinode_aggregator`] |
+//! | EXT-3 message-size ablation | [`message_size_ablation`] |
+//! | EXT-4 sharding ablation | [`sharding_ablation`] |
+//! | EXT-5 skew ablation | [`zipf_ablation`] |
+
+#![warn(missing_docs)]
+
+mod experiments;
+mod format;
+
+pub use experiments::*;
+pub use format::*;

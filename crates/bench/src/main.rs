@@ -1,0 +1,197 @@
+//! `reproduce` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! reproduce <experiment> [--scale K] [--batches N] [--gpus G] [--csv DIR]
+//!
+//! experiments:
+//!   table1 | fig5 | fig6      weak-scaling family   (§IV-A)
+//!   table2 | fig8 | fig9      strong-scaling family (§IV-B)
+//!   fig7                      comm volume over time, 2 GPUs (weak)
+//!   fig10                     comm volume over time, 4 GPUs (strong)
+//!   backward                  EXT-1 backward-pass extension
+//!   multinode                 EXT-2 aggregator on InfiniBand
+//!   ablation-msgsize          EXT-3 coalescing granularity
+//!   ablation-sharding         EXT-4 input-partition cost
+//!   ablation-zipf             EXT-5 skewed inputs
+//!   all                       everything above
+//!
+//! --scale K    shrink every workload axis by K (default 1 = paper scale)
+//! --batches N  batches per run (default 100, the paper's count)
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use bench_harness::*;
+use desim::Dur;
+
+struct Args {
+    experiment: String,
+    scale: usize,
+    batches: usize,
+    gpus: usize,
+    csv: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        experiment: "all".to_string(),
+        scale: 1,
+        batches: 100,
+        gpus: 4,
+        csv: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => args.scale = it.next().and_then(|v| v.parse().ok()).expect("--scale K"),
+            "--batches" => {
+                args.batches = it.next().and_then(|v| v.parse().ok()).expect("--batches N")
+            }
+            "--gpus" => args.gpus = it.next().and_then(|v| v.parse().ok()).expect("--gpus G"),
+            "--csv" => args.csv = Some(PathBuf::from(it.next().expect("--csv DIR"))),
+            "--help" | "-h" => {
+                println!("usage: reproduce <experiment> [--scale K] [--batches N] [--gpus G] [--csv DIR]");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => args.experiment = other.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn emit(args: &Args, name: &str, body: &str) {
+    println!("{body}");
+    if let Some(dir) = &args.csv {
+        fs::create_dir_all(dir).expect("create csv dir");
+        fs::write(dir.join(format!("{name}.csv")), body).expect("write csv");
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let e = args.experiment.as_str();
+    let fig_batches = args.batches.min(4); // volume plots show a few batches
+
+    if matches!(e, "table1" | "fig5" | "fig6" | "all") {
+        let r = weak_scaling(args.gpus, args.scale, args.batches);
+        if matches!(e, "table1" | "all") {
+            emit(&args, "table1", &speedup_table(&r, "Table I: weak-scaling speedup (PGAS over baseline)"));
+        }
+        if matches!(e, "fig5" | "all") {
+            emit(&args, "fig5", &scaling_factor_series(&r, "Fig 5: weak scaling factor (1 = ideal)", false));
+        }
+        if matches!(e, "fig6" | "all") {
+            emit(&args, "fig6", &breakdown_table(&r, "Fig 6: weak-scaling runtime breakdown"));
+        }
+    }
+    if matches!(e, "table2" | "fig8" | "fig9" | "all") {
+        let r = strong_scaling(args.gpus, args.scale, args.batches);
+        if matches!(e, "table2" | "all") {
+            emit(&args, "table2", &speedup_table(&r, "Table II: strong-scaling speedup (PGAS over baseline)"));
+        }
+        if matches!(e, "fig8" | "all") {
+            emit(&args, "fig8", &scaling_factor_series(&r, "Fig 8: strong scaling factor (ideal = #GPUs)", true));
+        }
+        if matches!(e, "fig9" | "all") {
+            emit(&args, "fig9", &breakdown_table(&r, "Fig 9: strong-scaling runtime breakdown"));
+        }
+    }
+    if matches!(e, "fig7" | "all") {
+        let r = comm_volume_weak_2gpu(args.scale, fig_batches);
+        emit(&args, "fig7", &comm_volume_series(&r, "Fig 7: comm volume over time (weak, 2 GPUs)", 400));
+    }
+    if matches!(e, "fig10" | "all") {
+        let r = comm_volume_strong_4gpu(args.scale, fig_batches);
+        emit(&args, "fig10", &comm_volume_series(&r, "Fig 10: comm volume over time (strong, 4 GPUs)", 400));
+    }
+    if matches!(e, "backward" | "all") {
+        let mut s = String::from("== EXT-1: EMB backward pass (gradient exchange) ==\n");
+        s.push_str("gpus,baseline_ms,pgas_ms,speedup\n");
+        for g in 2..=args.gpus {
+            let p = backward_comparison(g, args.scale, args.batches);
+            s.push_str(&format!(
+                "{g},{:.3},{:.3},{:.2}\n",
+                p.baseline.total.as_millis_f64(),
+                p.pgas.total.as_millis_f64(),
+                p.speedup()
+            ));
+        }
+        emit(&args, "backward", &s);
+    }
+    if matches!(e, "multinode" | "all") {
+        let mut s = String::from("== EXT-2: multi-node aggregator (IB link) ==\n");
+        s.push_str("rows,span_us,naive_us,aggregated_us,naive_msgs,agg_msgs\n");
+        for (rows, span_us) in [(10_000u64, 50u64), (10_000, 500), (100_000, 500)] {
+            let r = multinode_aggregator(rows, Dur::from_us(span_us));
+            s.push_str(&format!(
+                "{rows},{span_us},{:.1},{:.1},{},{}\n",
+                r.naive.as_micros_f64(),
+                r.aggregated.as_micros_f64(),
+                r.naive_messages,
+                r.aggregated_messages
+            ));
+        }
+        emit(&args, "multinode", &s);
+    }
+    if matches!(e, "ablation-msgsize" | "all") {
+        let mut s = String::from("== EXT-3: coalesced-payload ablation (PGAS, 2 GPUs) ==\n");
+        s.push_str("max_payload_bytes,total_ms,header_overhead\n");
+        for p in message_size_ablation(2.min(args.gpus.max(2)), args.scale, args.batches) {
+            s.push_str(&format!(
+                "{},{:.3},{:.4}\n",
+                p.max_payload,
+                p.total.as_millis_f64(),
+                p.header_overhead
+            ));
+        }
+        emit(&args, "ablation-msgsize", &s);
+    }
+    if matches!(e, "ablation-sharding" | "all") {
+        let a = sharding_ablation(args.gpus.max(2), args.scale, args.batches);
+        let s = format!(
+            "== EXT-4: table-wise vs row-wise sharding ==\n\
+             scheme,partition_cpu_ms,h2d_ms,baseline_ms,pgas_ms,speedup\n\
+             table_wise,{:.3},{:.3},{:.3},{:.3},{:.2}\n\
+             row_wise,{:.3},{:.3},{:.3},{:.3},{:.2}\n",
+            a.table_wise_cpu.as_millis_f64(),
+            a.h2d.as_millis_f64(),
+            a.table_wise.baseline.total.as_millis_f64(),
+            a.table_wise.pgas.total.as_millis_f64(),
+            a.table_wise.speedup(),
+            a.row_wise_cpu.as_millis_f64(),
+            a.h2d.as_millis_f64(),
+            a.row_wise.baseline.total.as_millis_f64(),
+            a.row_wise.pgas.total.as_millis_f64(),
+            a.row_wise.speedup(),
+        );
+        emit(&args, "ablation-sharding", &s);
+    }
+    if matches!(e, "whatif" | "all") {
+        let mut s = String::from("== EXT-6: beyond the testbed (weak scaling) ==\n");
+        s.push_str("machine,baseline_ms,pgas_ms,speedup\n");
+        for (name, p) in whatif_projection(8, args.scale, args.batches) {
+            s.push_str(&format!(
+                "{name},{:.3},{:.3},{:.2}\n",
+                p.baseline.total.as_millis_f64(),
+                p.pgas.total.as_millis_f64(),
+                p.speedup()
+            ));
+        }
+        emit(&args, "whatif", &s);
+    }
+    if matches!(e, "ablation-zipf" | "all") {
+        let (u, z) = zipf_ablation(args.gpus.max(2), args.scale, args.batches);
+        let s = format!(
+            "== EXT-5: index-skew ablation (2 GPUs) ==\ndistribution,baseline_ms,pgas_ms,speedup\nuniform,{:.3},{:.3},{:.2}\nzipf(1.1),{:.3},{:.3},{:.2}\n",
+            u.baseline.total.as_millis_f64(),
+            u.pgas.total.as_millis_f64(),
+            u.speedup(),
+            z.baseline.total.as_millis_f64(),
+            z.pgas.total.as_millis_f64(),
+            z.speedup()
+        );
+        emit(&args, "ablation-zipf", &s);
+    }
+}

@@ -1,0 +1,358 @@
+//! `all_to_all_single` — the baseline's layout-conversion collective.
+
+use desim::SimTime;
+use gpusim::Machine;
+
+use crate::{d2d_copy_time, Algorithm, CollectiveConfig, WorkHandle, ELEM_BYTES};
+
+/// PyTorch-style `all_to_all_single` with equal splits: every device's input
+/// is cut into `n` equal chunks, chunk `j` of device `i` lands at slot `i`
+/// of device `j`'s output. Inputs must all have the same length, divisible
+/// by the device count.
+///
+/// Returns the received buffers and a [`WorkHandle`] with per-device
+/// completion times.
+pub fn all_to_all_single(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    inputs: &[Vec<f32>],
+    ready: &[SimTime],
+) -> (Vec<Vec<f32>>, WorkHandle) {
+    let n = machine.n_gpus();
+    assert_eq!(inputs.len(), n, "one input buffer per device");
+    let len = inputs[0].len();
+    for (i, buf) in inputs.iter().enumerate() {
+        assert_eq!(buf.len(), len, "input {i} length mismatch");
+    }
+    assert_eq!(len % n, 0, "input length {len} not divisible by {n} devices");
+    let per = len / n;
+    let counts: Vec<Vec<usize>> = vec![vec![per; n]; n];
+    all_to_all_varied(machine, cfg, inputs, &counts, ready)
+}
+
+/// `all_to_all_single` with explicit per-pair element counts:
+/// `send_counts[i][j]` elements travel from device `i` to device `j`,
+/// taken from `inputs[i]` in destination order. Device `j`'s output is the
+/// concatenation over sources `i` of those segments, in source order.
+pub fn all_to_all_varied(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    inputs: &[Vec<f32>],
+    send_counts: &[Vec<usize>],
+    ready: &[SimTime],
+) -> (Vec<Vec<f32>>, WorkHandle) {
+    let n = machine.n_gpus();
+    assert_eq!(inputs.len(), n, "one input buffer per device");
+    assert_eq!(send_counts.len(), n, "one send-count row per device");
+    assert_eq!(ready.len(), n, "one ready time per device");
+    for (i, row) in send_counts.iter().enumerate() {
+        assert_eq!(row.len(), n, "send_counts[{i}] must have {n} columns");
+        let total: usize = row.iter().sum();
+        assert_eq!(
+            total,
+            inputs[i].len(),
+            "send_counts[{i}] must cover the whole input"
+        );
+    }
+
+    // ---- Functional data movement (algorithm-independent). ----
+    let offsets: Vec<Vec<usize>> = send_counts
+        .iter()
+        .map(|row| {
+            let mut off = 0;
+            row.iter()
+                .map(|&c| {
+                    let o = off;
+                    off += c;
+                    o
+                })
+                .collect()
+        })
+        .collect();
+    let outputs: Vec<Vec<f32>> = (0..n)
+        .map(|dst| {
+            let mut out = Vec::with_capacity((0..n).map(|s| send_counts[s][dst]).sum());
+            for src in 0..n {
+                let o = offsets[src][dst];
+                out.extend_from_slice(&inputs[src][o..o + send_counts[src][dst]]);
+            }
+            out
+        })
+        .collect();
+
+    // ---- Timed wire traffic. ----
+    let bytes: Vec<Vec<u64>> = send_counts
+        .iter()
+        .map(|row| row.iter().map(|&c| c as u64 * ELEM_BYTES).collect())
+        .collect();
+    let work = all_to_all_timed(machine, cfg, &bytes, ready);
+    (outputs, work)
+}
+
+/// Timing-only `all_to_all`: simulate the wire traffic for a byte matrix
+/// (`send_bytes[i][j]` bytes from device `i` to device `j`) without moving
+/// any functional data. Used by paper-scale runs where materializing the
+/// buffers would be wasteful.
+pub fn all_to_all_timed(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    send_bytes: &[Vec<u64>],
+    ready: &[SimTime],
+) -> WorkHandle {
+    let n = machine.n_gpus();
+    assert_eq!(send_bytes.len(), n, "one byte row per device");
+    assert_eq!(ready.len(), n, "one ready time per device");
+    for (i, row) in send_bytes.iter().enumerate() {
+        assert_eq!(row.len(), n, "send_bytes[{i}] must have {n} columns");
+    }
+    match cfg.algorithm {
+        Algorithm::Direct => timed_direct(machine, cfg, send_bytes, ready),
+        Algorithm::Ring => timed_ring(machine, cfg, send_bytes, ready),
+    }
+}
+
+/// Pairwise schedule: each device pushes its per-destination segment
+/// straight to the peer, chunked; the self segment is a device-local copy.
+fn timed_direct(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    send_bytes: &[Vec<u64>],
+    ready: &[SimTime],
+) -> WorkHandle {
+    let n = machine.n_gpus();
+    let mut done = vec![SimTime::ZERO; n];
+    for src in 0..n {
+        let t0 = ready[src] + cfg.call_overhead;
+        for dst in 0..n {
+            let bytes = send_bytes[src][dst];
+            if dst == src {
+                let local_done = t0 + d2d_copy_time(bytes, machine.spec(src).mem_bw);
+                done[src] = done[src].max(local_done);
+                continue;
+            }
+            if bytes == 0 {
+                done[dst] = done[dst].max(t0);
+                continue;
+            }
+            // Chunked pipeline: each chunk is one message on the wire.
+            let mut remaining = bytes;
+            let mut last_end = t0;
+            while remaining > 0 {
+                let this = remaining.min(cfg.chunk_bytes);
+                let iv = machine.send_throttled(src, dst, this, 1, t0, cfg.protocol_efficiency);
+                last_end = last_end.max(iv.end);
+                remaining -= this;
+            }
+            done[dst] = done[dst].max(last_end);
+            done[src] = done[src].max(last_end);
+        }
+    }
+    WorkHandle::new(done)
+}
+
+/// Ring schedule: `n − 1` neighbor steps; parcels hop until they reach their
+/// destination. Total wire volume exceeds the direct schedule (multi-hop),
+/// which is why NCCL prefers peer-to-peer on a crossbar.
+fn timed_ring(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    send_bytes: &[Vec<u64>],
+    ready: &[SimTime],
+) -> WorkHandle {
+    let n = machine.n_gpus();
+    if n == 1 {
+        return WorkHandle::new(vec![ready[0] + cfg.call_overhead]);
+    }
+    // Parcels held at each rank: (dst, bytes).
+    let mut held: Vec<Vec<(usize, u64)>> = (0..n)
+        .map(|src| {
+            (0..n)
+                .filter(|&d| d != src)
+                .map(|d| (d, send_bytes[src][d]))
+                .filter(|&(_, b)| b > 0)
+                .collect()
+        })
+        .collect();
+    let mut t: Vec<SimTime> = ready.iter().map(|&r| r + cfg.call_overhead).collect();
+    let mut done = t.clone();
+    // Local self-copy happens immediately.
+    for src in 0..n {
+        let bytes = send_bytes[src][src];
+        let local = t[src] + d2d_copy_time(bytes, machine.spec(src).mem_bw);
+        done[src] = done[src].max(local);
+    }
+    for _step in 1..n {
+        let mut arriving: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+        let mut arrive_time = vec![SimTime::ZERO; n];
+        for src in 0..n {
+            let next = (src + 1) % n;
+            let parcels = std::mem::take(&mut held[src]);
+            if parcels.is_empty() {
+                continue;
+            }
+            let bytes: u64 = parcels.iter().map(|&(_, b)| b).sum();
+            let iv = machine.send_throttled(src, next, bytes, cfg.n_chunks(bytes), t[src], cfg.protocol_efficiency);
+            done[src] = done[src].max(iv.end);
+            arrive_time[next] = arrive_time[next].max(iv.end);
+            arriving[next].extend(parcels);
+        }
+        for rank in 0..n {
+            let mut keep = Vec::new();
+            for (dst, bytes) in arriving[rank].drain(..) {
+                if dst == rank {
+                    done[rank] = done[rank].max(arrive_time[rank]);
+                } else {
+                    keep.push((dst, bytes));
+                }
+            }
+            held[rank] = keep;
+            t[rank] = t[rank].max(arrive_time[rank]);
+        }
+    }
+    WorkHandle::new(done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::MachineConfig;
+
+    fn ready(n: usize) -> Vec<SimTime> {
+        vec![SimTime::ZERO; n]
+    }
+
+    /// The reference semantics: output[j] = concat_i input[i].chunk(j).
+    fn reference_equal(inputs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let n = inputs.len();
+        let per = inputs[0].len() / n;
+        (0..n)
+            .map(|dst| {
+                let mut out = Vec::new();
+                for input in inputs {
+                    out.extend_from_slice(&input[dst * per..(dst + 1) * per]);
+                }
+                out
+            })
+            .collect()
+    }
+
+    #[test]
+    fn equal_split_matches_reference() {
+        let n = 4;
+        let mut m = Machine::new(MachineConfig::dgx_v100(n));
+        let inputs: Vec<Vec<f32>> = (0..n)
+            .map(|i| (0..8).map(|k| (i * 100 + k) as f32).collect())
+            .collect();
+        let (out, work) =
+            all_to_all_single(&mut m, &CollectiveConfig::default(), &inputs, &ready(n));
+        assert_eq!(out, reference_equal(&inputs));
+        assert!(work.all_done() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn two_gpu_swap() {
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let inputs = vec![vec![1.0, 2.0, 3.0, 4.0], vec![5.0, 6.0, 7.0, 8.0]];
+        let (out, _) = all_to_all_single(&mut m, &CollectiveConfig::default(), &inputs, &ready(2));
+        assert_eq!(out[0], vec![1.0, 2.0, 5.0, 6.0]);
+        assert_eq!(out[1], vec![3.0, 4.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn varied_splits() {
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        // Device 0 sends 1 element to itself, 3 to device 1.
+        // Device 1 sends 2 to device 0, 0 to itself.
+        let inputs = vec![vec![10.0, 20.0, 30.0, 40.0], vec![50.0, 60.0]];
+        let counts = vec![vec![1, 3], vec![2, 0]];
+        let (out, _) =
+            all_to_all_varied(&mut m, &CollectiveConfig::default(), &inputs, &counts, &ready(2));
+        assert_eq!(out[0], vec![10.0, 50.0, 60.0]);
+        assert_eq!(out[1], vec![20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn ring_moves_more_bytes_than_direct() {
+        let n = 4;
+        let inputs: Vec<Vec<f32>> = (0..n).map(|_| vec![1.0f32; 4096]).collect();
+        let mut md = Machine::new(MachineConfig::dgx_v100(n));
+        let (out_d, _) = all_to_all_single(
+            &mut md,
+            &CollectiveConfig::default(),
+            &inputs,
+            &ready(n),
+        );
+        let mut mr = Machine::new(MachineConfig::dgx_v100(n));
+        let (out_r, _) = all_to_all_single(
+            &mut mr,
+            &CollectiveConfig::default().with_algorithm(Algorithm::Ring),
+            &inputs,
+            &ready(n),
+        );
+        assert_eq!(out_d, out_r, "algorithms must agree functionally");
+        assert!(
+            mr.traffic_stats().payload_bytes > md.traffic_stats().payload_bytes,
+            "ring multi-hop must move more total bytes"
+        );
+    }
+
+    #[test]
+    fn single_device_is_local_copy_only() {
+        let mut m = Machine::new(MachineConfig::dgx_v100(1));
+        let inputs = vec![vec![1.0, 2.0]];
+        for alg in [Algorithm::Direct, Algorithm::Ring] {
+            let (out, work) = all_to_all_single(
+                &mut m,
+                &CollectiveConfig::default().with_algorithm(alg),
+                &inputs,
+                &ready(1),
+            );
+            assert_eq!(out[0], inputs[0]);
+            assert!(work.all_done() >= SimTime::ZERO + CollectiveConfig::default().call_overhead);
+        }
+        assert_eq!(m.traffic_stats().messages, 0, "no wire traffic on 1 GPU");
+    }
+
+    #[test]
+    fn completion_respects_ready_times() {
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let inputs = vec![vec![0.0f32; 1024], vec![0.0f32; 1024]];
+        let late = SimTime::from_ms(5);
+        let (_, work) = all_to_all_single(
+            &mut m,
+            &CollectiveConfig::default(),
+            &inputs,
+            &[late, SimTime::ZERO],
+        );
+        // Device 1 can't have the data destined from device 0 before `late`.
+        assert!(work.done_at(1) > late);
+    }
+
+    #[test]
+    fn chunking_splits_messages() {
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let inputs = vec![vec![0.0f32; 2048], vec![0.0f32; 2048]];
+        let cfg = CollectiveConfig::default().with_chunk_bytes(1024);
+        let (_, _) = all_to_all_single(&mut m, &cfg, &inputs, &ready(2));
+        // Each device sends 1024 elements = 4096 bytes = 4 chunks.
+        assert_eq!(m.traffic_stats().messages, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn unbalanced_equal_split_panics() {
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let inputs = vec![vec![0.0f32; 3], vec![0.0f32; 3]];
+        let _ = all_to_all_single(&mut m, &CollectiveConfig::default(), &inputs, &ready(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the whole input")]
+    fn bad_counts_panic() {
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let inputs = vec![vec![0.0f32; 4], vec![0.0f32; 4]];
+        let counts = vec![vec![1, 1], vec![2, 2]];
+        let _ =
+            all_to_all_varied(&mut m, &CollectiveConfig::default(), &inputs, &counts, &ready(2));
+    }
+}

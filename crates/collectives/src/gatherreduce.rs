@@ -1,0 +1,326 @@
+//! `all_gather`, `reduce_scatter`, `all_reduce`, `broadcast` — used by the
+//! backward-pass extension (gradient exchange, paper §V).
+
+use desim::{Dur, SimTime};
+use gpusim::Machine;
+
+use crate::{d2d_copy_time, Algorithm, CollectiveConfig, WorkHandle, ELEM_BYTES};
+
+/// Every device ends with the concatenation of all devices' inputs
+/// (in device order). Inputs may have different lengths.
+pub fn all_gather(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    inputs: &[Vec<f32>],
+    ready: &[SimTime],
+) -> (Vec<Vec<f32>>, WorkHandle) {
+    let n = machine.n_gpus();
+    assert_eq!(inputs.len(), n);
+    assert_eq!(ready.len(), n);
+
+    let gathered: Vec<f32> = inputs.iter().flat_map(|b| b.iter().copied()).collect();
+    let outputs = vec![gathered; n];
+
+    let mut done = vec![SimTime::ZERO; n];
+    match cfg.algorithm {
+        Algorithm::Direct => {
+            for src in 0..n {
+                let t0 = ready[src] + cfg.call_overhead;
+                let bytes = inputs[src].len() as u64 * ELEM_BYTES;
+                let local = t0 + d2d_copy_time(bytes, machine.spec(src).mem_bw);
+                done[src] = done[src].max(local);
+                for dst in 0..n {
+                    if dst == src || bytes == 0 {
+                        continue;
+                    }
+                    let iv = machine.send_throttled(src, dst, bytes, cfg.n_chunks(bytes), t0, cfg.protocol_efficiency);
+                    done[dst] = done[dst].max(iv.end);
+                    done[src] = done[src].max(iv.end);
+                }
+            }
+        }
+        Algorithm::Ring => {
+            // n-1 steps; at each step every rank forwards the block it most
+            // recently received (starting with its own) to its neighbor.
+            let mut t: Vec<SimTime> = ready.iter().map(|&r| r + cfg.call_overhead).collect();
+            let mut carried: Vec<u64> = inputs.iter().map(|b| b.len() as u64 * ELEM_BYTES).collect();
+            done = t.clone();
+            for _ in 1..n {
+                let mut new_t = t.clone();
+                let mut new_carried = carried.clone();
+                for src in 0..n {
+                    let next = (src + 1) % n;
+                    let bytes = carried[src];
+                    if bytes == 0 {
+                        continue;
+                    }
+                    let iv = machine.send_throttled(src, next, bytes, cfg.n_chunks(bytes), t[src], cfg.protocol_efficiency);
+                    new_t[next] = new_t[next].max(iv.end);
+                    new_carried[next] = bytes;
+                    done[src] = done[src].max(iv.end);
+                    done[next] = done[next].max(iv.end);
+                }
+                t = new_t;
+                carried = new_carried;
+            }
+        }
+    }
+    (outputs, WorkHandle::new(done))
+}
+
+/// Each device `j` ends with the elementwise **sum** of everyone's `j`-th
+/// equal chunk. Inputs must share a length divisible by the device count.
+pub fn reduce_scatter(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    inputs: &[Vec<f32>],
+    ready: &[SimTime],
+) -> (Vec<Vec<f32>>, WorkHandle) {
+    let n = machine.n_gpus();
+    assert_eq!(inputs.len(), n);
+    let len = inputs[0].len();
+    for b in inputs {
+        assert_eq!(b.len(), len, "reduce_scatter inputs must match in length");
+    }
+    assert_eq!(len % n, 0, "input length {len} not divisible by {n}");
+    let per = len / n;
+
+    let outputs: Vec<Vec<f32>> = (0..n)
+        .map(|dst| {
+            let mut acc = vec![0.0f32; per];
+            for input in inputs {
+                for (a, &x) in acc.iter_mut().zip(&input[dst * per..(dst + 1) * per]) {
+                    *a += x;
+                }
+            }
+            acc
+        })
+        .collect();
+
+    let chunk_bytes = per as u64 * ELEM_BYTES;
+    let mut done = vec![SimTime::ZERO; n];
+    for src in 0..n {
+        let t0 = ready[src] + cfg.call_overhead;
+        for dst in 0..n {
+            if dst == src {
+                done[src] = done[src].max(t0 + d2d_copy_time(chunk_bytes, machine.spec(src).mem_bw));
+                continue;
+            }
+            if chunk_bytes == 0 {
+                done[dst] = done[dst].max(t0);
+                continue;
+            }
+            let iv = machine.send_throttled(src, dst, chunk_bytes, cfg.n_chunks(chunk_bytes), t0, cfg.protocol_efficiency);
+            done[dst] = done[dst].max(iv.end);
+            done[src] = done[src].max(iv.end);
+        }
+    }
+    // The reduction itself: each device streams n chunks in and one out.
+    for (dst, d) in done.iter_mut().enumerate() {
+        let reduce_bytes = chunk_bytes * n as u64 + chunk_bytes;
+        *d += Dur::from_secs_f64(reduce_bytes as f64 / machine.spec(dst).mem_bw);
+    }
+    (outputs, WorkHandle::new(done))
+}
+
+/// Timing-only `all_reduce` of `bytes` per device: simulates the wire
+/// traffic of the reduce-scatter + all-gather decomposition without moving
+/// functional data (each device sends `2·bytes·(n−1)/n` in total). Used by
+/// the training pipeline's data-parallel MLP gradient synchronization.
+pub fn all_reduce_timed(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    bytes: u64,
+    ready: &[SimTime],
+) -> WorkHandle {
+    let n = machine.n_gpus();
+    assert_eq!(ready.len(), n);
+    if n == 1 {
+        return WorkHandle::new(vec![ready[0] + cfg.call_overhead]);
+    }
+    let chunk = bytes.div_ceil(n as u64);
+    let mut done = vec![SimTime::ZERO; n];
+    // Phase 1: reduce-scatter (each rank receives n−1 chunks).
+    for src in 0..n {
+        let t0 = ready[src] + cfg.call_overhead;
+        for dst in 0..n {
+            if dst == src || chunk == 0 {
+                continue;
+            }
+            let iv = machine.send_throttled(src, dst, chunk, cfg.n_chunks(chunk), t0, cfg.protocol_efficiency);
+            done[dst] = done[dst].max(iv.end);
+            done[src] = done[src].max(iv.end);
+        }
+    }
+    // Reduction cost on each owner.
+    for (d, t) in done.iter_mut().enumerate() {
+        *t += Dur::from_secs_f64((chunk * (n as u64 + 1)) as f64 / machine.spec(d).mem_bw);
+    }
+    // Phase 2: all-gather of the reduced chunks.
+    let phase2_ready = done.clone();
+    for src in 0..n {
+        for dst in 0..n {
+            if dst == src || chunk == 0 {
+                continue;
+            }
+            let iv = machine.send_throttled(
+                src,
+                dst,
+                chunk,
+                cfg.n_chunks(chunk),
+                phase2_ready[src],
+                cfg.protocol_efficiency,
+            );
+            done[dst] = done[dst].max(iv.end);
+            done[src] = done[src].max(iv.end);
+        }
+    }
+    WorkHandle::new(done)
+}
+
+/// Every device ends with the elementwise sum of all inputs. Implemented as
+/// `reduce_scatter` followed by `all_gather` (the bandwidth-optimal
+/// decomposition).
+pub fn all_reduce(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    inputs: &[Vec<f32>],
+    ready: &[SimTime],
+) -> (Vec<Vec<f32>>, WorkHandle) {
+    let (scattered, w1) = reduce_scatter(machine, cfg, inputs, ready);
+    let ready2: Vec<SimTime> = (0..machine.n_gpus()).map(|d| w1.done_at(d)).collect();
+    let (gathered, w2) = all_gather(machine, cfg, &scattered, &ready2);
+    (gathered, w2)
+}
+
+/// Every device ends with a copy of `root`'s input.
+pub fn broadcast(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    inputs: &[Vec<f32>],
+    root: usize,
+    ready: &[SimTime],
+) -> (Vec<Vec<f32>>, WorkHandle) {
+    let n = machine.n_gpus();
+    assert_eq!(inputs.len(), n);
+    assert!(root < n, "broadcast root {root} out of range");
+    let outputs = vec![inputs[root].clone(); n];
+    let bytes = inputs[root].len() as u64 * ELEM_BYTES;
+    let t0 = ready[root] + cfg.call_overhead;
+    let mut done = vec![SimTime::ZERO; n];
+    done[root] = t0;
+    for dst in 0..n {
+        if dst == root || bytes == 0 {
+            continue;
+        }
+        let iv = machine.send_throttled(root, dst, bytes, cfg.n_chunks(bytes), t0, cfg.protocol_efficiency);
+        done[dst] = done[dst].max(iv.end);
+        done[root] = done[root].max(iv.end);
+    }
+    // Receivers still can't be "done" before they called in.
+    for (dst, d) in done.iter_mut().enumerate() {
+        *d = (*d).max(ready[dst]);
+    }
+    (outputs, WorkHandle::new(done))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::MachineConfig;
+
+    fn ready(n: usize) -> Vec<SimTime> {
+        vec![SimTime::ZERO; n]
+    }
+
+    #[test]
+    fn all_gather_concatenates() {
+        let mut m = Machine::new(MachineConfig::dgx_v100(3));
+        let inputs = vec![vec![1.0], vec![2.0, 2.5], vec![3.0]];
+        let (out, work) = all_gather(&mut m, &CollectiveConfig::default(), &inputs, &ready(3));
+        for o in &out {
+            assert_eq!(o, &vec![1.0, 2.0, 2.5, 3.0]);
+        }
+        assert!(work.all_done() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn all_gather_ring_agrees_functionally() {
+        let mut md = Machine::new(MachineConfig::dgx_v100(4));
+        let mut mr = Machine::new(MachineConfig::dgx_v100(4));
+        let inputs: Vec<Vec<f32>> = (0..4).map(|i| vec![i as f32; 128]).collect();
+        let (od, _) = all_gather(&mut md, &CollectiveConfig::default(), &inputs, &ready(4));
+        let (or, _) = all_gather(
+            &mut mr,
+            &CollectiveConfig::default().with_algorithm(Algorithm::Ring),
+            &inputs,
+            &ready(4),
+        );
+        assert_eq!(od, or);
+        // Ring and direct move the same total volume for all_gather.
+        assert_eq!(
+            md.traffic_stats().payload_bytes,
+            mr.traffic_stats().payload_bytes
+        );
+    }
+
+    #[test]
+    fn reduce_scatter_sums_chunks() {
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let inputs = vec![vec![1.0, 2.0, 3.0, 4.0], vec![10.0, 20.0, 30.0, 40.0]];
+        let (out, _) = reduce_scatter(&mut m, &CollectiveConfig::default(), &inputs, &ready(2));
+        assert_eq!(out[0], vec![11.0, 22.0]);
+        assert_eq!(out[1], vec![33.0, 44.0]);
+    }
+
+    #[test]
+    fn all_reduce_sums_everywhere() {
+        let mut m = Machine::new(MachineConfig::dgx_v100(4));
+        let inputs: Vec<Vec<f32>> = (0..4).map(|i| vec![(i + 1) as f32; 8]).collect();
+        let (out, work) = all_reduce(&mut m, &CollectiveConfig::default(), &inputs, &ready(4));
+        for o in &out {
+            assert_eq!(o, &vec![10.0f32; 8]);
+        }
+        assert!(work.all_done() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn broadcast_copies_root() {
+        let mut m = Machine::new(MachineConfig::dgx_v100(3));
+        let inputs = vec![vec![0.0; 4], vec![7.0, 8.0, 9.0, 10.0], vec![0.0; 4]];
+        let (out, work) = broadcast(&mut m, &CollectiveConfig::default(), &inputs, 1, &ready(3));
+        for o in &out {
+            assert_eq!(o, &inputs[1]);
+        }
+        // The root completes only once every receiver has its copy.
+        assert_eq!(work.done_at(1), work.all_done());
+        // Injection serializes the root's two sends: dst 2 finishes last.
+        assert!(work.done_at(2) >= work.done_at(0));
+    }
+
+    #[test]
+    fn all_reduce_is_slower_than_reduce_scatter_alone() {
+        let inputs: Vec<Vec<f32>> = (0..4).map(|_| vec![1.0f32; 1 << 16]).collect();
+        let mut m1 = Machine::new(MachineConfig::dgx_v100(4));
+        let (_, w1) = reduce_scatter(&mut m1, &CollectiveConfig::default(), &inputs, &ready(4));
+        let mut m2 = Machine::new(MachineConfig::dgx_v100(4));
+        let (_, w2) = all_reduce(&mut m2, &CollectiveConfig::default(), &inputs, &ready(4));
+        assert!(w2.all_done() > w1.all_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn broadcast_root_checked() {
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let inputs = vec![vec![1.0], vec![1.0]];
+        let _ = broadcast(&mut m, &CollectiveConfig::default(), &inputs, 5, &ready(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match in length")]
+    fn reduce_scatter_length_checked() {
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let inputs = vec![vec![1.0, 2.0], vec![1.0]];
+        let _ = reduce_scatter(&mut m, &CollectiveConfig::default(), &inputs, &ready(2));
+    }
+}

@@ -1,0 +1,277 @@
+//! The functional (real-data) halves of the backends.
+//!
+//! Timing and data movement are deliberately decoupled: these helpers
+//! execute the actual hash/lookup/pool math (rayon-parallel over bags) and
+//! the actual layout conversions, while the timed halves account for when
+//! the same bytes would move on the simulated machine.
+
+use rayon::prelude::*;
+use simtensor::Tensor;
+
+use crate::{DevicePlan, EmbeddingShard, ForwardPlan, IndexHasher, SparseBatch};
+
+/// Materialize each device's resident tables.
+pub(crate) fn materialize_shards(
+    plan: &ForwardPlan,
+    spec: crate::EmbeddingTableSpec,
+    seed: u64,
+) -> Vec<EmbeddingShard> {
+    plan.devices
+        .iter()
+        .map(|dp| EmbeddingShard::materialize(&dp.features, spec, seed))
+        .collect()
+}
+
+/// Execute one device's lookup + pooling: returns the pooled rows in local
+/// bag order (`[n_bags × dim]` flat). This is the computation both backends
+/// share; they differ only in where the rows go next.
+pub(crate) fn compute_pooled_rows(
+    dp: &DevicePlan,
+    plan: &ForwardPlan,
+    batch: &SparseBatch,
+    shard: &EmbeddingShard,
+    seed: u64,
+) -> Vec<f32> {
+    let dim = plan.dim;
+    let n = plan.batch_size;
+    // Pre-resolve per-local-feature weights and hashers (avoids a search
+    // per bag).
+    let tables: Vec<&Tensor> = dp.features.iter().map(|&f| shard.weights(f)).collect();
+    let hashers: Vec<IndexHasher> = dp
+        .features
+        .iter()
+        .map(|&f| IndexHasher::new(f, shard.spec().rows, seed))
+        .collect();
+    let mut out = vec![0.0f32; dp.n_bags * dim];
+    out.par_chunks_mut(dim).enumerate().for_each(|(bag, acc)| {
+        let lf = bag / n;
+        let sample = bag % n;
+        let (f, _) = dp.bag_coords(bag, n);
+        debug_assert_eq!(f, dp.features[lf]);
+        let indices = batch.bag(f, sample);
+        let mut count = 0usize;
+        for &raw in indices {
+            count += 1;
+            let row = tables[lf].row(hashers[lf].row(raw));
+            plan.pooling.accumulate(acc, row, count);
+        }
+        plan.pooling.finish(acc, count);
+    });
+    out
+}
+
+/// The baseline's pack → exchange → unpack pipeline on real data.
+///
+/// * **pack**: reorder each device's pooled rows destination-major (the
+///   contiguous send buffer `all_to_all_single` requires),
+/// * **exchange**: the all-to-all data movement itself,
+/// * **unpack**: rearrange each device's received source-major buffer into
+///   the `[mb, S, dim]` layout the next layer needs — the step the PGAS
+///   backend eliminates.
+pub(crate) fn exchange_and_unpack(
+    plan: &ForwardPlan,
+    pooled: &[Vec<f32>],
+) -> Vec<Tensor> {
+    let n = plan.n_devices;
+    let dim = plan.dim;
+
+    // pack: send_buf[src] ordered by (dst, local feature, local sample);
+    // per-destination segment sizes follow the (possibly uneven) ceil split.
+    let send_bufs: Vec<Vec<f32>> = plan
+        .devices
+        .iter()
+        .map(|dp| {
+            let mut buf = Vec::with_capacity(dp.n_bags * dim);
+            for dst in 0..n {
+                for lf in 0..dp.features.len() {
+                    let start = plan.mb_start(dst);
+                    for s in start..start + plan.mb_sizes[dst] {
+                        let bag = lf * plan.batch_size + s;
+                        buf.extend_from_slice(&pooled[dp.device][bag * dim..(bag + 1) * dim]);
+                    }
+                }
+            }
+            buf
+        })
+        .collect();
+
+    // exchange: chunk `dst` of `send_bufs[src]` lands at slot `src` of
+    // device `dst`'s receive buffer.
+    let recv_bufs: Vec<Vec<f32>> = (0..n)
+        .map(|dst| {
+            let mut buf = Vec::new();
+            for (src, dp) in plan.devices.iter().enumerate() {
+                let chunk = dp.features.len() * plan.mb_sizes[dst] * dim;
+                let offset: usize = (0..dst)
+                    .map(|d| dp.features.len() * plan.mb_sizes[d] * dim)
+                    .sum();
+                buf.extend_from_slice(&send_bufs[src][offset..offset + chunk]);
+            }
+            buf
+        })
+        .collect();
+
+    // unpack: source-major → [mb, S, dim].
+    (0..n)
+        .map(|dev| {
+            let mb = plan.mb_sizes[dev];
+            let mut out = Tensor::zeros(&[mb, plan.n_features * dim]);
+            let mut off = 0usize;
+            for src_dp in &plan.devices {
+                for &f in &src_dp.features {
+                    for s in 0..mb {
+                        let row = &recv_bufs[dev][off..off + dim];
+                        out.row_mut(s)[f * dim..(f + 1) * dim].copy_from_slice(row);
+                        off += dim;
+                    }
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// The PGAS backend's functional path: each pooled row is written one-sided
+/// straight into the owning device's output segment on the symmetric heap —
+/// no pack, no unpack.
+pub(crate) fn scatter_via_symmetric_heap(
+    plan: &ForwardPlan,
+    pooled: &[Vec<f32>],
+) -> Vec<Tensor> {
+    let dim = plan.dim;
+    let mut heap = pgas_rt::SymmetricHeap::new(plan.n_devices);
+    let out_seg = heap.alloc(plan.output_elems());
+    for dp in &plan.devices {
+        for bag in 0..dp.n_bags {
+            let (f, s) = dp.bag_coords(bag, plan.batch_size);
+            let (dst, idx) = plan.output_index(f, s);
+            heap.put(out_seg, idx, &pooled[dp.device][bag * dim..(bag + 1) * dim], dst);
+        }
+    }
+    (0..plan.n_devices)
+        .map(|dev| {
+            // Symmetric segments are stride-sized; only the device's actual
+            // mini-batch portion is meaningful.
+            let used = plan.output_elems_on(dev);
+            Tensor::from_vec(
+                heap.segment(out_seg, dev)[..used].to_vec(),
+                &[plan.mb_sizes[dev], plan.n_features * dim],
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_forward;
+    use crate::{
+        EmbLayerConfig, EmbeddingTableSpec, ForwardPlan, IndexDistribution, PoolingOp,
+        SparseBatchSpec,
+    };
+
+    fn setup(
+        n_dev: usize,
+        pooling: PoolingOp,
+    ) -> (ForwardPlan, SparseBatch, Vec<EmbeddingShard>, u64) {
+        let seed = 33;
+        let spec = SparseBatchSpec {
+            batch_size: 12,
+            n_features: 6,
+            pooling_min: 0,
+            pooling_max: 5,
+            index_space: 200,
+            distribution: IndexDistribution::Uniform,
+        };
+        let batch = SparseBatch::generate(&spec, seed);
+        let sharding = crate::Sharding::table_wise_block(6, n_dev);
+        let plan = ForwardPlan::build(&batch, &sharding, 4, pooling, 5);
+        let tspec = EmbeddingTableSpec { rows: 30, dim: 4 };
+        let shards = materialize_shards(&plan, tspec, seed);
+        (plan, batch, shards, seed)
+    }
+
+    fn pooled_all(
+        plan: &ForwardPlan,
+        batch: &SparseBatch,
+        shards: &[EmbeddingShard],
+        seed: u64,
+    ) -> Vec<Vec<f32>> {
+        plan.devices
+            .iter()
+            .map(|dp| compute_pooled_rows(dp, plan, batch, &shards[dp.device], seed))
+            .collect()
+    }
+
+    #[test]
+    fn baseline_pipeline_matches_reference() {
+        for n_dev in [1, 2, 3] {
+            let (plan, batch, shards, seed) = setup(n_dev, PoolingOp::Sum);
+            let pooled = pooled_all(&plan, &batch, &shards, seed);
+            let out = exchange_and_unpack(&plan, &pooled);
+            let reference = reference_forward(
+                &batch,
+                EmbeddingTableSpec { rows: 30, dim: 4 },
+                PoolingOp::Sum,
+                n_dev,
+                seed,
+            );
+            for (a, b) in out.iter().zip(&reference) {
+                assert!(a.allclose(b, 1e-5), "n_dev={n_dev}");
+            }
+        }
+    }
+
+    #[test]
+    fn pgas_scatter_matches_reference() {
+        for n_dev in [1, 2, 3] {
+            let (plan, batch, shards, seed) = setup(n_dev, PoolingOp::Sum);
+            let pooled = pooled_all(&plan, &batch, &shards, seed);
+            let out = scatter_via_symmetric_heap(&plan, &pooled);
+            let reference = reference_forward(
+                &batch,
+                EmbeddingTableSpec { rows: 30, dim: 4 },
+                PoolingOp::Sum,
+                n_dev,
+                seed,
+            );
+            for (a, b) in out.iter().zip(&reference) {
+                assert!(a.allclose(b, 1e-5), "n_dev={n_dev}");
+            }
+        }
+    }
+
+    #[test]
+    fn both_paths_agree_for_all_pooling_ops() {
+        for op in [PoolingOp::Sum, PoolingOp::Mean, PoolingOp::Max] {
+            let (plan, batch, shards, seed) = setup(2, op);
+            let pooled = pooled_all(&plan, &batch, &shards, seed);
+            let a = exchange_and_unpack(&plan, &pooled);
+            let b = scatter_via_symmetric_heap(&plan, &pooled);
+            for (x, y) in a.iter().zip(&b) {
+                assert!(x.allclose(y, 0.0), "op {op:?} paths must agree exactly");
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_config_round_trip() {
+        // End-to-end on a scaled-down paper config.
+        let cfg = EmbLayerConfig::paper_weak_scaling(2).scaled_down(1024);
+        let batch = SparseBatch::generate(&cfg.batch_spec(), 1);
+        let plan = ForwardPlan::build(
+            &batch,
+            &cfg.sharding(),
+            cfg.dim,
+            cfg.pooling,
+            cfg.bags_per_block,
+        );
+        let shards = materialize_shards(&plan, cfg.table_spec(), 1);
+        let pooled = pooled_all(&plan, &batch, &shards, 1);
+        let a = exchange_and_unpack(&plan, &pooled);
+        let b = scatter_via_symmetric_heap(&plan, &pooled);
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.allclose(y, 0.0));
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! The two retrieval backends: baseline (collective) and PGAS fused.
+//!
+//! Both consume the same [`ForwardPlan`], drive the same simulated machine,
+//! and (in functional mode) produce bit-comparable outputs — so every
+//! difference in the reported timings comes from the communication scheme,
+//! which is exactly the paper's experimental design.
+
+mod baseline;
+mod functional;
+mod pgas;
+
+pub use baseline::BaselineBackend;
+pub use pgas::PgasFusedBackend;
+
+use desim::Dur;
+use gpusim::{GpuSpec, KernelShape};
+use simtensor::Tensor;
+
+use crate::{DevicePlan, EmbLayerConfig, ForwardPlan, RunReport, SparseBatch};
+
+/// Whether a run materializes weights and produces outputs, or only times.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Simulate timing only; tables are never materialized. Use for
+    /// paper-scale workloads (64 GB of weights would not fit in host RAM).
+    Timing,
+    /// Also execute the real lookups and produce `[mb, S, dim]` outputs per
+    /// device, verifiable against [`crate::reference::reference_forward`].
+    Functional,
+}
+
+/// What a backend run returns.
+#[derive(Clone, Debug)]
+pub struct BackendResult {
+    /// Accumulated timing over all batches.
+    pub report: RunReport,
+    /// Final-batch outputs per device (functional mode only).
+    pub outputs: Option<Vec<Tensor>>,
+}
+
+/// Common per-backend entry point, so harness code can switch on a trait
+/// object instead of concrete types.
+pub trait RetrievalBackend {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+    /// Execute `cfg.n_batches` forward passes on `machine`.
+    ///
+    /// The machine should be freshly constructed: the run starts at t = 0
+    /// and the report embeds the machine's whole-run traffic statistics.
+    fn run(
+        &self,
+        machine: &mut gpusim::Machine,
+        cfg: &EmbLayerConfig,
+        mode: ExecMode,
+    ) -> BackendResult;
+}
+
+/// Fraction of peak HBM bandwidth a random-row gather kernel sustains.
+/// Scattered 256 B reads do not stream; 0.65 matches measured V100 gather
+/// throughput (and the paper's sub-peak `ncu` numbers).
+pub(crate) const GATHER_EFFICIENCY: f64 = 0.65;
+
+/// Per-block service durations of the lookup kernel for one device.
+///
+/// A block's global-memory traffic is its embedding-row reads
+/// (`lookups × row_bytes`), its index reads (8 B each) and its pooled-row
+/// writes (`n_bags × row_bytes`); the duration follows the machine's
+/// occupancy/latency cost model, derated by [`GATHER_EFFICIENCY`].
+pub(crate) fn lookup_block_durations(
+    dp: &DevicePlan,
+    plan: &ForwardPlan,
+    spec: &GpuSpec,
+) -> Vec<Dur> {
+    let n_blocks = dp.blocks.len() as u64;
+    if n_blocks == 0 {
+        return Vec::new();
+    }
+    let resident = KernelShape::effective_resident(n_blocks, spec.max_resident_blocks());
+    let row_bytes = plan.row_bytes() as u64;
+    dp.blocks
+        .iter()
+        .map(|b| {
+            // Row reads that hit in L2 never reach HBM (skewed inputs).
+            let hbm_reads = (b.lookups as f64 * (1.0 - plan.cache_hit)).round() as u64;
+            let bytes = hbm_reads * row_bytes + b.lookups * 8 + b.n_bags as u64 * row_bytes;
+            let shape = KernelShape {
+                blocks: 1,
+                bytes_per_block: (bytes as f64 / GATHER_EFFICIENCY).round() as u64,
+                flops_per_block: 0,
+                dependent_accesses: 8,
+            };
+            shape.block_time(spec, resident)
+        })
+        .collect()
+}
+
+/// The distinct input batches a run cycles through, and their plans.
+pub(crate) struct PreparedBatches {
+    pub batches: Vec<SparseBatch>,
+    pub plans: Vec<ForwardPlan>,
+}
+
+pub(crate) fn prepare_batches(
+    cfg: &EmbLayerConfig,
+    mode: ExecMode,
+    gpu: &GpuSpec,
+) -> PreparedBatches {
+    let spec = cfg.batch_spec();
+    let sharding = cfg.sharding();
+    let distinct = cfg.distinct_batches.max(1).min(cfg.n_batches.max(1));
+    let batches: Vec<SparseBatch> = (0..distinct)
+        .map(|i| match mode {
+            ExecMode::Timing => SparseBatch::generate_counts_only(&spec, cfg.batch_seed(i)),
+            ExecMode::Functional => SparseBatch::generate(&spec, cfg.batch_seed(i)),
+        })
+        .collect();
+    let cache_rows = ((gpu.l2_bytes / cfg.table_spec().row_bytes() as u64) as f64
+        * cfg.cache_rows_scale)
+        .round() as u64;
+    let cache_hit = cfg.distribution.cache_hit_fraction(
+        cfg.index_space,
+        cfg.table_rows as u64,
+        cache_rows,
+    );
+    let plans = batches
+        .iter()
+        .map(|b| {
+            let mut p = ForwardPlan::build(b, &sharding, cfg.dim, cfg.pooling, cfg.bags_per_block);
+            p.cache_hit = cache_hit;
+            p
+        })
+        .collect();
+    PreparedBatches { batches, plans }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IndexDistribution, PoolingOp, Sharding, SparseBatchSpec};
+
+    fn tiny_plan() -> ForwardPlan {
+        let b = SparseBatch::generate(
+            &SparseBatchSpec {
+                batch_size: 8,
+                n_features: 2,
+                pooling_min: 1,
+                pooling_max: 4,
+                index_space: 100,
+                distribution: IndexDistribution::Uniform,
+            },
+            1,
+        );
+        ForwardPlan::build(&b, &Sharding::table_wise_block(2, 2), 8, PoolingOp::Sum, 4)
+    }
+
+    #[test]
+    fn durations_cover_every_block_and_are_positive() {
+        let plan = tiny_plan();
+        let spec = GpuSpec::v100();
+        for dp in &plan.devices {
+            let durs = lookup_block_durations(dp, &plan, &spec);
+            assert_eq!(durs.len(), dp.blocks.len());
+            assert!(durs.iter().all(|d| !d.is_zero()));
+        }
+    }
+
+    #[test]
+    fn heavier_blocks_take_longer() {
+        let plan = tiny_plan();
+        let spec = GpuSpec::v100();
+        let dp = &plan.devices[0];
+        let durs = lookup_block_durations(dp, &plan, &spec);
+        for (blk, d) in dp.blocks.iter().zip(&durs) {
+            for (blk2, d2) in dp.blocks.iter().zip(&durs) {
+                if blk.lookups > blk2.lookups + 8 {
+                    assert!(d >= d2, "more lookups should not be faster");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_batches_respects_mode_and_pool_size() {
+        let cfg = EmbLayerConfig::paper_weak_scaling(2).scaled_down(512);
+        let timing = prepare_batches(&cfg, ExecMode::Timing, &GpuSpec::v100());
+        assert_eq!(timing.batches.len(), cfg.distinct_batches);
+        assert!(!timing.batches[0].has_indices());
+        let f = prepare_batches(&cfg, ExecMode::Functional, &GpuSpec::v100());
+        assert!(f.batches[0].has_indices());
+        assert_eq!(f.plans.len(), f.batches.len());
+    }
+}

@@ -1,0 +1,328 @@
+//! Sparse input batches (the analogue of TorchRec's `KeyedJaggedTensor`).
+//!
+//! A batch holds, for every `(feature, sample)` pair, a *bag* of raw sparse
+//! indices. Bag sizes (the pooling factor) vary per pair; empty bags are the
+//! paper's NULL inputs (Fig. 3). Storage is CSR, feature-major:
+//! bag `(f, s)` is `indices[offsets[f·N + s] .. offsets[f·N + s + 1]]`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How raw indices are distributed over the index space.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IndexDistribution {
+    /// Uniform random — the paper's synthetic workload (§IV).
+    Uniform,
+    /// Zipf with the given exponent — the skewed-input ablation; real
+    /// recommendation traffic concentrates on hot entities.
+    Zipf {
+        /// Skew exponent `s > 0`; larger is more skewed.
+        exponent: f64,
+    },
+}
+
+impl IndexDistribution {
+    /// Expected fraction of embedding-row reads served by a cache holding
+    /// the `cache_rows` hottest rows of a `table_rows`-row table, for raw
+    /// indices drawn from this distribution over `index_space`.
+    ///
+    /// Uniform traffic spreads over the whole table, so the hit rate is
+    /// just the cached fraction of the table. Zipf traffic concentrates on
+    /// the rows its hottest raw indices hash to, so the hit rate is the
+    /// Zipf mass of the top `cache_rows` indices — this is what makes real
+    /// (skewed) recommendation traffic cache-friendly.
+    pub fn cache_hit_fraction(&self, index_space: u64, table_rows: u64, cache_rows: u64) -> f64 {
+        if cache_rows == 0 || table_rows == 0 {
+            return 0.0;
+        }
+        match *self {
+            IndexDistribution::Uniform => (cache_rows as f64 / table_rows as f64).min(1.0),
+            IndexDistribution::Zipf { exponent: s } => {
+                let k = cache_rows.min(index_space).min(table_rows) as f64;
+                let n = index_space as f64;
+                if (s - 1.0).abs() < 1e-9 {
+                    ((k + 1.0).ln() / (n + 1.0).ln()).min(1.0)
+                } else {
+                    let t = 1.0 - s;
+                    ((k.powf(t) - 1.0) / (n.powf(t) - 1.0)).clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
+}
+
+/// Generator parameters for a synthetic sparse batch.
+#[derive(Clone, Copy, Debug)]
+pub struct SparseBatchSpec {
+    /// Global batch size `N` (samples).
+    pub batch_size: usize,
+    /// Number of sparse features `S` (one embedding table each).
+    pub n_features: usize,
+    /// Minimum pooling factor (0 allows NULL bags).
+    pub pooling_min: u32,
+    /// Maximum pooling factor; bag sizes are uniform in
+    /// `[pooling_min, pooling_max]` (paper: "generated from a uniform
+    /// distribution with a maximum size of 128").
+    pub pooling_max: u32,
+    /// Raw sparse-index space (pre-hash cardinality).
+    pub index_space: u64,
+    /// Distribution of raw indices over the space.
+    pub distribution: IndexDistribution,
+}
+
+impl SparseBatchSpec {
+    /// Mean pooling factor of the uniform bag-size distribution.
+    pub fn mean_pooling(&self) -> f64 {
+        (self.pooling_min + self.pooling_max) as f64 / 2.0
+    }
+}
+
+/// A generated batch of sparse inputs in CSR layout.
+#[derive(Clone, Debug)]
+pub struct SparseBatch {
+    batch_size: usize,
+    n_features: usize,
+    offsets: Vec<usize>,
+    indices: Vec<u64>,
+    has_indices: bool,
+}
+
+impl SparseBatch {
+    /// Generate a full batch (bag sizes *and* raw indices) from `seed`.
+    pub fn generate(spec: &SparseBatchSpec, seed: u64) -> Self {
+        Self::generate_inner(spec, seed, true)
+    }
+
+    /// Generate only the bag-size structure (offsets), leaving indices
+    /// empty. Sufficient for timing-only runs, where only volumes matter;
+    /// functional execution will panic.
+    pub fn generate_counts_only(spec: &SparseBatchSpec, seed: u64) -> Self {
+        Self::generate_inner(spec, seed, false)
+    }
+
+    fn generate_inner(spec: &SparseBatchSpec, seed: u64, with_indices: bool) -> Self {
+        assert!(spec.batch_size > 0 && spec.n_features > 0, "empty batch spec");
+        assert!(
+            spec.pooling_min <= spec.pooling_max,
+            "pooling_min > pooling_max"
+        );
+        assert!(spec.index_space > 0, "index space must be non-empty");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_bags = spec.batch_size * spec.n_features;
+        let mut offsets = Vec::with_capacity(n_bags + 1);
+        offsets.push(0usize);
+        let mut total = 0usize;
+        for _ in 0..n_bags {
+            total += rng.gen_range(spec.pooling_min..=spec.pooling_max) as usize;
+            offsets.push(total);
+        }
+        let indices = if with_indices {
+            let mut v = Vec::with_capacity(total);
+            match spec.distribution {
+                IndexDistribution::Uniform => {
+                    for _ in 0..total {
+                        v.push(rng.gen_range(0..spec.index_space));
+                    }
+                }
+                IndexDistribution::Zipf { exponent } => {
+                    for _ in 0..total {
+                        v.push(zipf_sample(&mut rng, spec.index_space, exponent));
+                    }
+                }
+            }
+            v
+        } else {
+            Vec::new()
+        };
+        SparseBatch {
+            batch_size: spec.batch_size,
+            n_features: spec.n_features,
+            offsets,
+            indices,
+            has_indices: with_indices,
+        }
+    }
+
+    /// Global batch size `N`.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of sparse features `S`.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// True if raw indices were generated (functional execution possible).
+    pub fn has_indices(&self) -> bool {
+        self.has_indices
+    }
+
+    /// Pooling factor (bag size) of `(feature, sample)`.
+    pub fn pooling_factor(&self, feature: usize, sample: usize) -> usize {
+        let b = self.bag_id(feature, sample);
+        self.offsets[b + 1] - self.offsets[b]
+    }
+
+    /// The raw indices of bag `(feature, sample)`.
+    /// Panics on a counts-only batch.
+    pub fn bag(&self, feature: usize, sample: usize) -> &[u64] {
+        assert!(self.has_indices, "counts-only batch has no index data");
+        let b = self.bag_id(feature, sample);
+        &self.indices[self.offsets[b]..self.offsets[b + 1]]
+    }
+
+    /// Total index count across all bags.
+    pub fn total_indices(&self) -> usize {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Flat bag index of `(feature, sample)` in feature-major order.
+    #[inline]
+    pub fn bag_id(&self, feature: usize, sample: usize) -> usize {
+        assert!(feature < self.n_features, "feature out of range");
+        assert!(sample < self.batch_size, "sample out of range");
+        feature * self.batch_size + sample
+    }
+}
+
+/// Approximate Zipf sampler over `[0, n)` with exponent `s`, via inversion
+/// of the continuous CDF — accurate enough for workload skew modeling.
+fn zipf_sample(rng: &mut StdRng, n: u64, s: f64) -> u64 {
+    assert!(s > 0.0 && s.is_finite(), "zipf exponent must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let nf = n as f64;
+    let rank = if (s - 1.0).abs() < 1e-9 {
+        // CDF ≈ ln(x)/ln(n) — invert directly.
+        nf.powf(u)
+    } else {
+        let t = 1.0 - s;
+        ((nf.powf(t) - 1.0) * u + 1.0).powf(1.0 / t)
+    };
+    (rank.floor() as u64).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SparseBatchSpec {
+        SparseBatchSpec {
+            batch_size: 16,
+            n_features: 4,
+            pooling_min: 0,
+            pooling_max: 8,
+            index_space: 1000,
+            distribution: IndexDistribution::Uniform,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SparseBatch::generate(&spec(), 5);
+        let b = SparseBatch::generate(&spec(), 5);
+        let c = SparseBatch::generate(&spec(), 6);
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.indices, b.indices);
+        assert_ne!(a.indices, c.indices);
+    }
+
+    #[test]
+    fn bags_respect_pooling_bounds() {
+        let b = SparseBatch::generate(&spec(), 1);
+        for f in 0..4 {
+            for s in 0..16 {
+                let p = b.pooling_factor(f, s);
+                assert!(p <= 8);
+                assert_eq!(b.bag(f, s).len(), p);
+            }
+        }
+    }
+
+    #[test]
+    fn indices_in_range() {
+        let b = SparseBatch::generate(&spec(), 2);
+        assert!(b.indices.iter().all(|&i| i < 1000));
+        assert_eq!(b.total_indices(), b.indices.len());
+    }
+
+    #[test]
+    fn counts_only_batch_has_structure_but_no_data() {
+        let full = SparseBatch::generate(&spec(), 3);
+        let counts = SparseBatch::generate_counts_only(&spec(), 3);
+        assert!(!counts.has_indices());
+        assert_eq!(full.offsets, counts.offsets, "same RNG stream for sizes");
+        assert_eq!(counts.total_indices(), full.total_indices());
+    }
+
+    #[test]
+    #[should_panic(expected = "counts-only")]
+    fn counts_only_bag_access_panics() {
+        let b = SparseBatch::generate_counts_only(&spec(), 0);
+        let _ = b.bag(0, 0);
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_indices() {
+        let mut s = spec();
+        s.distribution = IndexDistribution::Zipf { exponent: 1.2 };
+        s.pooling_min = 4;
+        s.index_space = 10_000;
+        let b = SparseBatch::generate(&s, 7);
+        let low = b.indices.iter().filter(|&&i| i < 100).count();
+        // Uniform would put ~1% below 100; Zipf(1.2) puts far more.
+        assert!(
+            low as f64 > 0.2 * b.indices.len() as f64,
+            "only {low}/{} indices in the hot region",
+            b.indices.len()
+        );
+        assert!(b.indices.iter().all(|&i| i < 10_000));
+    }
+
+    #[test]
+    fn cache_hit_fractions() {
+        let uni = IndexDistribution::Uniform;
+        let zipf = IndexDistribution::Zipf { exponent: 1.1 };
+        // Uniform: cached fraction of the table.
+        assert!((uni.cache_hit_fraction(1 << 40, 1_000_000, 24_576) - 0.0245).abs() < 1e-3);
+        assert_eq!(uni.cache_hit_fraction(100, 100, 200), 1.0);
+        assert_eq!(uni.cache_hit_fraction(100, 100, 0), 0.0);
+        // Zipf 1.1 over a 2^40 space: a 24k-row cache already serves most
+        // traffic — far above uniform.
+        let z = zipf.cache_hit_fraction(1 << 40, 1_000_000, 24_576);
+        assert!(z > 0.5, "zipf hit fraction {z}");
+        assert!(z < 1.0);
+        // More cache never hurts; more skew never hurts.
+        assert!(zipf.cache_hit_fraction(1 << 40, 1_000_000, 65_536) > z);
+        let steeper = IndexDistribution::Zipf { exponent: 1.5 };
+        assert!(steeper.cache_hit_fraction(1 << 40, 1_000_000, 24_576) > z);
+        // The s = 1 special case is finite and sane.
+        let s1 = IndexDistribution::Zipf { exponent: 1.0 };
+        let h = s1.cache_hit_fraction(1 << 40, 1_000_000, 24_576);
+        assert!(h > 0.0 && h < 1.0);
+    }
+
+    #[test]
+    fn mean_pooling_estimate() {
+        let s = spec();
+        assert_eq!(s.mean_pooling(), 4.0);
+        let b = SparseBatch::generate(&s, 11);
+        let mean = b.total_indices() as f64 / (16.0 * 4.0);
+        assert!((mean - 4.0).abs() < 1.5, "observed mean pooling {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "pooling_min > pooling_max")]
+    fn bad_pooling_bounds_panic() {
+        let mut s = spec();
+        s.pooling_min = 9;
+        let _ = SparseBatch::generate(&s, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bag_bounds_checked() {
+        let b = SparseBatch::generate(&spec(), 0);
+        let _ = b.pooling_factor(4, 0);
+    }
+}

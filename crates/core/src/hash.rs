@@ -1,0 +1,105 @@
+//! The hash function `H` that maps raw sparse indices to table rows
+//! (paper §II-A): raw cardinalities can be in the billions, so each feature
+//! hashes its indices into a table of `M` rows, trading collisions for
+//! memory.
+
+/// SplitMix64 finalizer — a fast, well-distributed 64-bit mixer.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Hash a raw sparse index into `[0, rows)` for the table salted by
+/// `table_salt` (each feature gets an independent hash family).
+#[inline]
+pub fn hash_to_row(raw: u64, table_salt: u64, rows: usize) -> usize {
+    assert!(rows > 0, "cannot hash into an empty table");
+    (splitmix64(raw ^ splitmix64(table_salt)) % rows as u64) as usize
+}
+
+/// A per-table hasher with its salt baked in.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexHasher {
+    salt: u64,
+    rows: usize,
+}
+
+impl IndexHasher {
+    /// Hasher for table `table_id` with `rows` rows under a global `seed`.
+    pub fn new(table_id: usize, rows: usize, seed: u64) -> Self {
+        IndexHasher {
+            salt: splitmix64(seed).wrapping_add(table_id as u64),
+            rows,
+        }
+    }
+
+    /// Map a raw index to a row.
+    #[inline]
+    pub fn row(&self, raw: u64) -> usize {
+        hash_to_row(raw, self.salt, self.rows)
+    }
+
+    /// Table size this hasher maps into.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let h = IndexHasher::new(3, 1000, 42);
+        for raw in [0u64, 1, u64::MAX, 123_456_789] {
+            let r = h.row(raw);
+            assert!(r < 1000);
+            assert_eq!(r, h.row(raw));
+        }
+    }
+
+    #[test]
+    fn different_tables_hash_differently() {
+        let a = IndexHasher::new(0, 1_000_000, 7);
+        let b = IndexHasher::new(1, 1_000_000, 7);
+        let differing = (0..100u64).filter(|&x| a.row(x) != b.row(x)).count();
+        assert!(differing > 90, "only {differing}/100 differ across tables");
+    }
+
+    #[test]
+    fn different_seeds_hash_differently() {
+        let a = IndexHasher::new(0, 1_000_000, 1);
+        let b = IndexHasher::new(0, 1_000_000, 2);
+        let differing = (0..100u64).filter(|&x| a.row(x) != b.row(x)).count();
+        assert!(differing > 90);
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let h = IndexHasher::new(0, 10, 99);
+        let mut counts = [0usize; 10];
+        for raw in 0..10_000u64 {
+            counts[h.row(raw)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "bucket count {c} far from 1000");
+        }
+    }
+
+    #[test]
+    fn single_row_table_maps_everything_to_zero() {
+        let h = IndexHasher::new(0, 1, 5);
+        assert_eq!(h.row(12345), 0);
+        assert_eq!(h.rows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty table")]
+    fn zero_rows_panics() {
+        hash_to_row(1, 2, 0);
+    }
+}

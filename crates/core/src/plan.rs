@@ -1,0 +1,389 @@
+//! The forward-pass plan: the structural decomposition both backends share.
+//!
+//! A plan fixes, per device, the order in which bags are processed, how bags
+//! group into thread blocks, how many lookups each block performs and how
+//! many pooled rows each block sends to each destination mini-batch owner.
+//! Because the *same plan* drives the baseline's phases, the PGAS backend's
+//! fused kernel and the functional executors, the timing comparison is
+//! apples-to-apples and the functional outputs are bit-identical.
+
+use crate::{PoolingOp, Sharding, SparseBatch};
+
+/// One thread block's share of a device's bags.
+#[derive(Clone, Debug)]
+pub struct BlockPlan {
+    /// First local bag id covered (bags are local-feature-major,
+    /// sample-minor, matching the CUDA kernel's `blockIdx` mapping).
+    pub first_bag: usize,
+    /// Number of bags in the block.
+    pub n_bags: u32,
+    /// Total embedding-row reads (sum of pooling factors).
+    pub lookups: u64,
+    /// Pooled output rows per destination device: `(device, rows)`,
+    /// ascending by device, including the local device.
+    pub dest_rows: Vec<(usize, u64)>,
+}
+
+/// The per-device slice of the plan.
+#[derive(Clone, Debug)]
+pub struct DevicePlan {
+    /// The device this slice runs on.
+    pub device: usize,
+    /// Global feature ids resident here, in local order.
+    pub features: Vec<usize>,
+    /// Thread-block decomposition.
+    pub blocks: Vec<BlockPlan>,
+    /// Total lookups across blocks.
+    pub total_lookups: u64,
+    /// Total bags processed here (`features.len() × batch_size`).
+    pub n_bags: usize,
+}
+
+impl DevicePlan {
+    /// Map a local bag id back to `(global feature, sample)`.
+    pub fn bag_coords(&self, local_bag: usize, batch_size: usize) -> (usize, usize) {
+        let lf = local_bag / batch_size;
+        (self.features[lf], local_bag % batch_size)
+    }
+
+    /// Rows this device sends to each destination, summed over blocks.
+    pub fn rows_to(&self, dst: usize) -> u64 {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.dest_rows.iter())
+            .filter(|&&(d, _)| d == dst)
+            .map(|&(_, r)| r)
+            .sum()
+    }
+}
+
+/// The complete forward-pass decomposition.
+#[derive(Clone, Debug)]
+pub struct ForwardPlan {
+    /// Number of devices.
+    pub n_devices: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Global batch size `N`.
+    pub batch_size: usize,
+    /// Mini-batch stride `⌈N / n_devices⌉`: sample `s` belongs to device
+    /// `s / mb_size`. When `N` does not divide evenly the last device(s)
+    /// hold fewer samples (see [`ForwardPlan::mb_sizes`]).
+    pub mb_size: usize,
+    /// Actual mini-batch size of each device (uneven when `n_devices ∤ N`,
+    /// e.g. the paper's 3-GPU runs with batch 16 384).
+    pub mb_sizes: Vec<usize>,
+    /// Total sparse features `S`.
+    pub n_features: usize,
+    /// Pooling operation.
+    pub pooling: PoolingOp,
+    /// Bags per thread block used in the decomposition.
+    pub bags_per_block: usize,
+    /// Expected fraction of row reads served from the GPU's L2 (0 until a
+    /// backend stamps it from the workload's index distribution — see
+    /// [`crate::IndexDistribution::cache_hit_fraction`]).
+    pub cache_hit: f64,
+    /// Per-device slices, indexed by device.
+    pub devices: Vec<DevicePlan>,
+}
+
+impl ForwardPlan {
+    /// Build the plan for `batch` under table-wise `sharding`.
+    ///
+    /// Panics if the batch is smaller than the device count or if the
+    /// sharding is not table-wise (row-wise has its own execution path).
+    /// When the batch size does not divide evenly, mini-batches follow the
+    /// ceil-split convention (first devices get `⌈N/G⌉` samples).
+    pub fn build(
+        batch: &SparseBatch,
+        sharding: &Sharding,
+        dim: usize,
+        pooling: PoolingOp,
+        bags_per_block: usize,
+    ) -> ForwardPlan {
+        let n_devices = sharding.n_devices();
+        let n = batch.batch_size();
+        assert!(bags_per_block >= 1, "bags_per_block must be >= 1");
+        assert!(
+            n >= n_devices,
+            "batch size {n} smaller than device count {n_devices}"
+        );
+        assert!(
+            matches!(sharding, Sharding::TableWise { .. }),
+            "ForwardPlan requires table-wise sharding"
+        );
+        let mb = n.div_ceil(n_devices);
+        let mb_sizes: Vec<usize> = (0..n_devices)
+            .map(|d| n.saturating_sub(d * mb).min(mb))
+            .collect();
+        let devices = (0..n_devices)
+            .map(|dev| {
+                let features = sharding.features_on(dev, batch.n_features());
+                let n_bags = features.len() * n;
+                let mut blocks = Vec::with_capacity(n_bags.div_ceil(bags_per_block));
+                let mut total_lookups = 0u64;
+                let mut first = 0usize;
+                while first < n_bags {
+                    let count = bags_per_block.min(n_bags - first);
+                    let mut lookups = 0u64;
+                    let mut dest_rows: Vec<(usize, u64)> = Vec::new();
+                    for b in first..first + count {
+                        let (f, s) = (features[b / n], b % n);
+                        lookups += batch.pooling_factor(f, s) as u64;
+                        let dst = s / mb;
+                        match dest_rows.iter_mut().find(|(d, _)| *d == dst) {
+                            Some((_, r)) => *r += 1,
+                            None => dest_rows.push((dst, 1)),
+                        }
+                    }
+                    dest_rows.sort_unstable_by_key(|&(d, _)| d);
+                    total_lookups += lookups;
+                    blocks.push(BlockPlan {
+                        first_bag: first,
+                        n_bags: count as u32,
+                        lookups,
+                        dest_rows,
+                    });
+                    first += count;
+                }
+                DevicePlan {
+                    device: dev,
+                    features,
+                    blocks,
+                    total_lookups,
+                    n_bags,
+                }
+            })
+            .collect();
+        ForwardPlan {
+            n_devices,
+            dim,
+            batch_size: n,
+            mb_size: mb,
+            mb_sizes,
+            n_features: batch.n_features(),
+            pooling,
+            bags_per_block,
+            cache_hit: 0.0,
+            devices,
+        }
+    }
+
+    /// First global sample index of device `dev`'s mini-batch.
+    pub fn mb_start(&self, dev: usize) -> usize {
+        (dev * self.mb_size).min(self.batch_size)
+    }
+
+    /// Bytes of one pooled output row.
+    pub fn row_bytes(&self) -> u32 {
+        (self.dim * 4) as u32
+    }
+
+    /// Elements in one symmetric output segment: `⌈N/G⌉ × S × dim`. The
+    /// symmetric heap allocates the same (stride-sized) segment on every
+    /// PE even when the last mini-batch is smaller.
+    pub fn output_elems(&self) -> usize {
+        self.mb_size * self.n_features * self.dim
+    }
+
+    /// Elements actually used in device `dev`'s output.
+    pub fn output_elems_on(&self, dev: usize) -> usize {
+        self.mb_sizes[dev] * self.n_features * self.dim
+    }
+
+    /// Flat output index (within a destination device's output buffer) for
+    /// global `(feature, sample)`: layout `[mb, S, dim]` row-major —
+    /// precisely where the next DLRM layer expects it.
+    pub fn output_index(&self, feature: usize, sample: usize) -> (usize, usize) {
+        let dst = sample / self.mb_size;
+        let local_s = sample % self.mb_size;
+        (dst, (local_s * self.n_features + feature) * self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IndexDistribution, SparseBatchSpec};
+
+    fn batch(n: usize, s: usize) -> SparseBatch {
+        SparseBatch::generate(
+            &SparseBatchSpec {
+                batch_size: n,
+                n_features: s,
+                pooling_min: 0,
+                pooling_max: 5,
+                index_space: 100,
+                distribution: IndexDistribution::Uniform,
+            },
+            42,
+        )
+    }
+
+    fn plan(n: usize, s: usize, devs: usize, bpb: usize) -> ForwardPlan {
+        let b = batch(n, s);
+        ForwardPlan::build(
+            &b,
+            &Sharding::table_wise_block(s, devs),
+            8,
+            PoolingOp::Sum,
+            bpb,
+        )
+    }
+
+    #[test]
+    fn plan_covers_every_bag_exactly_once() {
+        let p = plan(16, 4, 2, 5);
+        for dp in &p.devices {
+            let covered: usize = dp.blocks.iter().map(|b| b.n_bags as usize).sum();
+            assert_eq!(covered, dp.n_bags);
+            // Blocks tile the bag range without gaps.
+            let mut next = 0;
+            for b in &dp.blocks {
+                assert_eq!(b.first_bag, next);
+                next += b.n_bags as usize;
+            }
+            assert_eq!(next, dp.n_bags);
+        }
+        let total_bags: usize = p.devices.iter().map(|d| d.n_bags).sum();
+        assert_eq!(total_bags, 16 * 4);
+    }
+
+    #[test]
+    fn lookups_match_batch_pooling() {
+        let b = batch(16, 4);
+        let p = ForwardPlan::build(
+            &b,
+            &Sharding::table_wise_block(4, 2),
+            8,
+            PoolingOp::Sum,
+            7,
+        );
+        let expect: u64 = b.total_indices() as u64;
+        let got: u64 = p.devices.iter().map(|d| d.total_lookups).sum();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn dest_rows_partition_each_block() {
+        let p = plan(16, 4, 4, 3);
+        for dp in &p.devices {
+            for blk in &dp.blocks {
+                let rows: u64 = blk.dest_rows.iter().map(|&(_, r)| r).sum();
+                assert_eq!(rows, blk.n_bags as u64);
+                // Destinations are sorted and unique.
+                for w in blk.dest_rows.windows(2) {
+                    assert!(w[0].0 < w[1].0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_to_every_destination_equal_under_uniform_layout() {
+        // Each device has mb_size samples per destination per feature.
+        let p = plan(16, 4, 2, 100);
+        for dp in &p.devices {
+            for dst in 0..2 {
+                assert_eq!(dp.rows_to(dst), (dp.features.len() * 8) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn bag_coords_round_trip() {
+        let p = plan(16, 4, 2, 5);
+        let dp = &p.devices[1];
+        for bag in 0..dp.n_bags {
+            let (f, s) = dp.bag_coords(bag, p.batch_size);
+            assert!(dp.features.contains(&f));
+            assert!(s < 16);
+        }
+        // First bag of device 1 is its first feature, sample 0.
+        assert_eq!(dp.bag_coords(0, 16), (dp.features[0], 0));
+    }
+
+    #[test]
+    fn output_index_lands_in_owner_minibatch() {
+        let p = plan(16, 4, 4, 5);
+        assert_eq!(p.mb_size, 4);
+        let (dst, idx) = p.output_index(2, 9);
+        assert_eq!(dst, 9 / 4);
+        assert_eq!(idx, ((9 % 4) * 4 + 2) * 8);
+        assert!(idx < p.output_elems());
+    }
+
+    #[test]
+    fn blocks_respect_bags_per_block() {
+        let p = plan(16, 4, 2, 7);
+        for dp in &p.devices {
+            for (i, blk) in dp.blocks.iter().enumerate() {
+                if i + 1 < dp.blocks.len() {
+                    assert_eq!(blk.n_bags, 7);
+                } else {
+                    assert!(blk.n_bags <= 7 && blk.n_bags > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indivisible_batch_splits_unevenly() {
+        // 15 samples over 2 devices: ceil split 8 + 7 (the paper's 3-GPU
+        // runs with batch 16384 rely on this).
+        let p = plan(15, 4, 2, 5);
+        assert_eq!(p.mb_size, 8);
+        assert_eq!(p.mb_sizes, vec![8, 7]);
+        assert_eq!(p.mb_start(0), 0);
+        assert_eq!(p.mb_start(1), 8);
+        assert_eq!(p.output_elems_on(1), 7 * 4 * 8);
+        // Every sample has exactly one owner and rows balance.
+        for dp in &p.devices {
+            assert_eq!(dp.rows_to(0) + dp.rows_to(1), (dp.features.len() * 15) as u64);
+        }
+    }
+
+    #[test]
+    fn three_devices_paper_batch() {
+        // The actual failing shape from the paper: 16384 % 3 != 0.
+        let b = batch(16, 3);
+        let p = ForwardPlan::build(
+            &b,
+            &crate::Sharding::table_wise_round_robin(3, 3),
+            8,
+            PoolingOp::Sum,
+            4,
+        );
+        assert_eq!(p.mb_size, 6);
+        assert_eq!(p.mb_sizes, vec![6, 6, 4]);
+        let (dst, idx) = p.output_index(0, 15);
+        assert_eq!(dst, 2);
+        assert!(idx < p.output_elems_on(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than device count")]
+    fn degenerate_batch_panics() {
+        let b = batch(2, 3);
+        let _ = ForwardPlan::build(
+            &b,
+            &crate::Sharding::table_wise_round_robin(3, 3),
+            8,
+            PoolingOp::Sum,
+            4,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "table-wise")]
+    fn row_wise_plan_panics() {
+        let b = batch(8, 2);
+        let _ = ForwardPlan::build(
+            &b,
+            &Sharding::RowWise { n_devices: 2 },
+            8,
+            PoolingOp::Sum,
+            4,
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Pooling operations: how a bag of embedding rows becomes one output row
+//! (paper §II-B). The paper's workloads use sum pooling; mean and max are
+//! provided for completeness (they are the other two `EmbeddingBag` modes).
+
+/// How to combine the rows of one bag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PoolingOp {
+    /// Elementwise sum (the paper's mode).
+    Sum,
+    /// Elementwise mean over the bag.
+    Mean,
+    /// Elementwise maximum.
+    Max,
+}
+
+impl PoolingOp {
+    /// Pool `rows.len()` rows of width `dim` into `out` (length `dim`).
+    /// An empty bag yields zeros (the paper's NULL-input case).
+    pub fn pool(&self, rows: &[&[f32]], out: &mut [f32]) {
+        let dim = out.len();
+        out.fill(0.0);
+        if rows.is_empty() {
+            return;
+        }
+        match self {
+            PoolingOp::Sum | PoolingOp::Mean => {
+                for row in rows {
+                    debug_assert_eq!(row.len(), dim);
+                    for (o, &x) in out.iter_mut().zip(*row) {
+                        *o += x;
+                    }
+                }
+                if *self == PoolingOp::Mean {
+                    let inv = 1.0 / rows.len() as f32;
+                    for o in out.iter_mut() {
+                        *o *= inv;
+                    }
+                }
+            }
+            PoolingOp::Max => {
+                out.fill(f32::NEG_INFINITY);
+                for row in rows {
+                    debug_assert_eq!(row.len(), dim);
+                    for (o, &x) in out.iter_mut().zip(*row) {
+                        *o = o.max(x);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Incremental variant used by streaming kernels: fold `row` into `acc`,
+    /// where `count` is the number of rows folded so far *including* this
+    /// one. Call [`PoolingOp::finish`] after the last row.
+    pub fn accumulate(&self, acc: &mut [f32], row: &[f32], count: usize) {
+        match self {
+            PoolingOp::Sum | PoolingOp::Mean => {
+                for (a, &x) in acc.iter_mut().zip(row) {
+                    *a += x;
+                }
+            }
+            PoolingOp::Max => {
+                if count == 1 {
+                    acc.copy_from_slice(row);
+                } else {
+                    for (a, &x) in acc.iter_mut().zip(row) {
+                        *a = a.max(x);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finalize a streamed accumulation over `count` rows.
+    pub fn finish(&self, acc: &mut [f32], count: usize) {
+        if *self == PoolingOp::Mean && count > 0 {
+            let inv = 1.0 / count as f32;
+            for a in acc.iter_mut() {
+                *a *= inv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(op: PoolingOp, rows: &[&[f32]]) -> Vec<f32> {
+        let mut out = vec![0.0; rows.first().map_or(2, |r| r.len())];
+        op.pool(rows, &mut out);
+        out
+    }
+
+    #[test]
+    fn sum_pools_elementwise() {
+        let out = pool(PoolingOp::Sum, &[&[1.0, 2.0], &[10.0, 20.0], &[100.0, 200.0]]);
+        assert_eq!(out, vec![111.0, 222.0]);
+    }
+
+    #[test]
+    fn mean_divides_by_bag_size() {
+        let out = pool(PoolingOp::Mean, &[&[1.0, 2.0], &[3.0, 6.0]]);
+        assert_eq!(out, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn max_takes_elementwise_max() {
+        let out = pool(PoolingOp::Max, &[&[1.0, 9.0], &[5.0, 2.0]]);
+        assert_eq!(out, vec![5.0, 9.0]);
+    }
+
+    #[test]
+    fn empty_bag_yields_zeros() {
+        for op in [PoolingOp::Sum, PoolingOp::Mean, PoolingOp::Max] {
+            let mut out = vec![7.0, 7.0];
+            op.pool(&[], &mut out);
+            assert_eq!(out, vec![0.0, 0.0], "op {op:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let rows: Vec<Vec<f32>> = vec![
+            vec![1.0, -2.0, 3.0],
+            vec![4.0, 5.0, -6.0],
+            vec![-7.0, 8.0, 9.0],
+        ];
+        let refs: Vec<&[f32]> = rows.iter().map(|r| r.as_slice()).collect();
+        for op in [PoolingOp::Sum, PoolingOp::Mean, PoolingOp::Max] {
+            let batch = pool(op, &refs);
+            let mut acc = vec![0.0; 3];
+            for (i, r) in refs.iter().enumerate() {
+                op.accumulate(&mut acc, r, i + 1);
+            }
+            op.finish(&mut acc, refs.len());
+            for (a, b) in acc.iter().zip(&batch) {
+                assert!((a - b).abs() < 1e-6, "op {op:?}: {acc:?} vs {batch:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_row_bag_is_identity_for_all_ops() {
+        for op in [PoolingOp::Sum, PoolingOp::Mean, PoolingOp::Max] {
+            let out = pool(op, &[&[3.5, -1.5]]);
+            assert_eq!(out, vec![3.5, -1.5]);
+        }
+    }
+}

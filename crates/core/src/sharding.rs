@@ -1,0 +1,238 @@
+//! Sharding schemes and the CPU-side input partitioner.
+//!
+//! The paper partitions embedding tables across GPUs (model parallelism) and
+//! partitions sparse inputs on the CPU to match: each GPU receives the
+//! **full batch** of inputs for its resident features (Fig. 4). The paper
+//! uses table-wise sharding; row-wise (RecShard-style) is noted in §V as
+//! making input partitioning significantly more expensive — the cost model
+//! here quantifies that for the sharding ablation.
+
+use desim::Dur;
+
+use crate::SparseBatch;
+
+/// How embedding tables are distributed across devices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Sharding {
+    /// Each feature's whole table lives on one device (the paper's scheme).
+    TableWise {
+        /// `assignment[feature] = device`.
+        assignment: Vec<usize>,
+    },
+    /// Every table's rows are striped across all devices (RecShard-style).
+    RowWise {
+        /// Number of devices rows are striped over.
+        n_devices: usize,
+    },
+}
+
+impl Sharding {
+    /// Table-wise sharding with contiguous blocks of features per device
+    /// (features must divide evenly — the paper's configurations do).
+    pub fn table_wise_block(n_features: usize, n_devices: usize) -> Self {
+        assert!(n_devices >= 1);
+        assert_eq!(
+            n_features % n_devices,
+            0,
+            "{n_features} features do not divide over {n_devices} devices"
+        );
+        let per = n_features / n_devices;
+        Sharding::TableWise {
+            assignment: (0..n_features).map(|f| f / per).collect(),
+        }
+    }
+
+    /// Table-wise sharding dealing features round-robin.
+    pub fn table_wise_round_robin(n_features: usize, n_devices: usize) -> Self {
+        assert!(n_devices >= 1);
+        Sharding::TableWise {
+            assignment: (0..n_features).map(|f| f % n_devices).collect(),
+        }
+    }
+
+    /// Number of devices participating.
+    pub fn n_devices(&self) -> usize {
+        match self {
+            Sharding::TableWise { assignment } => {
+                assignment.iter().copied().max().map_or(1, |m| m + 1)
+            }
+            Sharding::RowWise { n_devices } => *n_devices,
+        }
+    }
+
+    /// The device owning `feature`'s table (None under row-wise sharding,
+    /// where every device owns a stripe).
+    pub fn owner_of(&self, feature: usize) -> Option<usize> {
+        match self {
+            Sharding::TableWise { assignment } => Some(assignment[feature]),
+            Sharding::RowWise { .. } => None,
+        }
+    }
+
+    /// Features resident on `device` (in global order). Under row-wise
+    /// sharding every feature is (partially) resident everywhere.
+    pub fn features_on(&self, device: usize, n_features: usize) -> Vec<usize> {
+        match self {
+            Sharding::TableWise { assignment } => {
+                assert_eq!(assignment.len(), n_features);
+                (0..n_features).filter(|&f| assignment[f] == device).collect()
+            }
+            Sharding::RowWise { .. } => (0..n_features).collect(),
+        }
+    }
+}
+
+/// The CPU-side input-partitioning step: regrouping the host batch so each
+/// GPU can be handed its inputs, plus the host→device copy. Costed, because
+/// §V points out this step stops being negligible under row-wise sharding.
+#[derive(Clone, Debug)]
+pub struct InputPartition {
+    /// Bags handed to each device.
+    pub bags_per_device: Vec<usize>,
+    /// Raw indices handed to each device.
+    pub indices_per_device: Vec<usize>,
+    /// Modeled CPU time to perform the regrouping.
+    pub cpu_time: Dur,
+    /// Modeled host→device copy time (PCIe, overlapped across devices).
+    pub h2d_time: Dur,
+}
+
+/// Effective single-socket CPU repack bandwidth (bytes/s).
+const CPU_REPACK_BW: f64 = 10e9;
+/// Per-index routing cost for row-wise partitioning (hash + scatter).
+const ROW_WISE_PER_INDEX_NS: f64 = 2.0;
+/// Host→device PCIe bandwidth per GPU (bytes/s).
+const H2D_BW: f64 = 12e9;
+
+impl InputPartition {
+    /// Partition `batch` according to `sharding`.
+    pub fn compute(batch: &SparseBatch, sharding: &Sharding) -> Self {
+        let n_dev = sharding.n_devices();
+        let n = batch.batch_size();
+        let mut bags = vec![0usize; n_dev];
+        let mut idxs = vec![0usize; n_dev];
+        match sharding {
+            Sharding::TableWise { assignment } => {
+                assert_eq!(assignment.len(), batch.n_features());
+                for (f, &dev) in assignment.iter().enumerate() {
+                    bags[dev] += n;
+                    for s in 0..n {
+                        idxs[dev] += batch.pooling_factor(f, s);
+                    }
+                }
+            }
+            Sharding::RowWise { .. } => {
+                // Every index is routed individually to the device owning
+                // its row; in expectation a 1/n_dev split of everything.
+                let total = batch.total_indices();
+                for d in 0..n_dev {
+                    bags[d] = batch.n_features() * n;
+                    idxs[d] = total / n_dev;
+                }
+            }
+        }
+        let total_idx = batch.total_indices() as f64;
+        let cpu_time = match sharding {
+            // Sequential regroup: read + write each 8-byte index once.
+            Sharding::TableWise { .. } => Dur::from_secs_f64(total_idx * 16.0 / CPU_REPACK_BW),
+            // Per-index routing: hash, bucket append, plus the same copies.
+            Sharding::RowWise { .. } => Dur::from_secs_f64(
+                total_idx * 16.0 / CPU_REPACK_BW + total_idx * ROW_WISE_PER_INDEX_NS * 1e-9,
+            ),
+        };
+        let max_dev_bytes = idxs.iter().map(|&i| i as f64 * 8.0).fold(0.0, f64::max);
+        let h2d_time = Dur::from_secs_f64(max_dev_bytes / H2D_BW);
+        InputPartition {
+            bags_per_device: bags,
+            indices_per_device: idxs,
+            cpu_time,
+            h2d_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IndexDistribution, SparseBatchSpec};
+
+    fn batch() -> SparseBatch {
+        SparseBatch::generate(
+            &SparseBatchSpec {
+                batch_size: 8,
+                n_features: 6,
+                pooling_min: 1,
+                pooling_max: 4,
+                index_space: 100,
+                distribution: IndexDistribution::Uniform,
+            },
+            3,
+        )
+    }
+
+    #[test]
+    fn block_sharding_is_contiguous() {
+        let s = Sharding::table_wise_block(6, 2);
+        assert_eq!(s.n_devices(), 2);
+        assert_eq!(s.features_on(0, 6), vec![0, 1, 2]);
+        assert_eq!(s.features_on(1, 6), vec![3, 4, 5]);
+        assert_eq!(s.owner_of(4), Some(1));
+    }
+
+    #[test]
+    fn round_robin_deals_features() {
+        let s = Sharding::table_wise_round_robin(5, 2);
+        assert_eq!(s.features_on(0, 5), vec![0, 2, 4]);
+        assert_eq!(s.features_on(1, 5), vec![1, 3]);
+    }
+
+    #[test]
+    fn every_feature_has_exactly_one_owner() {
+        for s in [
+            Sharding::table_wise_block(12, 4),
+            Sharding::table_wise_round_robin(12, 4),
+        ] {
+            let mut seen = vec![0; 12];
+            for d in 0..4 {
+                for f in s.features_on(d, 12) {
+                    seen[f] += 1;
+                    assert_eq!(s.owner_of(f), Some(d));
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1));
+        }
+    }
+
+    #[test]
+    fn row_wise_replicates_features() {
+        let s = Sharding::RowWise { n_devices: 3 };
+        assert_eq!(s.n_devices(), 3);
+        assert_eq!(s.owner_of(0), None);
+        assert_eq!(s.features_on(2, 4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not divide")]
+    fn uneven_block_sharding_panics() {
+        let _ = Sharding::table_wise_block(5, 2);
+    }
+
+    #[test]
+    fn partition_conserves_bags_and_indices() {
+        let b = batch();
+        let s = Sharding::table_wise_block(6, 2);
+        let p = InputPartition::compute(&b, &s);
+        assert_eq!(p.bags_per_device.iter().sum::<usize>(), 6 * 8);
+        assert_eq!(p.indices_per_device.iter().sum::<usize>(), b.total_indices());
+        assert!(!p.cpu_time.is_zero());
+        assert!(!p.h2d_time.is_zero());
+    }
+
+    #[test]
+    fn row_wise_partition_costs_more_cpu() {
+        let b = batch();
+        let tw = InputPartition::compute(&b, &Sharding::table_wise_block(6, 2));
+        let rw = InputPartition::compute(&b, &Sharding::RowWise { n_devices: 2 });
+        assert!(rw.cpu_time > tw.cpu_time, "row-wise routing must cost more");
+    }
+}

@@ -1,0 +1,159 @@
+//! Embedding tables and per-device shards.
+
+use simtensor::Tensor;
+
+/// Size of one embedding table: `rows` (the hash size `M`) by `dim` (the
+/// embedding dimension `d`). In the paper's workloads every feature uses the
+/// same spec (1 M rows × 64), but nothing here requires that.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EmbeddingTableSpec {
+    /// Number of rows (post-hash cardinality `M`).
+    pub rows: usize,
+    /// Embedding dimension `d`.
+    pub dim: usize,
+}
+
+impl EmbeddingTableSpec {
+    /// Bytes of one row (`d × 4`).
+    pub fn row_bytes(&self) -> u32 {
+        (self.dim * 4) as u32
+    }
+
+    /// Bytes of the whole table.
+    pub fn table_bytes(&self) -> u64 {
+        self.rows as u64 * self.row_bytes() as u64
+    }
+}
+
+/// The embedding tables resident on one device, with materialized weights —
+/// the functional half of a model-parallel shard. Weights are deterministic
+/// per `(seed, feature)`, independent of which device hosts the table, so
+/// different shardings and backends produce identical outputs.
+#[derive(Clone, Debug)]
+pub struct EmbeddingShard {
+    spec: EmbeddingTableSpec,
+    tables: Vec<(usize, Tensor)>,
+}
+
+impl EmbeddingShard {
+    /// Materialize tables for the given global feature ids.
+    pub fn materialize(features: &[usize], spec: EmbeddingTableSpec, seed: u64) -> Self {
+        let tables = features
+            .iter()
+            .map(|&f| (f, Self::init_table(f, spec, seed)))
+            .collect();
+        EmbeddingShard { spec, tables }
+    }
+
+    /// The deterministic initial weights of one feature's table.
+    pub fn init_table(feature: usize, spec: EmbeddingTableSpec, seed: u64) -> Tensor {
+        // Scaled uniform init, as the DLRM reference uses.
+        let bound = 1.0 / (spec.rows as f32).sqrt();
+        Tensor::rand_uniform(
+            &[spec.rows, spec.dim],
+            -bound,
+            bound,
+            seed ^ (feature as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        )
+    }
+
+    /// Table spec shared by every table in this shard.
+    pub fn spec(&self) -> EmbeddingTableSpec {
+        self.spec
+    }
+
+    /// Global feature ids resident here, in local order.
+    pub fn features(&self) -> impl Iterator<Item = usize> + '_ {
+        self.tables.iter().map(|&(f, _)| f)
+    }
+
+    /// Number of resident tables.
+    pub fn n_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Weights of the local table holding global feature `feature`.
+    /// Panics if the feature is not resident.
+    pub fn weights(&self, feature: usize) -> &Tensor {
+        &self
+            .tables
+            .iter()
+            .find(|&&(f, _)| f == feature)
+            .unwrap_or_else(|| panic!("feature {feature} not resident in this shard"))
+            .1
+    }
+
+    /// Mutable weights (for the backward-pass update).
+    pub fn weights_mut(&mut self, feature: usize) -> &mut Tensor {
+        &mut self
+            .tables
+            .iter_mut()
+            .find(|&&mut (f, _)| f == feature)
+            .unwrap_or_else(|| panic!("feature {feature} not resident in this shard"))
+            .1
+    }
+
+    /// Row `row` of `feature`'s table.
+    pub fn row(&self, feature: usize, row: usize) -> &[f32] {
+        self.weights(feature).row(row)
+    }
+
+    /// Total bytes of weights resident here.
+    pub fn resident_bytes(&self) -> u64 {
+        self.tables.len() as u64 * self.spec.table_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: EmbeddingTableSpec = EmbeddingTableSpec { rows: 50, dim: 8 };
+
+    #[test]
+    fn spec_arithmetic() {
+        assert_eq!(SPEC.row_bytes(), 32);
+        assert_eq!(SPEC.table_bytes(), 1600);
+    }
+
+    #[test]
+    fn init_is_deterministic_per_feature_not_per_placement() {
+        let a = EmbeddingShard::materialize(&[3, 7], SPEC, 42);
+        let b = EmbeddingShard::materialize(&[7], SPEC, 42);
+        assert_eq!(a.weights(7), b.weights(7));
+        assert_ne!(a.weights(3), a.weights(7));
+    }
+
+    #[test]
+    fn init_depends_on_seed() {
+        let a = EmbeddingShard::init_table(0, SPEC, 1);
+        let b = EmbeddingShard::init_table(0, SPEC, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn init_is_bounded() {
+        let w = EmbeddingShard::init_table(5, SPEC, 9);
+        let bound = 1.0 / (SPEC.rows as f32).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= bound + 1e-6));
+    }
+
+    #[test]
+    fn accessors() {
+        let mut s = EmbeddingShard::materialize(&[2, 5], SPEC, 0);
+        assert_eq!(s.n_tables(), 2);
+        assert_eq!(s.features().collect::<Vec<_>>(), vec![2, 5]);
+        assert_eq!(s.resident_bytes(), 2 * SPEC.table_bytes());
+        assert_eq!(s.row(2, 10), s.weights(2).row(10));
+        s.weights_mut(5).row_mut(0)[0] = 99.0;
+        assert_eq!(s.row(5, 0)[0], 99.0);
+        assert_eq!(s.spec(), SPEC);
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn missing_feature_panics() {
+        let s = EmbeddingShard::materialize(&[0], SPEC, 0);
+        let _ = s.weights(1);
+    }
+}

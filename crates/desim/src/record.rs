@@ -1,0 +1,289 @@
+//! Measurement recorders: bucketed time series, histograms, counters.
+//!
+//! [`TimeSeries`] is the workhorse behind the paper's Figures 7 and 10
+//! ("communication volume over time"): every byte put on a simulated wire is
+//! accumulated into a fixed-width time bucket, and the per-bucket (or
+//! cumulative) series is read out at the end of the run.
+
+use crate::{Dur, SimTime};
+
+/// A fixed-bucket-width accumulator over simulation time.
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    bucket: Dur,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// A series with the given bucket width. Panics on a zero width.
+    pub fn new(bucket: Dur) -> Self {
+        assert!(!bucket.is_zero(), "TimeSeries bucket width must be > 0");
+        TimeSeries {
+            bucket,
+            values: Vec::new(),
+        }
+    }
+
+    /// Bucket width.
+    pub fn bucket_width(&self) -> Dur {
+        self.bucket
+    }
+
+    /// Add `value` at instant `t`.
+    pub fn add(&mut self, t: SimTime, value: f64) {
+        let idx = (t.as_ns() / self.bucket.as_ns()) as usize;
+        if idx >= self.values.len() {
+            self.values.resize(idx + 1, 0.0);
+        }
+        self.values[idx] += value;
+    }
+
+    /// Spread `value` uniformly over `[start, end)` — used to attribute a
+    /// transfer's bytes across the interval it occupies the wire.
+    pub fn add_spread(&mut self, start: SimTime, end: SimTime, value: f64) {
+        if end <= start {
+            self.add(start, value);
+            return;
+        }
+        let total = (end - start).as_ns() as f64;
+        let mut t = start;
+        while t < end {
+            let bucket_end =
+                SimTime::from_ns(((t.as_ns() / self.bucket.as_ns()) + 1) * self.bucket.as_ns());
+            let seg_end = bucket_end.min(end);
+            let frac = (seg_end - t).as_ns() as f64 / total;
+            self.add(t, value * frac);
+            t = seg_end;
+        }
+    }
+
+    /// Per-bucket values.
+    pub fn buckets(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// `(bucket_start_time, value)` pairs.
+    pub fn points(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (SimTime::from_ns(i as u64 * self.bucket.as_ns()), v))
+    }
+
+    /// Running cumulative sum per bucket.
+    pub fn cumulative(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.values
+            .iter()
+            .map(|v| {
+                acc += v;
+                acc
+            })
+            .collect()
+    }
+
+    /// Sum over all buckets.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Coefficient of variation (stddev / mean) of the per-bucket values over
+    /// `[0, horizon)` — a burstiness measure. A perfectly smooth series has
+    /// CV 0; a single burst has a large CV. Returns 0 for an empty horizon.
+    pub fn burstiness(&self, horizon: SimTime) -> f64 {
+        let n = (horizon.as_ns().div_ceil(self.bucket.as_ns())) as usize;
+        if n == 0 {
+            return 0.0;
+        }
+        let get = |i: usize| self.values.get(i).copied().unwrap_or(0.0);
+        let mean = (0..n).map(get).sum::<f64>() / n as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = (0..n).map(|i| (get(i) - mean).powi(2)).sum::<f64>() / n as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// A power-of-two bucketed histogram of `u64` samples (e.g. message sizes).
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    // counts[i] counts samples whose value has bit-length i (0 counts value 0).
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: Vec::new(),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (64 - value.leading_zeros()) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest sample (None if empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest sample (None if empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// `(bucket_upper_bound, count)` for each non-empty power-of-two bucket.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter_map(|(i, &c)| {
+            (c > 0).then(|| {
+                let ub = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                (ub, c)
+            })
+        })
+    }
+}
+
+/// A monotonically increasing named counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Add `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+    /// Increment by one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_series_accumulates_into_buckets() {
+        let mut ts = TimeSeries::new(Dur::from_ns(10));
+        ts.add(SimTime::from_ns(0), 1.0);
+        ts.add(SimTime::from_ns(9), 2.0);
+        ts.add(SimTime::from_ns(10), 4.0);
+        ts.add(SimTime::from_ns(25), 8.0);
+        assert_eq!(ts.buckets(), &[3.0, 4.0, 8.0]);
+        assert_eq!(ts.cumulative(), vec![3.0, 7.0, 15.0]);
+        assert_eq!(ts.total(), 15.0);
+    }
+
+    #[test]
+    fn add_spread_conserves_mass() {
+        let mut ts = TimeSeries::new(Dur::from_ns(10));
+        ts.add_spread(SimTime::from_ns(5), SimTime::from_ns(35), 30.0);
+        // 5ns in bucket0, 10 in bucket1, 10 in bucket2, 5 in bucket3.
+        assert_eq!(ts.buckets(), &[5.0, 10.0, 10.0, 5.0]);
+        assert!((ts.total() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_spread_degenerate_interval() {
+        let mut ts = TimeSeries::new(Dur::from_ns(10));
+        ts.add_spread(SimTime::from_ns(7), SimTime::from_ns(7), 3.0);
+        assert_eq!(ts.buckets(), &[3.0]);
+    }
+
+    #[test]
+    fn points_carry_bucket_start_times() {
+        let mut ts = TimeSeries::new(Dur::from_us(1));
+        ts.add(SimTime::from_us(2), 5.0);
+        let pts: Vec<_> = ts.points().collect();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[2], (SimTime::from_us(2), 5.0));
+    }
+
+    #[test]
+    fn burstiness_flags_bursts() {
+        let horizon = SimTime::from_ns(100);
+        let mut smooth = TimeSeries::new(Dur::from_ns(10));
+        for i in 0..10 {
+            smooth.add(SimTime::from_ns(i * 10), 1.0);
+        }
+        let mut burst = TimeSeries::new(Dur::from_ns(10));
+        burst.add(SimTime::from_ns(90), 10.0);
+        assert!(smooth.burstiness(horizon) < 1e-9);
+        assert!(burst.burstiness(horizon) > 2.0);
+        assert_eq!(TimeSeries::new(Dur::from_ns(10)).burstiness(horizon), 0.0);
+        assert_eq!(smooth.burstiness(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new();
+        assert_eq!(h.min(), None);
+        for v in [0, 1, 2, 3, 256, 257] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(257));
+        assert!((h.mean() - (0 + 1 + 2 + 3 + 256 + 257) as f64 / 6.0).abs() < 1e-12);
+        let buckets: Vec<_> = h.buckets().collect();
+        // value 0 -> bucket ub 0; 1 -> ub 1; 2,3 -> ub 3; 256,257 -> ub 511.
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (3, 2), (511, 2)]);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_panics() {
+        let _ = TimeSeries::new(Dur::ZERO);
+    }
+}

@@ -1,0 +1,332 @@
+//! Simulation time types.
+//!
+//! [`SimTime`] is an absolute instant (nanoseconds since simulation start);
+//! [`Dur`] is a span. Keeping the two distinct prevents the classic bug of
+//! adding two absolute timestamps.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute simulation instant, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulation time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(u64);
+
+impl SimTime {
+    /// Simulation start (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; useful as an "unscheduled" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+    /// Construct from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+    /// Construct from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+    /// Raw nanoseconds since start.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+    /// Seconds since start as `f64`.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// Milliseconds since start as `f64`.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+    /// Microseconds since start as `f64`.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+    /// Span since an earlier instant. Panics if `earlier` is later than `self`.
+    pub fn since(self, earlier: SimTime) -> Dur {
+        assert!(
+            earlier.0 <= self.0,
+            "SimTime::since: earlier ({earlier:?}) is after self ({self:?})"
+        );
+        Dur(self.0 - earlier.0)
+    }
+}
+
+impl Dur {
+    /// Zero-length span.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Dur(ns)
+    }
+    /// Construct from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Dur(us * 1_000)
+    }
+    /// Construct from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Dur(ms * 1_000_000)
+    }
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    ///
+    /// Panics on negative or non-finite input.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "Dur::from_secs_f64: invalid duration {secs}"
+        );
+        Dur((secs * 1e9).round() as u64)
+    }
+    /// Raw nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+    /// Seconds as `f64`.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// Milliseconds as `f64`.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+    /// Microseconds as `f64`.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+    /// The longer of two spans.
+    pub fn max(self, other: Dur) -> Dur {
+        Dur(self.0.max(other.0))
+    }
+    /// The shorter of two spans.
+    pub fn min(self, other: Dur) -> Dur {
+        Dur(self.0.min(other.0))
+    }
+    /// True if this span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+    /// Saturating subtraction of spans.
+    pub fn saturating_sub(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Dur> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Dur) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<Dur> for SimTime {
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Dur;
+    fn sub(self, rhs: SimTime) -> Dur {
+        self.since(rhs)
+    }
+}
+
+impl Sub<Dur> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: Dur) -> SimTime {
+        assert!(self.0 >= rhs.0, "SimTime - Dur underflow: {self:?} - {rhs:?}");
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0.checked_add(rhs.0).expect("Dur overflow"))
+    }
+}
+
+impl AddAssign for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    fn sub(self, rhs: Dur) -> Dur {
+        assert!(self.0 >= rhs.0, "Dur underflow: {self:?} - {rhs:?}");
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Dur {
+    fn sub_assign(&mut self, rhs: Dur) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: u64) -> Dur {
+        Dur(self.0.checked_mul(rhs).expect("Dur overflow"))
+    }
+}
+
+impl Mul<f64> for Dur {
+    type Output = Dur;
+    fn mul(self, rhs: f64) -> Dur {
+        assert!(rhs.is_finite() && rhs >= 0.0, "Dur * {rhs}: invalid factor");
+        Dur((self.0 as f64 * rhs).round() as u64)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    fn div(self, rhs: u64) -> Dur {
+        Dur(self.0 / rhs)
+    }
+}
+
+impl Sum for Dur {
+    fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
+        iter.fold(Dur::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", fmt_ns(self.0))
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_us(3).as_ns(), 3_000);
+        assert_eq!(SimTime::from_ms(3).as_ns(), 3_000_000);
+        assert_eq!(Dur::from_us(7).as_ns(), 7_000);
+        assert_eq!(Dur::from_ms(7).as_ns(), 7_000_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ns(100) + Dur::from_ns(50);
+        assert_eq!(t.as_ns(), 150);
+        assert_eq!((t - SimTime::from_ns(100)).as_ns(), 50);
+        assert_eq!((Dur::from_ns(10) + Dur::from_ns(5)).as_ns(), 15);
+        assert_eq!((Dur::from_ns(10) - Dur::from_ns(5)).as_ns(), 5);
+        assert_eq!((Dur::from_ns(10) * 3).as_ns(), 30);
+        assert_eq!((Dur::from_ns(10) / 2).as_ns(), 5);
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert!((Dur::from_secs_f64(1.5).as_ns() as i64 - 1_500_000_000).abs() <= 1);
+        assert!((SimTime::from_ms(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((Dur::from_us(1500).as_millis_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_float_mul_rounds() {
+        assert_eq!((Dur::from_ns(10) * 0.25).as_ns(), 3); // 2.5 rounds to 3 (round half away)
+        assert_eq!((Dur::from_ns(100) * 0.5).as_ns(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier")]
+    fn since_panics_on_negative_span() {
+        let _ = SimTime::from_ns(5).since(SimTime::from_ns(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn dur_sub_underflow_panics() {
+        let _ = Dur::from_ns(1) - Dur::from_ns(2);
+    }
+
+    #[test]
+    fn saturating_sub() {
+        assert_eq!(Dur::from_ns(1).saturating_sub(Dur::from_ns(2)), Dur::ZERO);
+        assert_eq!(
+            Dur::from_ns(5).saturating_sub(Dur::from_ns(2)),
+            Dur::from_ns(3)
+        );
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from_ns(1);
+        let b = SimTime::from_ns(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(Dur::from_ns(1).max(Dur::from_ns(2)), Dur::from_ns(2));
+        assert_eq!(Dur::from_ns(1).min(Dur::from_ns(2)), Dur::from_ns(1));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", Dur::from_ns(12)), "12ns");
+        assert_eq!(format!("{}", Dur::from_us(12)), "12.000us");
+        assert_eq!(format!("{}", Dur::from_ms(12)), "12.000ms");
+        assert_eq!(format!("{}", Dur::from_ms(12_000)), "12.000s");
+    }
+
+    #[test]
+    fn dur_sum() {
+        let total: Dur = [Dur::from_ns(1), Dur::from_ns(2), Dur::from_ns(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.as_ns(), 6);
+    }
+}

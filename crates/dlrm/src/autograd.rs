@@ -1,0 +1,290 @@
+//! Explicit backpropagation for the MLPs and the interaction layer.
+//!
+//! No tape, no graph: DLRM's head is a fixed pipeline, so its backward pass
+//! is written out directly. These gradients feed the embedding-layer
+//! backward pass (the paper's §V extension) and the data-parallel MLP
+//! gradient all-reduce in the training pipeline.
+
+use simtensor::Tensor;
+
+use crate::{Linear, Mlp};
+
+/// Saved activations from [`Mlp::forward_cached`].
+pub struct MlpCache {
+    /// Input to each layer (post-activation of the previous one).
+    layer_inputs: Vec<Tensor>,
+    /// Pre-activation output of each layer.
+    pre_activations: Vec<Tensor>,
+}
+
+/// Per-layer weight gradients.
+pub struct MlpGrads {
+    /// `(grad_weight, grad_bias)` per layer, front to back.
+    pub layers: Vec<(Tensor, Tensor)>,
+}
+
+impl Linear {
+    /// Backward through `y = x·W + b`: returns
+    /// `(grad_x, grad_w, grad_b)` given `x` and `∂L/∂y`.
+    pub fn backward(&self, x: &Tensor, grad_out: &Tensor) -> (Tensor, Tensor, Tensor) {
+        let grad_x = grad_out.matmul(&self.weight_ref().transpose());
+        let grad_w = x.transpose().matmul(grad_out);
+        // grad_b = column sums of grad_out.
+        let n = grad_out.dims()[1];
+        let mut gb = vec![0.0f32; n];
+        for row in grad_out.rows() {
+            for (g, &v) in gb.iter_mut().zip(row) {
+                *g += v;
+            }
+        }
+        (grad_x, grad_w, Tensor::from_vec(gb, &[n]))
+    }
+
+    /// SGD update: `W -= lr·gW`, `b -= lr·gb`.
+    pub fn sgd_step(&mut self, grad_w: &Tensor, grad_b: &Tensor, lr: f32) {
+        assert_eq!(self.weight_ref().dims(), grad_w.dims());
+        for (w, g) in self.weight_mut().data_mut().iter_mut().zip(grad_w.data()) {
+            *w -= lr * g;
+        }
+        for (b, g) in self.bias_mut().data_mut().iter_mut().zip(grad_b.data()) {
+            *b -= lr * g;
+        }
+    }
+}
+
+impl Mlp {
+    /// Forward pass that records everything backward needs.
+    pub fn forward_cached(&self, x: &Tensor) -> (Tensor, MlpCache) {
+        let mut layer_inputs = Vec::with_capacity(self.n_layers());
+        let mut pre_activations = Vec::with_capacity(self.n_layers());
+        let mut h = x.clone();
+        for (i, layer) in self.layers_ref().iter().enumerate() {
+            layer_inputs.push(h.clone());
+            let pre = layer.forward(&h);
+            pre_activations.push(pre.clone());
+            h = if i + 1 < self.n_layers() { pre.relu() } else { pre };
+        }
+        (
+            h,
+            MlpCache {
+                layer_inputs,
+                pre_activations,
+            },
+        )
+    }
+
+    /// Backward pass: given `∂L/∂output`, returns `∂L/∂input` and the
+    /// per-layer weight gradients.
+    pub fn backward(&self, cache: &MlpCache, grad_out: &Tensor) -> (Tensor, MlpGrads) {
+        let mut grads = vec![None; self.n_layers()];
+        let mut g = grad_out.clone();
+        for i in (0..self.n_layers()).rev() {
+            if i + 1 < self.n_layers() {
+                // Undo the hidden ReLU: zero where pre-activation <= 0.
+                g = g.zip_with(&cache.pre_activations[i], |gv, pre| {
+                    if pre > 0.0 {
+                        gv
+                    } else {
+                        0.0
+                    }
+                });
+            }
+            let (gx, gw, gb) = self.layers_ref()[i].backward(&cache.layer_inputs[i], &g);
+            grads[i] = Some((gw, gb));
+            g = gx;
+        }
+        (
+            g,
+            MlpGrads {
+                layers: grads.into_iter().map(Option::unwrap).collect(),
+            },
+        )
+    }
+
+    /// Apply SGD to every layer.
+    pub fn sgd_step(&mut self, grads: &MlpGrads, lr: f32) {
+        assert_eq!(grads.layers.len(), self.n_layers());
+        for (layer, (gw, gb)) in self.layers_mut().iter_mut().zip(&grads.layers) {
+            layer.sgd_step(gw, gb, lr);
+        }
+    }
+}
+
+/// Backward through the interaction layer (see [`crate::interact`]): given
+/// `∂L/∂fused` (`[mb, d + (S+1)S/2]`), the dense-MLP outputs (`[mb, d]`)
+/// and the embedding outputs (`[mb, S·d]`), returns
+/// `(∂L/∂dense, ∂L/∂emb)`.
+pub fn interact_backward(
+    grad_fused: &Tensor,
+    dense: &Tensor,
+    emb: &Tensor,
+    n_features: usize,
+    dim: usize,
+) -> (Tensor, Tensor) {
+    let mb = dense.dims()[0];
+    let s1 = n_features + 1;
+    assert_eq!(grad_fused.dims()[1], dim + s1 * (s1 - 1) / 2);
+    let mut grad_dense = Tensor::zeros(&[mb, dim]);
+    let mut grad_emb = Tensor::zeros(&[mb, n_features * dim]);
+    for sample in 0..mb {
+        let gf = grad_fused.row(sample);
+        let dr = dense.row(sample);
+        let er = emb.row(sample);
+        // Pass-through of the concatenated dense part.
+        grad_dense.row_mut(sample).copy_from_slice(&gf[..dim]);
+        // vectors[0] = dense, vectors[1..] = emb rows.
+        let vec_of = |i: usize| -> &[f32] {
+            if i == 0 {
+                dr
+            } else {
+                &er[(i - 1) * dim..i * dim]
+            }
+        };
+        let mut k = dim;
+        for i in 1..s1 {
+            for j in 0..i {
+                let g = gf[k];
+                k += 1;
+                if g == 0.0 {
+                    continue;
+                }
+                // out = v_i · v_j  =>  ∂/∂v_i = g·v_j, ∂/∂v_j = g·v_i.
+                let (vi, vj) = (vec_of(i).to_vec(), vec_of(j).to_vec());
+                {
+                    let dst = &mut grad_emb.row_mut(sample)[(i - 1) * dim..i * dim];
+                    for (d, &v) in dst.iter_mut().zip(&vj) {
+                        *d += g * v;
+                    }
+                }
+                if j == 0 {
+                    let dst = grad_dense.row_mut(sample);
+                    for (d, &v) in dst.iter_mut().zip(&vi) {
+                        *d += g * v;
+                    }
+                } else {
+                    let dst = &mut grad_emb.row_mut(sample)[(j - 1) * dim..j * dim];
+                    for (d, &v) in dst.iter_mut().zip(&vi) {
+                        *d += g * v;
+                    }
+                }
+            }
+        }
+    }
+    (grad_dense, grad_emb)
+}
+
+/// Binary cross-entropy on sigmoid probabilities with its gradient w.r.t.
+/// the *pre-sigmoid logits*: `(mean loss, ∂L/∂logit = (p − y)/mb)`.
+pub fn bce_loss(probs: &Tensor, labels: &Tensor) -> (f32, Tensor) {
+    assert_eq!(probs.dims(), labels.dims(), "probs/labels shape mismatch");
+    let mb = probs.dims()[0] as f32;
+    let eps = 1e-7f32;
+    let mut loss = 0.0f32;
+    for (&p, &y) in probs.data().iter().zip(labels.data()) {
+        let p = p.clamp(eps, 1.0 - eps);
+        loss -= y * p.ln() + (1.0 - y) * (1.0 - p).ln();
+    }
+    let grad = probs.zip_with(labels, |p, y| (p - y) / mb);
+    (loss / mb, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interact;
+
+    /// Central finite difference of a scalar function of one tensor entry.
+    fn finite_diff(f: impl Fn(&Tensor) -> f32, at: &Tensor, idx: usize) -> f32 {
+        let h = 1e-2f32;
+        let mut plus = at.clone();
+        plus.data_mut()[idx] += h;
+        let mut minus = at.clone();
+        minus.data_mut()[idx] -= h;
+        (f(&plus) - f(&minus)) / (2.0 * h)
+    }
+
+    #[test]
+    fn linear_backward_matches_finite_difference() {
+        let l = Linear::new(3, 2, 5);
+        let x = Tensor::rand_uniform(&[4, 3], -1.0, 1.0, 1);
+        // Scalar objective: sum of outputs.
+        let obj = |x: &Tensor| l.forward(x).sum();
+        let grad_out = Tensor::ones(&[4, 2]);
+        let (gx, _, _) = l.backward(&x, &grad_out);
+        for idx in [0, 5, 11] {
+            let fd = finite_diff(obj, &x, idx);
+            assert!(
+                (gx.data()[idx] - fd).abs() < 1e-2,
+                "grad_x[{idx}] {} vs fd {fd}",
+                gx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_backward_matches_finite_difference() {
+        let m = Mlp::new(&[3, 5, 2], 9);
+        let x = Tensor::rand_uniform(&[3, 3], -1.0, 1.0, 2);
+        let obj = |x: &Tensor| m.forward(x).sum();
+        let (out, cache) = m.forward_cached(&x);
+        assert!(out.allclose(&m.forward(&x), 1e-6));
+        let (gx, grads) = m.backward(&cache, &Tensor::ones(&[3, 2]));
+        for idx in 0..x.numel() {
+            let fd = finite_diff(obj, &x, idx);
+            assert!(
+                (gx.data()[idx] - fd).abs() < 2e-2,
+                "grad_x[{idx}] {} vs fd {fd}",
+                gx.data()[idx]
+            );
+        }
+        assert_eq!(grads.layers.len(), 2);
+    }
+
+    #[test]
+    fn interact_backward_matches_finite_difference() {
+        let (s, d, mb) = (2usize, 3usize, 2usize);
+        let dense = Tensor::rand_uniform(&[mb, d], -1.0, 1.0, 3);
+        let emb = Tensor::rand_uniform(&[mb, s * d], -1.0, 1.0, 4);
+        let obj_d = |x: &Tensor| interact(x, &emb, s, d).sum();
+        let obj_e = |x: &Tensor| interact(&dense, x, s, d).sum();
+        let width = interact(&dense, &emb, s, d).dims()[1];
+        let grad_fused = Tensor::ones(&[mb, width]);
+        let (gd, ge) = interact_backward(&grad_fused, &dense, &emb, s, d);
+        for idx in 0..dense.numel() {
+            let fd = finite_diff(obj_d, &dense, idx);
+            assert!((gd.data()[idx] - fd).abs() < 2e-2, "dense[{idx}]");
+        }
+        for idx in 0..emb.numel() {
+            let fd = finite_diff(obj_e, &emb, idx);
+            assert!((ge.data()[idx] - fd).abs() < 2e-2, "emb[{idx}]");
+        }
+    }
+
+    #[test]
+    fn bce_loss_and_gradient() {
+        let probs = Tensor::from_vec(vec![0.9, 0.1], &[2, 1]);
+        let labels = Tensor::from_vec(vec![1.0, 0.0], &[2, 1]);
+        let (loss, grad) = bce_loss(&probs, &labels);
+        // Confident & correct: small loss; gradient points toward labels.
+        assert!((loss - (-(0.9f32.ln()))).abs() < 1e-4);
+        assert!(grad.data()[0] < 0.0);
+        assert!(grad.data()[1] > 0.0);
+
+        let wrong = Tensor::from_vec(vec![0.1, 0.9], &[2, 1]);
+        let (bad_loss, _) = bce_loss(&wrong, &labels);
+        assert!(bad_loss > loss);
+    }
+
+    #[test]
+    fn sgd_step_moves_against_gradient() {
+        let mut m = Mlp::new(&[2, 2], 0);
+        let x = Tensor::rand_uniform(&[8, 2], -1.0, 1.0, 7);
+        let before = m.forward(&x).sum();
+        let (_, cache) = m.forward_cached(&x);
+        // Minimize sum of outputs: grad_out = 1.
+        let (_, grads) = m.backward(&cache, &Tensor::ones(&[8, 2]));
+        m.sgd_step(&grads, 0.05);
+        let after = m.forward(&x).sum();
+        assert!(after < before, "objective must decrease: {before} -> {after}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Synthetic dense inputs.
+
+use simtensor::Tensor;
+
+/// A batch of dense (continuous) features, `[batch, n_dense]`.
+#[derive(Clone, Debug)]
+pub struct DenseBatch {
+    values: Tensor,
+}
+
+impl DenseBatch {
+    /// Uniform-random dense features (the paper's synthetic inputs),
+    /// deterministic in `seed`.
+    pub fn generate(batch_size: usize, n_dense: usize, seed: u64) -> Self {
+        DenseBatch {
+            values: Tensor::rand_uniform(&[batch_size, n_dense], 0.0, 1.0, seed),
+        }
+    }
+
+    /// The `[batch, n_dense]` tensor.
+    pub fn values(&self) -> &Tensor {
+        &self.values
+    }
+
+    /// Batch size.
+    pub fn batch_size(&self) -> usize {
+        self.values.dims()[0]
+    }
+
+    /// The `dev`-th of `n` equal mini-batches (data parallelism).
+    pub fn minibatch(&self, dev: usize, n: usize) -> Tensor {
+        let b = self.batch_size();
+        assert_eq!(b % n, 0, "batch must divide into mini-batches");
+        let mb = b / n;
+        let cols = self.values.dims()[1];
+        let mut out = Tensor::zeros(&[mb, cols]);
+        for r in 0..mb {
+            out.row_mut(r).copy_from_slice(self.values.row(dev * mb + r));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_unit_range() {
+        let a = DenseBatch::generate(8, 13, 1);
+        let b = DenseBatch::generate(8, 13, 1);
+        assert_eq!(a.values(), b.values());
+        assert!(a.values().min() >= 0.0 && a.values().max() <= 1.0);
+        assert_eq!(a.batch_size(), 8);
+    }
+
+    #[test]
+    fn minibatches_partition_the_batch() {
+        let d = DenseBatch::generate(8, 3, 2);
+        let m0 = d.minibatch(0, 2);
+        let m1 = d.minibatch(1, 2);
+        assert_eq!(m0.dims(), &[4, 3]);
+        assert_eq!(m0.row(0), d.values().row(0));
+        assert_eq!(m1.row(0), d.values().row(4));
+        assert_eq!(m1.row(3), d.values().row(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn indivisible_minibatch_panics() {
+        DenseBatch::generate(9, 2, 0).minibatch(0, 2);
+    }
+}

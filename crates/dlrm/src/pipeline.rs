@@ -1,0 +1,174 @@
+//! The multi-GPU inference pipeline (paper Fig. 4 and §IV's measurement
+//! setup): dense mini-batches flow through the data-parallel top MLP while
+//! the model-parallel EMB layer retrieves embeddings; the two meet at the
+//! interaction layer, and the bottom MLP produces predictions.
+//!
+//! Timing model: per batch the top MLP overlaps the EMB stage (they run on
+//! independent streams touching disjoint data), so the pre-interaction
+//! critical path is `max(emb_stage, top_mlp)`; interaction + bottom MLP
+//! follow serially. The EMB stage — the paper's measured quantity — is
+//! reported separately and is exactly what `reproduce` regenerates.
+
+use desim::Dur;
+use emb_retrieval::backend::{BackendResult, ExecMode, RetrievalBackend};
+use emb_retrieval::RunReport;
+use gpusim::{KernelShape, Machine};
+use simtensor::Tensor;
+
+use crate::interaction::interact_flops;
+use crate::{DenseBatch, Dlrm};
+
+/// End-to-end inference report.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// Batches executed.
+    pub batches: usize,
+    /// The EMB stage's accumulated report (the paper's measurement).
+    pub emb: RunReport,
+    /// Top-MLP time per batch (overlapped with the EMB stage).
+    pub top_mlp_per_batch: Dur,
+    /// Interaction + bottom-MLP time per batch.
+    pub head_per_batch: Dur,
+    /// Accumulated end-to-end time.
+    pub total: Dur,
+    /// Per-device predictions for the final batch (functional mode only).
+    pub predictions: Option<Vec<Tensor>>,
+}
+
+impl PipelineReport {
+    /// Fraction of end-to-end time spent in the EMB stage (including its
+    /// communication) — the paper's motivation for optimizing it.
+    pub fn emb_fraction(&self) -> f64 {
+        self.emb.total.as_secs_f64() / self.total.as_secs_f64()
+    }
+}
+
+/// Drives a [`Dlrm`] over a stream of batches with a chosen retrieval
+/// backend.
+pub struct InferencePipeline<'a> {
+    model: &'a Dlrm,
+}
+
+impl<'a> InferencePipeline<'a> {
+    /// Wrap a model.
+    pub fn new(model: &'a Dlrm) -> Self {
+        InferencePipeline { model }
+    }
+
+    /// Run `model.cfg.emb.n_batches` inference batches on `machine` with
+    /// `backend` serving the embedding layer.
+    pub fn run(
+        &self,
+        machine: &mut Machine,
+        backend: &dyn RetrievalBackend,
+        mode: ExecMode,
+    ) -> PipelineReport {
+        let cfg = &self.model.cfg;
+        let mb = cfg.emb.mb_size();
+        let spec = machine.spec(0).clone();
+
+        // The EMB stage (timed + optionally functional).
+        let BackendResult { report, outputs } = backend.run(machine, &cfg.emb, mode);
+
+        // Per-batch MLP costs (identical every batch: same shapes).
+        let top_shape = self.model.top.kernel_shape(mb, &spec);
+        let top_per_batch = spec.kernel_launch + top_shape.duration(&spec);
+        let head_flops = interact_flops(mb, cfg.emb.n_features, cfg.emb.dim)
+            + self.model.bottom.flops(mb);
+        let head_blocks = (mb as u64).div_ceil(32).max(1);
+        let head_shape = KernelShape {
+            blocks: head_blocks,
+            bytes_per_block: (mb * cfg.emb.n_features * cfg.emb.dim * 4) as u64
+                / head_blocks.max(1),
+            flops_per_block: head_flops.div_ceil(head_blocks),
+            dependent_accesses: 4,
+        };
+        let head_per_batch = spec.kernel_launch + head_shape.duration(&spec);
+
+        let emb_per_batch = report.per_batch();
+        let per_batch = emb_per_batch.max(top_per_batch) + head_per_batch;
+        let total = per_batch * report.batches as u64;
+
+        let predictions = outputs.map(|emb_out| {
+            let dense = DenseBatch::generate(cfg.emb.batch_size, cfg.n_dense, cfg.seed ^ 0xDE);
+            self.model.forward_all(&dense, &emb_out)
+        });
+
+        PipelineReport {
+            batches: report.batches,
+            emb: report,
+            top_mlp_per_batch: top_per_batch,
+            head_per_batch,
+            total,
+            predictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DlrmConfig;
+    use emb_retrieval::backend::{BaselineBackend, PgasFusedBackend};
+    use gpusim::MachineConfig;
+
+    fn run(pgas: bool, mode: ExecMode) -> PipelineReport {
+        let cfg = DlrmConfig::tiny(2);
+        let model = Dlrm::new(cfg);
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let pipeline = InferencePipeline::new(&model);
+        if pgas {
+            pipeline.run(&mut m, &PgasFusedBackend::new(), mode)
+        } else {
+            pipeline.run(&mut m, &BaselineBackend::new(), mode)
+        }
+    }
+
+    #[test]
+    fn report_is_consistent() {
+        let r = run(false, ExecMode::Timing);
+        assert_eq!(r.batches, 2);
+        assert!(r.total >= r.emb.total);
+        assert!(!r.top_mlp_per_batch.is_zero());
+        assert!(!r.head_per_batch.is_zero());
+        assert!(r.emb_fraction() > 0.0 && r.emb_fraction() <= 1.0);
+        assert!(r.predictions.is_none());
+    }
+
+    #[test]
+    fn pgas_pipeline_is_faster_end_to_end() {
+        let b = run(false, ExecMode::Timing);
+        let p = run(true, ExecMode::Timing);
+        assert!(
+            p.total < b.total,
+            "pgas {} vs baseline {}",
+            p.total,
+            b.total
+        );
+    }
+
+    #[test]
+    fn both_backends_predict_identically() {
+        let b = run(false, ExecMode::Functional);
+        let p = run(true, ExecMode::Functional);
+        let (bp, pp) = (b.predictions.unwrap(), p.predictions.unwrap());
+        for (x, y) in bp.iter().zip(&pp) {
+            assert!(
+                x.allclose(y, 1e-6),
+                "backends must yield the same predictions"
+            );
+        }
+    }
+
+    #[test]
+    fn emb_dominates_for_embedding_heavy_configs() {
+        // The paper's premise: embedding retrieval + its communication is
+        // the bottleneck of DLRM inference.
+        let r = run(false, ExecMode::Timing);
+        assert!(
+            r.emb_fraction() > 0.5,
+            "EMB fraction only {}",
+            r.emb_fraction()
+        );
+    }
+}

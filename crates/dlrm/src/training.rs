@@ -1,0 +1,269 @@
+//! A full DLRM training step and the timed multi-GPU training pipeline.
+//!
+//! The paper's introduction motivates the work with *training*: over 50% of
+//! Meta's ML training time is DLRM, and the EMB layer's communication shows
+//! up in both directions. A training iteration here is:
+//!
+//! 1. forward (data-parallel MLPs overlapping the model-parallel EMB stage),
+//! 2. head backward (bottom MLP → interaction → top MLP),
+//! 3. EMB backward — bag gradients travel to table owners (baseline
+//!    collective rounds or PGAS one-sided atomics, see
+//!    [`emb_retrieval::backward`]),
+//! 4. data-parallel all-reduce of the MLP gradients,
+//! 5. SGD updates.
+
+use desim::Dur;
+use emb_retrieval::backend::{ExecMode, RetrievalBackend};
+use emb_retrieval::backward::{baseline_backward, pgas_backward};
+use pgas_rt::PgasConfig;
+use simccl::{all_reduce_timed, CollectiveConfig};
+use simtensor::Tensor;
+
+use crate::autograd::{bce_loss, interact_backward};
+use crate::{interact, Dlrm, MlpGrads};
+
+/// Gradients produced by one functional head training step.
+pub struct HeadGrads {
+    /// Mean BCE loss of the step.
+    pub loss: f32,
+    /// `∂L/∂(embedding-layer output)` — what the EMB backward pass consumes.
+    pub grad_emb_out: Tensor,
+    /// Top-MLP weight gradients.
+    pub top: MlpGrads,
+    /// Bottom-MLP weight gradients.
+    pub bottom: MlpGrads,
+}
+
+impl Dlrm {
+    /// One functional training step of everything above the embedding
+    /// layer, on one device's mini-batch. Applies SGD to the MLPs and
+    /// returns the loss plus the gradient flowing into the EMB layer.
+    pub fn head_train_step(
+        &mut self,
+        dense_mb: &Tensor,
+        emb_out: &Tensor,
+        labels: &Tensor,
+        lr: f32,
+    ) -> HeadGrads {
+        let (s, d) = (self.cfg.emb.n_features, self.cfg.emb.dim);
+        let (dense_emb, top_cache) = self.top.forward_cached(dense_mb);
+        let fused = interact(&dense_emb, emb_out, s, d);
+        let (logits, bottom_cache) = self.bottom.forward_cached(&fused);
+        let probs = logits.sigmoid();
+        let (loss, grad_logits) = bce_loss(&probs, labels);
+        let (grad_fused, bottom_grads) = self.bottom.backward(&bottom_cache, &grad_logits);
+        let (grad_dense_emb, grad_emb_out) =
+            interact_backward(&grad_fused, &dense_emb, emb_out, s, d);
+        let (_, top_grads) = self.top.backward(&top_cache, &grad_dense_emb);
+        self.top.sgd_step(&top_grads, lr);
+        self.bottom.sgd_step(&bottom_grads, lr);
+        HeadGrads {
+            loss,
+            grad_emb_out,
+            top: top_grads,
+            bottom: bottom_grads,
+        }
+    }
+
+    /// Total MLP parameter count (for the gradient all-reduce volume).
+    pub fn mlp_param_count(&self) -> usize {
+        let count = |m: &crate::Mlp| {
+            m.layers_ref()
+                .iter()
+                .map(|l| l.in_features() * l.out_features() + l.out_features())
+                .sum::<usize>()
+        };
+        count(&self.top) + count(&self.bottom)
+    }
+}
+
+/// Per-iteration timing of the training pipeline.
+#[derive(Clone, Debug)]
+pub struct TrainingReport {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// EMB forward stage per iteration.
+    pub emb_forward: Dur,
+    /// EMB backward stage per iteration.
+    pub emb_backward: Dur,
+    /// Head (MLP + interaction) forward + backward per iteration.
+    pub head: Dur,
+    /// Data-parallel MLP gradient all-reduce per iteration.
+    pub grad_allreduce: Dur,
+    /// Accumulated wall time.
+    pub total: Dur,
+}
+
+/// Timed multi-GPU training driver.
+pub struct TrainingPipeline<'a> {
+    model: &'a Dlrm,
+    /// Collective config for the baseline paths and the gradient all-reduce.
+    pub collectives: CollectiveConfig,
+    /// PGAS config for the one-sided paths.
+    pub pgas: PgasConfig,
+}
+
+impl<'a> TrainingPipeline<'a> {
+    /// Wrap a model with default communication settings.
+    pub fn new(model: &'a Dlrm) -> Self {
+        TrainingPipeline {
+            model,
+            collectives: CollectiveConfig::default(),
+            pgas: PgasConfig::default(),
+        }
+    }
+
+    /// Simulate `cfg.emb.n_batches` training iterations with the given EMB
+    /// forward backend; the EMB backward scheme matches (`pgas = true` uses
+    /// one-sided atomics, else collective rounds).
+    pub fn run(
+        &self,
+        machine: &mut gpusim::Machine,
+        forward_backend: &dyn RetrievalBackend,
+        pgas_backward_path: bool,
+    ) -> TrainingReport {
+        let cfg = &self.model.cfg;
+        let n = machine.n_gpus();
+        let mb = cfg.emb.mb_size();
+        let spec = machine.spec(0).clone();
+
+        // EMB forward (accumulated over n_batches).
+        let fwd = forward_backend.run(machine, &cfg.emb, ExecMode::Timing).report;
+        // EMB backward.
+        let bwd = if pgas_backward_path {
+            pgas_backward(machine, &cfg.emb, self.pgas, ExecMode::Timing).report
+        } else {
+            baseline_backward(machine, &cfg.emb, &self.collectives, ExecMode::Timing).report
+        };
+
+        // Head compute: forward ≈ top MLP + interaction + bottom MLP;
+        // backward ≈ 2× forward FLOPs.
+        let top = self.model.top.kernel_shape(mb, &spec);
+        let fwd_flops = top.blocks * top.flops_per_block
+            + crate::interaction::interact_flops(mb, cfg.emb.n_features, cfg.emb.dim)
+            + self.model.bottom.flops(mb);
+        let head_shape = gpusim::KernelShape {
+            blocks: (mb as u64).div_ceil(32).max(1),
+            bytes_per_block: 4096,
+            flops_per_block: (3 * fwd_flops).div_ceil((mb as u64).div_ceil(32).max(1)),
+            dependent_accesses: 4,
+        };
+        let head = spec.kernel_launch * 3 + head_shape.duration(&spec);
+
+        // Gradient all-reduce of the replicated MLPs.
+        let bytes = self.model.mlp_param_count() as u64 * 4;
+        let work = all_reduce_timed(
+            machine,
+            &self.collectives,
+            bytes,
+            &vec![machine.finish_time(); n],
+        );
+        let allreduce = work.all_done() - machine.finish_time().min(work.all_done());
+        let allreduce = if n == 1 { Dur::ZERO } else { allreduce };
+
+        let emb_forward = fwd.per_batch();
+        let emb_backward = bwd.per_batch();
+        let per_iter = emb_forward + head + emb_backward + allreduce;
+        TrainingReport {
+            iterations: cfg.emb.n_batches,
+            emb_forward,
+            emb_backward,
+            head,
+            grad_allreduce: allreduce,
+            total: per_iter * cfg.emb.n_batches as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DenseBatch, DlrmConfig};
+    use emb_retrieval::backend::{BaselineBackend, PgasFusedBackend};
+    use gpusim::{Machine, MachineConfig};
+
+    fn labels(mb: usize, seed: u64) -> Tensor {
+        let t = Tensor::rand_uniform(&[mb, 1], 0.0, 1.0, seed);
+        t.map(|x| if x > 0.5 { 1.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn head_training_reduces_loss() {
+        let cfg = DlrmConfig::tiny(1);
+        let mut model = Dlrm::new(cfg.clone());
+        let mb = cfg.emb.mb_size();
+        let dense = DenseBatch::generate(cfg.emb.batch_size, cfg.n_dense, 3).minibatch(0, 1);
+        let emb = Tensor::rand_uniform(&[mb, cfg.emb.n_features * cfg.emb.dim], -0.5, 0.5, 4);
+        let y = labels(mb, 5);
+        let first = model.head_train_step(&dense, &emb, &y, 0.1).loss;
+        let mut last = first;
+        for _ in 0..30 {
+            last = model.head_train_step(&dense, &emb, &y, 0.1).loss;
+        }
+        assert!(
+            last < first * 0.8,
+            "loss must fall while overfitting one batch: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn grad_emb_out_shape_and_signal() {
+        let cfg = DlrmConfig::tiny(2);
+        let mut model = Dlrm::new(cfg.clone());
+        let mb = cfg.emb.mb_size();
+        let dense = DenseBatch::generate(cfg.emb.batch_size, cfg.n_dense, 3).minibatch(0, 2);
+        let emb = Tensor::rand_uniform(&[mb, cfg.emb.n_features * cfg.emb.dim], -0.5, 0.5, 4);
+        let y = labels(mb, 6);
+        let g = model.head_train_step(&dense, &emb, &y, 0.01);
+        assert_eq!(g.grad_emb_out.dims(), emb.dims());
+        assert!(g.grad_emb_out.max_abs_diff(&Tensor::zeros(emb.dims())) > 0.0);
+        assert!(g.loss.is_finite());
+    }
+
+    #[test]
+    fn mlp_param_count() {
+        let cfg = DlrmConfig::tiny(1);
+        let model = Dlrm::new(cfg.clone());
+        let top: usize = cfg
+            .top_widths()
+            .windows(2)
+            .map(|w| w[0] * w[1] + w[1])
+            .sum();
+        let bottom: usize = cfg
+            .bottom_widths()
+            .windows(2)
+            .map(|w| w[0] * w[1] + w[1])
+            .sum();
+        assert_eq!(model.mlp_param_count(), top + bottom);
+    }
+
+    #[test]
+    fn timed_training_pgas_beats_baseline() {
+        let cfg = DlrmConfig::tiny(2);
+        let model = Dlrm::new(cfg);
+        let t = TrainingPipeline::new(&model);
+        let mut mb = Machine::new(MachineConfig::dgx_v100(2));
+        let base = t.run(&mut mb, &BaselineBackend::new(), false);
+        let mut mp = Machine::new(MachineConfig::dgx_v100(2));
+        let pgas = t.run(&mut mp, &PgasFusedBackend::new(), true);
+        assert!(base.iterations == pgas.iterations);
+        assert!(!base.emb_forward.is_zero());
+        assert!(!base.emb_backward.is_zero());
+        assert!(
+            pgas.total < base.total,
+            "pgas training {} vs baseline {}",
+            pgas.total,
+            base.total
+        );
+    }
+
+    #[test]
+    fn single_gpu_training_has_no_allreduce() {
+        let cfg = DlrmConfig::tiny(1);
+        let model = Dlrm::new(cfg);
+        let t = TrainingPipeline::new(&model);
+        let mut m = Machine::new(MachineConfig::dgx_v100(1));
+        let r = t.run(&mut m, &BaselineBackend::new(), false);
+        assert_eq!(r.grad_allreduce, Dur::ZERO);
+    }
+}

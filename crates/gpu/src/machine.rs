@@ -1,0 +1,537 @@
+//! The machine: devices + fabric + measurement.
+
+use desim::{Dur, Histogram, Interval, Resource, SimTime, TimeSeries};
+
+use crate::{GpuSpec, KernelRun, KernelShape, LinkSpec, Topology};
+
+/// Everything needed to instantiate a [`Machine`].
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Per-device hardware parameters (one entry per GPU).
+    pub specs: Vec<GpuSpec>,
+    /// Interconnect between the devices.
+    pub topology: Topology,
+    /// Bucket width for the per-link traffic time series (Figures 7/10).
+    pub traffic_bucket: Dur,
+}
+
+impl MachineConfig {
+    /// The paper's testbed: `n` V100s on an NVLink crossbar.
+    pub fn dgx_v100(n: usize) -> Self {
+        MachineConfig {
+            specs: vec![GpuSpec::v100(); n],
+            topology: Topology::crossbar(n, LinkSpec::nvlink_v100()),
+            traffic_bucket: Dur::from_us(50),
+        }
+    }
+
+    /// A multi-node V100 cluster (NVLink within a node, InfiniBand across)
+    /// for the paper's §V multi-node extension.
+    pub fn multi_node_v100(nodes: usize, per_node: usize) -> Self {
+        MachineConfig {
+            specs: vec![GpuSpec::v100(); nodes * per_node],
+            topology: Topology::multi_node(
+                nodes,
+                per_node,
+                LinkSpec::nvlink_v100(),
+                LinkSpec::infiniband(),
+            ),
+            traffic_bucket: Dur::from_us(50),
+        }
+    }
+
+    /// Override the traffic-series bucket width.
+    pub fn with_traffic_bucket(mut self, bucket: Dur) -> Self {
+        self.traffic_bucket = bucket;
+        self
+    }
+}
+
+/// Aggregate communication statistics for a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Payload bytes placed on any wire.
+    pub payload_bytes: u64,
+    /// Header bytes charged (per-message protocol overhead).
+    pub header_bytes: u64,
+    /// Number of messages.
+    pub messages: u64,
+}
+
+impl TrafficStats {
+    /// Fraction of wire bytes that were protocol overhead.
+    pub fn header_overhead(&self) -> f64 {
+        let total = self.payload_bytes + self.header_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.header_bytes as f64 / total as f64
+        }
+    }
+}
+
+/// A deterministic simulated multi-GPU machine.
+///
+/// All operations take explicit "ready" times and return the interval the
+/// operation occupied, so higher layers can compose arbitrary dependency
+/// DAGs. Per-device default streams serialize kernels; per-ordered-pair
+/// links serialize transfers FIFO.
+pub struct Machine {
+    cfg: MachineConfig,
+    /// Next-free time of each device's default stream.
+    streams: Vec<SimTime>,
+    /// One serialized resource per ordered pair, indexed `src * n + dst`.
+    links: Vec<Resource>,
+    /// Per-device injection port (the GPU's whole NVLink/NIC complex).
+    injection: Vec<Resource>,
+    /// Payload bytes on the wire over time, per ordered pair.
+    traffic: Vec<TimeSeries>,
+    /// Latest send-completion per source device (for PGAS `quiet`).
+    sent_upto: Vec<SimTime>,
+    msg_sizes: Histogram,
+    stats: TrafficStats,
+    horizon: SimTime,
+    trace: Option<crate::TraceLog>,
+}
+
+impl Machine {
+    /// Build a machine from a config. Panics if the spec count does not
+    /// match the topology.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let n = cfg.topology.n_gpus();
+        assert_eq!(
+            cfg.specs.len(),
+            n,
+            "got {} GPU specs for a {}-GPU topology",
+            cfg.specs.len(),
+            n
+        );
+        let bucket = cfg.traffic_bucket;
+        Machine {
+            streams: vec![SimTime::ZERO; n],
+            links: vec![Resource::new(); n * n],
+            injection: vec![Resource::new(); n],
+            traffic: (0..n * n).map(|_| TimeSeries::new(bucket)).collect(),
+            sent_upto: vec![SimTime::ZERO; n],
+            msg_sizes: Histogram::new(),
+            stats: TrafficStats::default(),
+            horizon: SimTime::ZERO,
+            trace: None,
+            cfg,
+        }
+    }
+
+    /// Start recording every kernel and transfer into a [`crate::TraceLog`]
+    /// (export with [`Machine::trace`] → `to_chrome_json`). Intended for
+    /// small runs — tracing records one span per message batch.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(crate::TraceLog::new());
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&crate::TraceLog> {
+        self.trace.as_ref()
+    }
+
+    /// Number of GPUs.
+    pub fn n_gpus(&self) -> usize {
+        self.cfg.topology.n_gpus()
+    }
+
+    /// Hardware spec of device `dev`.
+    pub fn spec(&self, dev: usize) -> &GpuSpec {
+        &self.cfg.specs[dev]
+    }
+
+    /// The interconnect topology.
+    pub fn topology(&self) -> &Topology {
+        &self.cfg.topology
+    }
+
+    /// Launch `shape` on `dev`'s default stream, not before `ready`.
+    /// Pays the launch overhead, then executes the wave model.
+    pub fn run_kernel(&mut self, dev: usize, shape: KernelShape, ready: SimTime) -> KernelRun {
+        let spec = &self.cfg.specs[dev];
+        let start = self.streams[dev].max(ready) + spec.kernel_launch;
+        let run = KernelRun::wave_model(&shape, spec, start);
+        self.streams[dev] = run.interval.end;
+        self.bump(run.interval.end);
+        if let Some(t) = &mut self.trace {
+            t.record(format!("gpu{dev}"), format!("kernel({} blk)", shape.blocks), run.interval);
+        }
+        run
+    }
+
+    /// Like [`Machine::run_kernel`] but with an explicit per-block duration
+    /// list (used when block costs vary, e.g. sampled pooling factors).
+    /// Blocks are dispatched in order onto `resident` wave slots.
+    pub fn run_kernel_varied(
+        &mut self,
+        dev: usize,
+        block_durations: &[Dur],
+        ready: SimTime,
+    ) -> KernelRun {
+        let spec = &self.cfg.specs[dev];
+        let start = self.streams[dev].max(ready) + spec.kernel_launch;
+        if block_durations.is_empty() {
+            self.bump(start);
+            self.streams[dev] = start;
+            return KernelRun {
+                interval: Interval { start, end: start },
+                block_ends: Vec::new(),
+                resident: 1,
+            };
+        }
+        let resident = crate::KernelShape::effective_resident(
+            block_durations.len() as u64,
+            spec.max_resident_blocks(),
+        );
+        // Greedy earliest-slot dispatch, like the hardware's block scheduler.
+        let mut slots = desim::MultiResource::new(resident as usize);
+        let mut block_ends = Vec::with_capacity(block_durations.len());
+        for &d in block_durations {
+            let iv = slots.acquire(start, d);
+            block_ends.push(iv.end);
+        }
+        let end = slots.all_free();
+        self.streams[dev] = end;
+        self.bump(end);
+        let interval = Interval { start, end };
+        if let Some(t) = &mut self.trace {
+            t.record(
+                format!("gpu{dev}"),
+                format!("kernel({} blk)", block_durations.len()),
+                interval,
+            );
+        }
+        KernelRun {
+            interval,
+            block_ends,
+            resident,
+        }
+    }
+
+    /// Transfer `payload` bytes from `src` to `dst` as `n_messages` messages,
+    /// entering the wire no earlier than `ready` (+ link latency). The link
+    /// serializes transfers FIFO in call order; the source's injection port
+    /// additionally caps its aggregate outbound rate across all peers.
+    pub fn send(
+        &mut self,
+        src: usize,
+        dst: usize,
+        payload: u64,
+        n_messages: u64,
+        ready: SimTime,
+    ) -> Interval {
+        self.send_throttled(src, dst, payload, n_messages, ready, 1.0)
+    }
+
+    /// [`Machine::send`] with a wire-efficiency factor in `(0, 1]`: the
+    /// transfer's link time is divided by `efficiency`. Collective libraries
+    /// use this to model protocol/staging overhead (e.g. NCCL's internal
+    /// buffer copies) that one-sided stores do not pay.
+    pub fn send_throttled(
+        &mut self,
+        src: usize,
+        dst: usize,
+        payload: u64,
+        n_messages: u64,
+        ready: SimTime,
+        efficiency: f64,
+    ) -> Interval {
+        assert_ne!(src, dst, "send to self does not touch the fabric");
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency {efficiency} out of (0, 1]"
+        );
+        let link = *self.cfg.topology.link(src, dst);
+        let n = self.n_gpus();
+        let wire = link.wire_time(payload, n_messages) * (1.0 / efficiency);
+        // The injection port admits the bytes at the GPU's aggregate rate;
+        // the link then streams them at its own (slower or contended) rate.
+        let wire_bytes = payload + n_messages * link.header_bytes as u64;
+        let inj_time = Dur::from_secs_f64(wire_bytes as f64 / self.cfg.specs[src].inj_bw);
+        let inj_iv = self.injection[src].acquire(ready + link.latency, inj_time);
+        let iv = self.links[src * n + dst].acquire(inj_iv.start, wire);
+        let iv = Interval {
+            start: iv.start,
+            end: iv.end.max(inj_iv.end),
+        };
+        self.traffic[src * n + dst].add_spread(iv.start, iv.end, payload as f64);
+        if n_messages > 0 {
+            self.msg_sizes.record(payload / n_messages.max(1));
+        }
+        self.stats.payload_bytes += payload;
+        self.stats.header_bytes += n_messages * link.header_bytes as u64;
+        self.stats.messages += n_messages;
+        self.sent_upto[src] = self.sent_upto[src].max(iv.end);
+        self.bump(iv.end);
+        if let Some(t) = &mut self.trace {
+            t.record(
+                format!("link{src}->{dst}"),
+                format!("{payload}B x{n_messages}"),
+                iv,
+            );
+        }
+        iv
+    }
+
+    /// Host-visible stream synchronization on `dev`: returns the time the
+    /// host observes completion of everything enqueued before `at`.
+    pub fn stream_sync(&mut self, dev: usize, at: SimTime) -> SimTime {
+        let t = self.streams[dev].max(at) + self.cfg.specs[dev].stream_sync;
+        self.bump(t);
+        t
+    }
+
+    /// PGAS `quiet` on `src`: the instant all messages issued by `src` have
+    /// been delivered, observed no earlier than `at`.
+    pub fn quiet(&mut self, src: usize, at: SimTime) -> SimTime {
+        let t = self.sent_upto[src].max(at);
+        self.bump(t);
+        t
+    }
+
+    /// Barrier across per-device times: everyone proceeds at the max.
+    pub fn barrier(&mut self, times: &[SimTime]) -> SimTime {
+        let t = times.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        self.bump(t);
+        t
+    }
+
+    /// Latest instant any simulated activity completed.
+    pub fn finish_time(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Payload-bytes-over-time series for the directed pair `(src, dst)`.
+    pub fn traffic_between(&self, src: usize, dst: usize) -> &TimeSeries {
+        &self.traffic[src * self.n_gpus() + dst]
+    }
+
+    /// Sum of payload traffic over all links, as one series.
+    pub fn total_traffic(&self) -> TimeSeries {
+        let mut out = TimeSeries::new(self.cfg.traffic_bucket);
+        for ts in &self.traffic {
+            for (t, v) in ts.points() {
+                if v != 0.0 {
+                    out.add(t, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Aggregate traffic statistics.
+    pub fn traffic_stats(&self) -> TrafficStats {
+        self.stats
+    }
+
+    /// Histogram of per-message payload sizes.
+    pub fn message_sizes(&self) -> &Histogram {
+        &self.msg_sizes
+    }
+
+    /// Per-link utilization over the run so far, max across links.
+    pub fn peak_link_utilization(&self) -> f64 {
+        self.links
+            .iter()
+            .map(|l| l.utilization(self.horizon))
+            .fold(0.0, f64::max)
+    }
+
+    fn bump(&mut self, t: SimTime) {
+        self.horizon = self.horizon.max(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(n: usize) -> Machine {
+        Machine::new(MachineConfig::dgx_v100(n))
+    }
+
+    #[test]
+    fn kernels_serialize_on_a_stream() {
+        let mut m = machine(1);
+        let shape = KernelShape::memory_bound(100, 1 << 16);
+        let a = m.run_kernel(0, shape, SimTime::ZERO);
+        let b = m.run_kernel(0, shape, SimTime::ZERO);
+        assert!(b.interval.start >= a.interval.end);
+        assert_eq!(m.finish_time(), b.interval.end);
+    }
+
+    #[test]
+    fn kernels_on_different_devices_overlap() {
+        let mut m = machine(2);
+        let shape = KernelShape::memory_bound(100, 1 << 16);
+        let a = m.run_kernel(0, shape, SimTime::ZERO);
+        let b = m.run_kernel(1, shape, SimTime::ZERO);
+        assert_eq!(a.interval, b.interval);
+    }
+
+    #[test]
+    fn launch_overhead_is_charged() {
+        let mut m = machine(1);
+        let run = m.run_kernel(0, KernelShape::memory_bound(1, 256), SimTime::ZERO);
+        assert_eq!(run.interval.start, SimTime::ZERO + m.spec(0).kernel_launch);
+    }
+
+    #[test]
+    fn send_includes_latency_and_headers() {
+        let mut m = machine(2);
+        let link = *m.topology().link(0, 1);
+        let iv = m.send(0, 1, 1 << 20, 1, SimTime::ZERO);
+        assert_eq!(iv.start, SimTime::ZERO + link.latency);
+        assert_eq!(iv.duration(), link.wire_time(1 << 20, 1));
+        let stats = m.traffic_stats();
+        assert_eq!(stats.payload_bytes, 1 << 20);
+        assert_eq!(stats.header_bytes, link.header_bytes as u64);
+        assert_eq!(stats.messages, 1);
+    }
+
+    #[test]
+    fn links_serialize_but_distinct_sources_are_independent() {
+        let mut m = machine(3);
+        let a = m.send(0, 1, 1 << 20, 1, SimTime::ZERO);
+        let b = m.send(0, 1, 1 << 20, 1, SimTime::ZERO);
+        let c = m.send(2, 1, 1 << 20, 1, SimTime::ZERO);
+        assert!(b.start >= a.end, "same link serializes");
+        assert_eq!(c.start, a.start, "distinct sources run in parallel");
+    }
+
+    #[test]
+    fn injection_port_throttles_fanout_from_one_source() {
+        // Two transfers from the same source to different peers share the
+        // injection port: the second enters its (idle) link late.
+        let mut m = machine(3);
+        let a = m.send(0, 1, 1 << 20, 1, SimTime::ZERO);
+        let c = m.send(0, 2, 1 << 20, 1, SimTime::ZERO);
+        assert!(c.start > a.start, "fan-out must be injection-limited");
+        // But still faster than full serialization on one link.
+        assert!(c.start < a.end);
+    }
+
+    #[test]
+    fn throttled_send_is_slower() {
+        let mut m1 = machine(2);
+        let full = m1.send_throttled(0, 1, 1 << 20, 1, SimTime::ZERO, 1.0);
+        let mut m2 = machine(2);
+        let half = m2.send_throttled(0, 1, 1 << 20, 1, SimTime::ZERO, 0.5);
+        let r = half.duration().as_secs_f64() / full.duration().as_secs_f64();
+        assert!((r - 2.0).abs() < 0.05, "ratio {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 1]")]
+    fn bad_efficiency_panics() {
+        let mut m = machine(2);
+        m.send_throttled(0, 1, 10, 1, SimTime::ZERO, 0.0);
+    }
+
+    #[test]
+    fn many_small_messages_cost_more_wire_time() {
+        let mut m1 = machine(2);
+        let big = m1.send(0, 1, 1 << 20, 1, SimTime::ZERO);
+        let mut m2 = machine(2);
+        let small = m2.send(0, 1, 1 << 20, 4096, SimTime::ZERO);
+        assert!(small.duration() > big.duration());
+        assert!(m2.traffic_stats().header_overhead() > m1.traffic_stats().header_overhead());
+    }
+
+    #[test]
+    fn quiet_reflects_outstanding_sends() {
+        let mut m = machine(2);
+        let iv = m.send(0, 1, 1 << 24, 1, SimTime::ZERO);
+        assert_eq!(m.quiet(0, SimTime::ZERO), iv.end);
+        assert_eq!(m.quiet(1, SimTime::ZERO), SimTime::ZERO);
+        // Quiet can't go backwards in time.
+        let later = iv.end + Dur::from_us(5);
+        assert_eq!(m.quiet(0, later), later);
+    }
+
+    #[test]
+    fn traffic_series_records_payload_only() {
+        let mut m = machine(2);
+        m.send(0, 1, 1000, 10, SimTime::ZERO);
+        let total: f64 = m.traffic_between(0, 1).total();
+        assert!((total - 1000.0).abs() < 1e-6);
+        assert_eq!(m.total_traffic().total(), total);
+        assert_eq!(m.traffic_between(1, 0).total(), 0.0);
+    }
+
+    #[test]
+    fn stream_sync_adds_overhead() {
+        let mut m = machine(1);
+        let run = m.run_kernel(0, KernelShape::memory_bound(10, 1 << 16), SimTime::ZERO);
+        let t = m.stream_sync(0, SimTime::ZERO);
+        assert_eq!(t, run.interval.end + m.spec(0).stream_sync);
+    }
+
+    #[test]
+    fn barrier_takes_max() {
+        let mut m = machine(2);
+        let t = m.barrier(&[SimTime::from_us(3), SimTime::from_us(9)]);
+        assert_eq!(t, SimTime::from_us(9));
+    }
+
+    #[test]
+    fn varied_kernel_matches_uniform_when_equal() {
+        let mut m1 = machine(1);
+        let shape = KernelShape::memory_bound(50, 1 << 16);
+        let tau = shape.block_time(m1.spec(0), 50);
+        let uniform = m1.run_kernel(0, shape, SimTime::ZERO);
+        let mut m2 = machine(1);
+        let varied = m2.run_kernel_varied(0, &vec![tau; 50], SimTime::ZERO);
+        assert_eq!(uniform.interval.end, varied.interval.end);
+        assert_eq!(varied.block_ends.len(), 50);
+    }
+
+    #[test]
+    fn varied_kernel_empty() {
+        let mut m = machine(1);
+        let run = m.run_kernel_varied(0, &[], SimTime::from_us(1));
+        assert_eq!(run.interval.start, run.interval.end);
+    }
+
+    #[test]
+    fn peak_link_utilization_bounded() {
+        let mut m = machine(2);
+        m.send(0, 1, 1 << 26, 1, SimTime::ZERO);
+        let u = m.peak_link_utilization();
+        assert!(u > 0.5 && u <= 1.0, "utilization {u} out of range");
+    }
+
+    #[test]
+    fn tracing_records_kernels_and_transfers() {
+        let mut m = machine(2);
+        assert!(m.trace().is_none());
+        m.enable_trace();
+        let run = m.run_kernel(0, KernelShape::memory_bound(10, 1 << 16), SimTime::ZERO);
+        m.send(0, 1, 4096, 2, run.interval.end);
+        m.run_kernel_varied(1, &[Dur::from_us(1)], SimTime::ZERO);
+        let t = m.trace().unwrap();
+        assert_eq!(t.len(), 3);
+        let json = t.to_chrome_json();
+        assert!(json.contains("gpu0"));
+        assert!(json.contains("link0->1"));
+        assert!(json.contains("4096B x2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "send to self")]
+    fn self_send_panics() {
+        let mut m = machine(2);
+        m.send(1, 1, 10, 1, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "GPU specs")]
+    fn config_mismatch_panics() {
+        let mut cfg = MachineConfig::dgx_v100(2);
+        cfg.specs.pop();
+        let _ = Machine::new(cfg);
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-GPU hardware parameters.
+
+use desim::Dur;
+
+/// Hardware parameters of one simulated GPU.
+///
+/// The constants in the presets are public datasheet numbers; they calibrate
+/// the *shape* of the reproduction (who wins and by what factor), not
+/// absolute milliseconds on the authors' testbed.
+#[derive(Clone, Debug)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"V100-SXM2-32GB"`.
+    pub name: &'static str,
+    /// Peak HBM bandwidth in bytes/second.
+    pub mem_bw: f64,
+    /// Device memory capacity in bytes (checked by allocation-planning code).
+    pub mem_capacity: u64,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Maximum thread blocks resident per SM for our kernel's register/shared
+    /// memory footprint.
+    pub max_blocks_per_sm: u32,
+    /// Number of resident blocks needed to reach peak memory bandwidth.
+    /// Below this the kernel is latency-limited.
+    pub blocks_to_saturate: u32,
+    /// Host-side kernel-launch latency.
+    pub kernel_launch: Dur,
+    /// `cudaStreamSynchronize` / event-sync overhead.
+    pub stream_sync: Dur,
+    /// DRAM round-trip latency (the floor for a dependent memory access).
+    pub mem_latency: Dur,
+    /// Peak FP32 throughput in FLOP/s (used by the MLP cost model).
+    pub flops: f64,
+    /// Aggregate injection bandwidth of the GPU's NVLink/NIC complex in
+    /// bytes/s: the ceiling on this GPU's *total* outbound traffic across
+    /// all peers at once (individual links are additionally limited by
+    /// their own [`crate::LinkSpec::bandwidth`]).
+    pub inj_bw: f64,
+    /// Last-level (L2) cache capacity in bytes. Hot embedding rows that fit
+    /// here are served without touching HBM — what makes skewed (Zipf)
+    /// index streams faster than uniform ones.
+    pub l2_bytes: u64,
+}
+
+impl GpuSpec {
+    /// NVIDIA V100-SXM2-32GB (the paper's GPU).
+    ///
+    /// 900 GB/s HBM2, 80 SMs, 32 GB, ~15.7 TFLOP/s FP32. The occupancy and
+    /// overhead constants are typical measured values for a memory-bound
+    /// gather kernel: ~8 µs launch, ~10 µs stream sync, ~450 ns DRAM
+    /// round-trip, peak bandwidth reached around 960 resident blocks
+    /// (12 blocks/SM × 80 SMs) — below that a gather kernel cannot keep
+    /// enough loads in flight to hide DRAM latency.
+    pub fn v100() -> Self {
+        GpuSpec {
+            name: "V100-SXM2-32GB",
+            mem_bw: 900e9,
+            mem_capacity: 32 << 30,
+            sm_count: 80,
+            max_blocks_per_sm: 16,
+            blocks_to_saturate: 960,
+            kernel_launch: Dur::from_us(8),
+            stream_sync: Dur::from_us(10),
+            mem_latency: Dur::from_ns(450),
+            flops: 15.7e12,
+            inj_bw: 15e9,
+            l2_bytes: 6 << 20,
+        }
+    }
+
+    /// NVIDIA A100-SXM4-80GB, for what-if runs beyond the paper's testbed.
+    pub fn a100() -> Self {
+        GpuSpec {
+            name: "A100-SXM4-80GB",
+            mem_bw: 2.0e12,
+            mem_capacity: 80 << 30,
+            sm_count: 108,
+            max_blocks_per_sm: 16,
+            blocks_to_saturate: 864,
+            kernel_launch: Dur::from_us(7),
+            stream_sync: Dur::from_us(9),
+            mem_latency: Dur::from_ns(400),
+            flops: 19.5e12,
+            inj_bw: 30e9,
+            l2_bytes: 40 << 20,
+        }
+    }
+
+    /// Maximum resident thread blocks across the device.
+    pub fn max_resident_blocks(&self) -> u32 {
+        self.sm_count * self.max_blocks_per_sm
+    }
+
+    /// Occupancy-scaled effective memory bandwidth (bytes/s) when `resident`
+    /// blocks are in flight.
+    pub fn effective_bw(&self, resident: u32) -> f64 {
+        let occ = (resident as f64 / self.blocks_to_saturate as f64).min(1.0);
+        self.mem_bw * occ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for spec in [GpuSpec::v100(), GpuSpec::a100()] {
+            assert!(spec.mem_bw > 1e11);
+            assert!(spec.mem_capacity >= 16 << 30);
+            assert!(spec.max_resident_blocks() >= spec.blocks_to_saturate);
+            assert!(spec.flops > 1e12);
+            assert!(!spec.kernel_launch.is_zero());
+        }
+    }
+
+    #[test]
+    fn effective_bw_scales_with_occupancy() {
+        let v = GpuSpec::v100();
+        assert_eq!(v.effective_bw(v.blocks_to_saturate), v.mem_bw);
+        assert_eq!(v.effective_bw(v.blocks_to_saturate * 2), v.mem_bw);
+        let half = v.effective_bw(v.blocks_to_saturate / 2);
+        assert!((half - v.mem_bw / 2.0).abs() / v.mem_bw < 1e-9);
+        assert_eq!(v.effective_bw(0), 0.0);
+    }
+}

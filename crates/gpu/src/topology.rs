@@ -1,0 +1,193 @@
+//! Interconnect topology: which GPU pairs are linked, and how fast.
+
+use desim::Dur;
+
+/// Parameters of one direction of a point-to-point link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSpec {
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Base (first-byte) latency.
+    pub latency: Dur,
+    /// Protocol header/flit overhead charged per message. This is the
+    /// paper's "small messages are not bandwidth-efficient" cost: a 256 B
+    /// payload with a 32 B header wastes 11% of wire time.
+    pub header_bytes: u32,
+}
+
+impl LinkSpec {
+    /// One direction of an NVLink 2.0 peer pair as provisioned in a 4-V100
+    /// DGX: a single 25 GB/s brick per pair of which fine-grained one-sided
+    /// store streams sustain ~10 GB/s (calibrated against the paper's
+    /// measured phase ratios — see DESIGN.md §4), ~1.3 µs one-sided write
+    /// latency, 32 B packet header.
+    pub fn nvlink_v100() -> Self {
+        LinkSpec {
+            bandwidth: 10e9,
+            latency: Dur::from_ns(1300),
+            header_bytes: 32,
+        }
+    }
+
+    /// PCIe 3.0 x16 (for contrast experiments): ~12 GB/s, ~2.5 µs.
+    pub fn pcie3_x16() -> Self {
+        LinkSpec {
+            bandwidth: 12e9,
+            latency: Dur::from_us(2) + Dur::from_ns(500),
+            header_bytes: 24,
+        }
+    }
+
+    /// An inter-node fabric (IB EDR-class effective rate for small/medium
+    /// RDMA writes): 6 GB/s, 4.5 µs, bigger headers. Used by the multi-node
+    /// aggregator extension (paper §V).
+    pub fn infiniband() -> Self {
+        LinkSpec {
+            bandwidth: 6e9,
+            latency: Dur::from_us(4) + Dur::from_ns(500),
+            header_bytes: 64,
+        }
+    }
+
+    /// Wire time for a transfer of `payload` bytes split into `n_messages`
+    /// messages (headers charged per message).
+    pub fn wire_time(&self, payload: u64, n_messages: u64) -> Dur {
+        let bytes = payload + n_messages * self.header_bytes as u64;
+        Dur::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+}
+
+/// The set of directed links between `n` GPUs.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    n: usize,
+    // Row-major [src][dst]; None on the diagonal (no self-link needed).
+    links: Vec<Option<LinkSpec>>,
+    node_of: Vec<usize>,
+}
+
+impl Topology {
+    /// A fully connected crossbar of `n` GPUs with identical links —
+    /// the paper's NVLink-connected DGX.
+    pub fn crossbar(n: usize, link: LinkSpec) -> Self {
+        assert!(n >= 1, "topology needs at least one GPU");
+        let mut links = vec![None; n * n];
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    links[s * n + d] = Some(link);
+                }
+            }
+        }
+        Topology {
+            n,
+            links,
+            node_of: vec![0; n],
+        }
+    }
+
+    /// `nodes` nodes of `per_node` GPUs each: intra-node pairs use `intra`,
+    /// inter-node pairs use `inter`. Used by the multi-node extension.
+    pub fn multi_node(nodes: usize, per_node: usize, intra: LinkSpec, inter: LinkSpec) -> Self {
+        assert!(nodes >= 1 && per_node >= 1);
+        let n = nodes * per_node;
+        let node_of: Vec<usize> = (0..n).map(|g| g / per_node).collect();
+        let mut links = vec![None; n * n];
+        for s in 0..n {
+            for d in 0..n {
+                if s != d {
+                    links[s * n + d] = Some(if node_of[s] == node_of[d] { intra } else { inter });
+                }
+            }
+        }
+        Topology { n, links, node_of }
+    }
+
+    /// Number of GPUs.
+    pub fn n_gpus(&self) -> usize {
+        self.n
+    }
+
+    /// Node index of a GPU (always 0 in single-node topologies).
+    pub fn node_of(&self, gpu: usize) -> usize {
+        self.node_of[gpu]
+    }
+
+    /// True if both GPUs are in the same node.
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of[a] == self.node_of[b]
+    }
+
+    /// The directed link from `src` to `dst`. Panics on the diagonal or
+    /// out-of-range indices.
+    pub fn link(&self, src: usize, dst: usize) -> &LinkSpec {
+        assert!(src < self.n && dst < self.n, "GPU index out of range");
+        self.links[src * self.n + dst]
+            .as_ref()
+            .unwrap_or_else(|| panic!("no link from GPU {src} to GPU {dst}"))
+    }
+
+    /// Iterate all directed pairs `(src, dst)` with `src != dst`.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |s| (0..self.n).filter(move |&d| d != s).map(move |d| (s, d)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_charges_headers_per_message() {
+        let l = LinkSpec {
+            bandwidth: 1e9, // 1 B/ns
+            latency: Dur::from_ns(100),
+            header_bytes: 32,
+        };
+        assert_eq!(l.wire_time(1000, 1), Dur::from_ns(1032));
+        assert_eq!(l.wire_time(1000, 10), Dur::from_ns(1320));
+        // Many small messages cost strictly more wire time than one big one.
+        assert!(l.wire_time(1 << 20, 4096) > l.wire_time(1 << 20, 1));
+    }
+
+    #[test]
+    fn crossbar_links_every_pair() {
+        let t = Topology::crossbar(4, LinkSpec::nvlink_v100());
+        assert_eq!(t.n_gpus(), 4);
+        assert_eq!(t.pairs().count(), 12);
+        for (s, d) in t.pairs() {
+            assert!(t.link(s, d).bandwidth > 0.0);
+            assert!(t.same_node(s, d));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn self_link_panics() {
+        let t = Topology::crossbar(2, LinkSpec::nvlink_v100());
+        let _ = t.link(1, 1);
+    }
+
+    #[test]
+    fn multi_node_distinguishes_links() {
+        let intra = LinkSpec::nvlink_v100();
+        let inter = LinkSpec::infiniband();
+        let t = Topology::multi_node(2, 2, intra, inter);
+        assert_eq!(t.n_gpus(), 4);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(3), 1);
+        assert!(t.same_node(0, 1));
+        assert!(!t.same_node(1, 2));
+        assert_eq!(t.link(0, 1).bandwidth, intra.bandwidth);
+        assert_eq!(t.link(0, 2).bandwidth, inter.bandwidth);
+        assert_eq!(t.link(3, 0).bandwidth, inter.bandwidth);
+    }
+
+    #[test]
+    fn presets_ordering() {
+        // NVLink beats the inter-node fabric on both axes.
+        assert!(LinkSpec::nvlink_v100().bandwidth > LinkSpec::infiniband().bandwidth);
+        assert!(LinkSpec::nvlink_v100().latency < LinkSpec::infiniband().latency);
+        assert!(LinkSpec::nvlink_v100().latency < LinkSpec::pcie3_x16().latency);
+    }
+}

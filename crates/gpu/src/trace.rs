@@ -1,0 +1,134 @@
+//! Chrome-trace export of the simulated timeline.
+//!
+//! Every kernel and transfer can be recorded as a span and written out in
+//! the Chrome Trace Event format (`chrome://tracing`, Perfetto). This is
+//! the quickest way to *see* the paper's effect: the baseline timeline has
+//! a silent link row during compute and a burst after it; the PGAS
+//! timeline's link rows are busy underneath the kernels.
+
+use desim::{Interval, SimTime};
+
+/// One recorded span.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Short name shown on the span.
+    pub name: String,
+    /// Track ("process") the span renders under, e.g. `gpu0` or `link0->1`.
+    pub track: String,
+    /// Span interval.
+    pub interval: Interval,
+}
+
+/// A collection of spans exportable as Chrome trace JSON.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one span. Zero-length spans are kept (they render as instants).
+    pub fn record(&mut self, track: impl Into<String>, name: impl Into<String>, interval: Interval) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            track: track.into(),
+            interval,
+        });
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded spans.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Serialize as Chrome Trace Event JSON (an array of complete events,
+    /// microsecond timestamps). Open in `chrome://tracing` or Perfetto.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let ts = e.interval.start.as_micros_f64();
+            let dur = (e.interval.end - e.interval.start).as_micros_f64();
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":\"{}\",\"tid\":\"{}\"}}",
+                escape(&e.name),
+                escape(&e.track),
+                escape(&e.track),
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Latest instant any span ends.
+    pub fn horizon(&self) -> SimTime {
+        self.events
+            .iter()
+            .map(|e| e.interval.end)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::Dur;
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval {
+            start: SimTime::from_us(a),
+            end: SimTime::from_us(b),
+        }
+    }
+
+    #[test]
+    fn records_and_reports() {
+        let mut t = TraceLog::new();
+        assert!(t.is_empty());
+        t.record("gpu0", "lookup", iv(0, 10));
+        t.record("link0->1", "put", iv(2, 4));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.horizon(), SimTime::from_us(10));
+        assert_eq!(t.events()[1].track, "link0->1");
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let mut t = TraceLog::new();
+        t.record("gpu0", "kernel \"a\"", iv(1, 3));
+        t.record("gpu1", "sync", iv(3, 3));
+        let json = t.to_chrome_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\\\"a\\\""), "quotes must be escaped: {json}");
+        assert!(json.contains("\"ts\":1"));
+        assert_eq!(json.matches("{\"name\"").count(), 2);
+    }
+
+    #[test]
+    fn empty_log_serializes() {
+        assert_eq!(TraceLog::new().to_chrome_json(), "[]");
+        assert_eq!(TraceLog::new().horizon(), SimTime::ZERO);
+        let _ = Dur::ZERO;
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the GPU machine model.
+
+use desim::SimTime;
+use gpusim::{KernelShape, Machine, MachineConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Same-link transfers never overlap and respect issue order; traffic
+    /// accounting conserves payload bytes.
+    #[test]
+    fn link_fifo_and_conservation(sends in prop::collection::vec((1u64..1_000_000, 1u64..64, 0u64..1000), 1..50)) {
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let mut prev_end = SimTime::ZERO;
+        let mut total = 0u64;
+        let mut msgs = 0u64;
+        for (payload, n_msgs, ready_us) in sends {
+            let iv = m.send(0, 1, payload, n_msgs, SimTime::from_us(ready_us));
+            prop_assert!(iv.start >= prev_end);
+            prev_end = iv.end;
+            total += payload;
+            msgs += n_msgs;
+        }
+        let stats = m.traffic_stats();
+        prop_assert_eq!(stats.payload_bytes, total);
+        prop_assert_eq!(stats.messages, msgs);
+        let series_total = m.traffic_between(0, 1).total();
+        prop_assert!((series_total - total as f64).abs() < 1e-3 * total as f64 + 1e-6);
+    }
+
+    /// Kernel duration is monotone in both block count and bytes per block.
+    #[test]
+    fn kernel_duration_monotone(blocks in 1u64..50_000, bytes in 1u64..1_000_000) {
+        let spec = gpusim::GpuSpec::v100();
+        let base = KernelShape::memory_bound(blocks, bytes).duration(&spec);
+        let more_blocks = KernelShape::memory_bound(blocks * 2, bytes).duration(&spec);
+        let more_bytes = KernelShape::memory_bound(blocks, bytes * 2).duration(&spec);
+        prop_assert!(more_blocks >= base);
+        prop_assert!(more_bytes >= base);
+    }
+
+    /// Splitting a transfer into more messages never makes it faster, and
+    /// the wire time difference is exactly the extra header bytes.
+    #[test]
+    fn more_messages_never_faster(payload in 1u64..10_000_000, k in 2u64..1000) {
+        let mut m1 = Machine::new(MachineConfig::dgx_v100(2));
+        let one = m1.send(0, 1, payload, 1, SimTime::ZERO);
+        let mut m2 = Machine::new(MachineConfig::dgx_v100(2));
+        let many = m2.send(0, 1, payload, k, SimTime::ZERO);
+        prop_assert!(many.duration() >= one.duration());
+    }
+
+    /// The wave model's last block end equals the closed-form duration.
+    #[test]
+    fn wave_model_agrees_with_duration(blocks in 1u64..10_000, bytes in 256u64..1_000_000) {
+        let spec = gpusim::GpuSpec::v100();
+        let shape = KernelShape::memory_bound(blocks, bytes);
+        let run = gpusim::KernelRun::wave_model(&shape, &spec, SimTime::ZERO);
+        let d = shape.duration(&spec);
+        prop_assert_eq!(run.interval.end - run.interval.start, d);
+        // Block ends are non-decreasing in block index.
+        for w in run.block_ends.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+
+    /// finish_time is the max over all recorded activity.
+    #[test]
+    fn finish_time_is_max(n_kernels in 1usize..10, n_sends in 0usize..10) {
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let mut latest = SimTime::ZERO;
+        for i in 0..n_kernels {
+            let r = m.run_kernel(i % 2, KernelShape::memory_bound(10, 1 << 12), SimTime::ZERO);
+            latest = latest.max(r.interval.end);
+        }
+        for _ in 0..n_sends {
+            let iv = m.send(0, 1, 4096, 4, SimTime::ZERO);
+            latest = latest.max(iv.end);
+        }
+        prop_assert_eq!(m.finish_time(), latest);
+    }
+}

@@ -1,0 +1,242 @@
+//! The asynchronous communication aggregator (paper §V, after the SC'22
+//! "Getting CPUs out of the way" design).
+//!
+//! On high-latency inter-node links, per-row messages waste most of the wire
+//! on headers. The aggregator replaces `sum.store(outputs[i], pe)` with
+//! `aggregator.store(...)`: rows are staged in a per-destination buffer and
+//! shipped as **one** message when either the buffer reaches `flush_bytes`
+//! or the oldest staged row has waited `max_wait`.
+
+use std::collections::HashMap;
+
+use desim::{Dur, Interval, SimTime};
+use gpusim::Machine;
+
+/// Flush policy of the aggregator.
+#[derive(Clone, Copy, Debug)]
+pub struct AggregatorConfig {
+    /// Ship the buffer once this much payload is staged.
+    pub flush_bytes: u64,
+    /// Ship the buffer once the oldest staged row is this old, even if the
+    /// size threshold has not been reached (bounds added latency).
+    pub max_wait: Dur,
+}
+
+impl Default for AggregatorConfig {
+    fn default() -> Self {
+        AggregatorConfig {
+            flush_bytes: 64 << 10,
+            max_wait: Dur::from_us(50),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Pending {
+    payload: u64,
+    rows: u64,
+    oldest: SimTime,
+    newest: SimTime,
+}
+
+/// Per-destination staging buffers with size/age flush.
+///
+/// Stores must be presented in non-decreasing `ready` order per destination
+/// pair (the natural order of block retirements), which the aggregator
+/// asserts in debug builds.
+pub struct Aggregator {
+    cfg: AggregatorConfig,
+    pending: HashMap<(usize, usize), Pending>,
+    flushes: u64,
+    rows_staged: u64,
+}
+
+impl Aggregator {
+    /// An empty aggregator.
+    pub fn new(cfg: AggregatorConfig) -> Self {
+        assert!(cfg.flush_bytes > 0, "flush_bytes must be positive");
+        Aggregator {
+            cfg,
+            pending: HashMap::new(),
+            flushes: 0,
+            rows_staged: 0,
+        }
+    }
+
+    /// Number of flush messages shipped so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Number of rows staged so far.
+    pub fn rows_staged(&self) -> u64 {
+        self.rows_staged
+    }
+
+    /// Stage one row of `row_bytes` from `src` to `dst`, ready at `ready`.
+    /// Returns the wire interval if this store triggered a flush.
+    pub fn store(
+        &mut self,
+        machine: &mut Machine,
+        src: usize,
+        dst: usize,
+        row_bytes: u32,
+        ready: SimTime,
+    ) -> Option<Interval> {
+        self.rows_staged += 1;
+        let entry = self.pending.entry((src, dst)).or_default();
+        debug_assert!(
+            entry.rows == 0 || ready >= entry.newest,
+            "stores must arrive in non-decreasing ready order per pair"
+        );
+        let mut shipped = None;
+        // Age flush: the timer fired before this row arrived — the staged
+        // buffer left the node without it.
+        if entry.rows > 0 && entry.oldest + self.cfg.max_wait <= ready {
+            let flush_at = entry.oldest + self.cfg.max_wait;
+            shipped = Some(Self::ship(machine, src, dst, entry, flush_at, &mut self.flushes));
+        }
+        if entry.rows == 0 {
+            entry.oldest = ready;
+        }
+        entry.rows += 1;
+        entry.payload += row_bytes as u64;
+        entry.newest = ready;
+        // Size flush: threshold reached including this row.
+        if entry.payload >= self.cfg.flush_bytes {
+            shipped = Some(Self::ship(machine, src, dst, entry, ready, &mut self.flushes));
+        }
+        if shipped.is_some() && self.pending[&(src, dst)].rows == 0 {
+            self.pending.remove(&(src, dst));
+        }
+        shipped
+    }
+
+    /// Drain every staging buffer (end of kernel / before `quiet`). Buffers
+    /// flush at the later of their newest row and `at`. Returns the wire
+    /// intervals of the final messages.
+    pub fn flush_all(&mut self, machine: &mut Machine, at: SimTime) -> Vec<Interval> {
+        let mut keys: Vec<_> = self.pending.keys().copied().collect();
+        keys.sort_unstable(); // deterministic order
+        let mut out = Vec::new();
+        for (src, dst) in keys {
+            let mut entry = self.pending.remove(&(src, dst)).unwrap();
+            if entry.rows == 0 {
+                continue;
+            }
+            let flush_at = entry.newest.max(at);
+            out.push(Self::ship(machine, src, dst, &mut entry, flush_at, &mut self.flushes));
+        }
+        out
+    }
+
+    fn ship(
+        machine: &mut Machine,
+        src: usize,
+        dst: usize,
+        entry: &mut Pending,
+        at: SimTime,
+        flushes: &mut u64,
+    ) -> Interval {
+        let iv = machine.send(src, dst, entry.payload, 1, at);
+        *flushes += 1;
+        *entry = Pending::default();
+        iv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::MachineConfig;
+
+    fn ib_machine() -> Machine {
+        // Two nodes of one GPU each: all traffic crosses InfiniBand, where
+        // aggregation matters most.
+        Machine::new(MachineConfig::multi_node_v100(2, 1))
+    }
+
+    #[test]
+    fn size_threshold_triggers_flush() {
+        let mut m = ib_machine();
+        let mut agg = Aggregator::new(AggregatorConfig {
+            flush_bytes: 1024,
+            max_wait: Dur::from_ms(100),
+        });
+        let mut shipped = 0;
+        for i in 0..8 {
+            if agg
+                .store(&mut m, 0, 1, 256, SimTime::from_ns(i * 10))
+                .is_some()
+            {
+                shipped += 1;
+            }
+        }
+        // 8 × 256 B = 2 KiB => exactly two 1 KiB flushes.
+        assert_eq!(shipped, 2);
+        assert_eq!(agg.flushes(), 2);
+        assert_eq!(m.traffic_stats().messages, 2);
+        assert_eq!(m.traffic_stats().payload_bytes, 2048);
+    }
+
+    #[test]
+    fn age_threshold_triggers_flush() {
+        let mut m = ib_machine();
+        let mut agg = Aggregator::new(AggregatorConfig {
+            flush_bytes: 1 << 30,
+            max_wait: Dur::from_us(10),
+        });
+        assert!(agg.store(&mut m, 0, 1, 256, SimTime::ZERO).is_none());
+        // Next row arrives after the timer: the old buffer ships first.
+        let iv = agg
+            .store(&mut m, 0, 1, 256, SimTime::from_us(50))
+            .expect("age flush");
+        // Flush left at oldest + max_wait, plus link latency.
+        let latency = m.topology().link(0, 1).latency;
+        assert_eq!(iv.start, SimTime::from_us(10) + latency);
+        assert_eq!(m.traffic_stats().payload_bytes, 256);
+    }
+
+    #[test]
+    fn flush_all_drains_every_pair() {
+        let mut m = Machine::new(MachineConfig::multi_node_v100(2, 2));
+        let mut agg = Aggregator::new(AggregatorConfig::default());
+        agg.store(&mut m, 0, 1, 256, SimTime::ZERO);
+        agg.store(&mut m, 0, 2, 256, SimTime::ZERO);
+        agg.store(&mut m, 3, 0, 256, SimTime::ZERO);
+        let ivs = agg.flush_all(&mut m, SimTime::from_us(1));
+        assert_eq!(ivs.len(), 3);
+        assert_eq!(agg.rows_staged(), 3);
+        assert_eq!(m.traffic_stats().payload_bytes, 3 * 256);
+        // A second flush_all is a no-op.
+        assert!(agg.flush_all(&mut m, SimTime::from_us(2)).is_empty());
+    }
+
+    #[test]
+    fn aggregation_cuts_header_overhead() {
+        // Naive: one message per row.
+        let mut naive = ib_machine();
+        for i in 0..1000u64 {
+            naive.send(0, 1, 256, 1, SimTime::from_ns(i * 100));
+        }
+        // Aggregated: 64 KiB flushes.
+        let mut agg_m = ib_machine();
+        let mut agg = Aggregator::new(AggregatorConfig::default());
+        for i in 0..1000u64 {
+            agg.store(&mut agg_m, 0, 1, 256, SimTime::from_ns(i * 100));
+        }
+        agg.flush_all(&mut agg_m, SimTime::from_us(200));
+        assert_eq!(naive.traffic_stats().payload_bytes, agg_m.traffic_stats().payload_bytes);
+        assert!(agg_m.traffic_stats().messages < 10);
+        assert!(agg_m.traffic_stats().header_overhead() < naive.traffic_stats().header_overhead() / 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_flush_bytes_panics() {
+        let _ = Aggregator::new(AggregatorConfig {
+            flush_bytes: 0,
+            max_wait: Dur::from_us(1),
+        });
+    }
+}

@@ -1,0 +1,211 @@
+//! Timed one-sided operations over the simulated fabric.
+
+use desim::{Dur, Interval, SimTime};
+use gpusim::Machine;
+
+use crate::{coalesce_rows, CoalescedBatch};
+
+/// Tunables of the PGAS runtime's timing model.
+#[derive(Clone, Copy, Debug)]
+pub struct PgasConfig {
+    /// Maximum coalesced wire payload per message (NVLink write-combining
+    /// granularity). The paper's Fig. 7/10 count volume in 256-byte units.
+    pub max_payload: u32,
+    /// GPU-side cost for a thread to issue a one-sided write (address
+    /// translation + store to the remote aperture). Charged per message on
+    /// the issuing kernel's critical path.
+    pub issue_overhead: Dur,
+    /// Cost of `quiet` (waiting for write visibility) beyond drain time.
+    pub quiet_overhead: Dur,
+    /// Cost of `barrier_all` beyond the max of participant times.
+    pub barrier_overhead: Dur,
+}
+
+impl Default for PgasConfig {
+    fn default() -> Self {
+        PgasConfig {
+            max_payload: 256,
+            issue_overhead: Dur::from_ns(20),
+            quiet_overhead: Dur::from_us(2),
+            barrier_overhead: Dur::from_us(3),
+        }
+    }
+}
+
+/// Timed one-sided operation layer: wraps a [`Machine`] with NVSHMEM-style
+/// semantics. The functional data movement lives separately in
+/// [`crate::SymmetricHeap`]; this type accounts for *when* bytes move.
+pub struct OneSided<'m> {
+    machine: &'m mut Machine,
+    cfg: PgasConfig,
+}
+
+impl<'m> OneSided<'m> {
+    /// Wrap a machine with the default PGAS config.
+    pub fn new(machine: &'m mut Machine) -> Self {
+        Self::with_config(machine, PgasConfig::default())
+    }
+
+    /// Wrap a machine with an explicit config.
+    pub fn with_config(machine: &'m mut Machine, cfg: PgasConfig) -> Self {
+        OneSided { machine, cfg }
+    }
+
+    /// The active config.
+    pub fn config(&self) -> &PgasConfig {
+        &self.cfg
+    }
+
+    /// Borrow the underlying machine.
+    pub fn machine(&mut self) -> &mut Machine {
+        self.machine
+    }
+
+    /// Issue a non-blocking one-sided put of `rows` row-stores of
+    /// `row_bytes` each from `src` to `dst`, ready on the wire at `ready`
+    /// (typically the issuing thread block's retirement time).
+    ///
+    /// Returns the wire interval; completion of the *local* kernel does not
+    /// wait for it (that is what `quiet` is for).
+    pub fn put_rows_nbi(
+        &mut self,
+        src: usize,
+        dst: usize,
+        rows: u64,
+        row_bytes: u32,
+        ready: SimTime,
+    ) -> Interval {
+        let batch = coalesce_rows(rows, row_bytes, self.cfg.max_payload);
+        self.put_batch_nbi(src, dst, batch, ready)
+    }
+
+    /// Issue a pre-coalesced batch.
+    pub fn put_batch_nbi(
+        &mut self,
+        src: usize,
+        dst: usize,
+        batch: CoalescedBatch,
+        ready: SimTime,
+    ) -> Interval {
+        if batch.messages == 0 {
+            return Interval {
+                start: ready,
+                end: ready,
+            };
+        }
+        // Issue cost rides on the sender's timeline before the wire sees it.
+        let on_wire = ready + self.cfg.issue_overhead * batch.messages;
+        self.machine.send(src, dst, batch.payload, batch.messages, on_wire)
+    }
+
+    /// One-sided remote atomic accumulation traffic: gradients in the
+    /// backward extension. Same wire footprint as a put; remote HBM applies
+    /// the addition in place (no reply needed for relaxed atomics).
+    pub fn atomic_add_rows_nbi(
+        &mut self,
+        src: usize,
+        dst: usize,
+        rows: u64,
+        row_bytes: u32,
+        ready: SimTime,
+    ) -> Interval {
+        self.put_rows_nbi(src, dst, rows, row_bytes, ready)
+    }
+
+    /// `quiet` on `src`: returns when every message `src` has issued is
+    /// delivered, observed no earlier than `at`.
+    pub fn quiet(&mut self, src: usize, at: SimTime) -> SimTime {
+        self.machine.quiet(src, at) + self.cfg.quiet_overhead
+    }
+
+    /// Global barrier: all PEs proceed at the max of their times plus the
+    /// barrier cost.
+    pub fn barrier_all(&mut self, times: &[SimTime]) -> SimTime {
+        self.machine.barrier(times) + self.cfg.barrier_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::MachineConfig;
+
+    fn machine(n: usize) -> Machine {
+        Machine::new(MachineConfig::dgx_v100(n))
+    }
+
+    #[test]
+    fn put_rows_travels_the_wire() {
+        let mut m = machine(2);
+        let mut os = OneSided::new(&mut m);
+        let iv = os.put_rows_nbi(0, 1, 100, 256, SimTime::ZERO);
+        assert!(iv.end > iv.start);
+        let stats = m.traffic_stats();
+        assert_eq!(stats.payload_bytes, 100 * 256);
+        assert_eq!(stats.messages, 100);
+    }
+
+    #[test]
+    fn empty_put_is_free() {
+        let mut m = machine(2);
+        let mut os = OneSided::new(&mut m);
+        let t = SimTime::from_us(3);
+        let iv = os.put_rows_nbi(0, 1, 0, 256, t);
+        assert_eq!(iv.start, t);
+        assert_eq!(iv.end, t);
+        assert_eq!(m.traffic_stats().messages, 0);
+    }
+
+    #[test]
+    fn issue_overhead_delays_wire_entry() {
+        let cfg = PgasConfig {
+            issue_overhead: Dur::from_ns(100),
+            ..PgasConfig::default()
+        };
+        let mut m = machine(2);
+        let link_latency = m.topology().link(0, 1).latency;
+        let mut os = OneSided::with_config(&mut m, cfg);
+        let iv = os.put_rows_nbi(0, 1, 10, 256, SimTime::ZERO);
+        // 10 messages × 100 ns issue + link latency before first byte.
+        assert_eq!(iv.start, SimTime::from_ns(1000) + link_latency);
+    }
+
+    #[test]
+    fn quiet_waits_for_outstanding_puts() {
+        let mut m = machine(2);
+        let mut os = OneSided::new(&mut m);
+        let iv = os.put_rows_nbi(0, 1, 10_000, 256, SimTime::ZERO);
+        let q = os.quiet(0, SimTime::ZERO);
+        assert_eq!(q, iv.end + PgasConfig::default().quiet_overhead);
+        // A PE with nothing outstanding pays only the overhead.
+        let q1 = os.quiet(1, SimTime::ZERO);
+        assert_eq!(q1, SimTime::ZERO + PgasConfig::default().quiet_overhead);
+    }
+
+    #[test]
+    fn barrier_is_max_plus_cost() {
+        let mut m = machine(2);
+        let mut os = OneSided::new(&mut m);
+        let t = os.barrier_all(&[SimTime::from_us(1), SimTime::from_us(4)]);
+        assert_eq!(t, SimTime::from_us(4) + PgasConfig::default().barrier_overhead);
+    }
+
+    #[test]
+    fn atomic_add_has_put_wire_footprint() {
+        let mut m1 = machine(2);
+        let mut os1 = OneSided::new(&mut m1);
+        let a = os1.put_rows_nbi(0, 1, 50, 256, SimTime::ZERO);
+        let mut m2 = machine(2);
+        let mut os2 = OneSided::new(&mut m2);
+        let b = os2.atomic_add_rows_nbi(0, 1, 50, 256, SimTime::ZERO);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wide_rows_produce_more_messages() {
+        let mut m = machine(2);
+        let mut os = OneSided::new(&mut m);
+        os.put_rows_nbi(0, 1, 10, 1024, SimTime::ZERO);
+        assert_eq!(m.traffic_stats().messages, 40); // 1024/256 per row
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the PGAS runtime.
+
+use desim::{Dur, SimTime};
+use gpusim::{Machine, MachineConfig};
+use pgas_rt::{coalesce_rows, Aggregator, AggregatorConfig, OneSided, SymmetricHeap};
+use proptest::prelude::*;
+
+proptest! {
+    /// Symmetric-heap put/get round-trips for arbitrary segment layouts,
+    /// and writes never leak across PEs or segments.
+    #[test]
+    fn heap_put_get_round_trip(
+        n_pes in 1usize..5,
+        lens in prop::collection::vec(1usize..20, 1..6),
+        writes in prop::collection::vec((0usize..6, 0usize..5, 0usize..19, -100f32..100.0), 0..40),
+    ) {
+        let mut heap = SymmetricHeap::new(n_pes);
+        let segs: Vec<_> = lens.iter().map(|&l| heap.alloc(l)).collect();
+        // Shadow model.
+        let mut shadow: Vec<Vec<Vec<f32>>> =
+            vec![lens.iter().map(|&l| vec![0.0; l]).collect(); n_pes];
+        for (si, pe, idx, val) in writes {
+            let si = si % segs.len();
+            let pe = pe % n_pes;
+            let idx = idx % lens[si];
+            heap.put(segs[si], idx, &[val], pe);
+            shadow[pe][si][idx] = val;
+        }
+        for pe in 0..n_pes {
+            for (si, seg) in segs.iter().enumerate() {
+                prop_assert_eq!(heap.segment(*seg, pe), &shadow[pe][si][..]);
+            }
+        }
+    }
+
+    /// atomic_add over any sequence equals the sum, regardless of order.
+    #[test]
+    fn heap_atomic_add_commutes(vals in prop::collection::vec(-10f32..10.0, 1..30)) {
+        let mut h1 = SymmetricHeap::new(2);
+        let s1 = h1.alloc(1);
+        for &v in &vals {
+            h1.atomic_add(s1, 0, &[v], 1);
+        }
+        let mut h2 = SymmetricHeap::new(2);
+        let s2 = h2.alloc(1);
+        let mut rev = vals.clone();
+        rev.reverse();
+        for &v in &rev {
+            h2.atomic_add(s2, 0, &[v], 1);
+        }
+        let total: f32 = vals.iter().sum();
+        prop_assert!((h1.segment(s1, 1)[0] - total).abs() < 1e-3);
+        prop_assert!((h1.segment(s1, 1)[0] - h2.segment(s2, 1)[0]).abs() < 1e-4);
+    }
+
+    /// Coalescing conserves payload and message count scales with row
+    /// width / max payload.
+    #[test]
+    fn coalescing_conserves_payload(rows in 0u64..10_000, row_bytes in 1u32..4096, max in 1u32..1024) {
+        let b = coalesce_rows(rows, row_bytes, max);
+        prop_assert_eq!(b.payload, rows * row_bytes as u64);
+        if rows > 0 && row_bytes > 0 {
+            prop_assert_eq!(b.messages, rows * row_bytes.div_ceil(max) as u64);
+            prop_assert!(b.messages >= rows);
+        }
+    }
+
+    /// quiet always covers the last issued put, for arbitrary put schedules.
+    #[test]
+    fn quiet_covers_all_puts(puts in prop::collection::vec((1u64..100, 0u64..10_000), 1..50)) {
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let mut os = OneSided::new(&mut m);
+        let mut sorted = puts.clone();
+        sorted.sort_by_key(|&(_, t)| t);
+        let mut last_end = SimTime::ZERO;
+        for (rows, t_ns) in sorted {
+            let iv = os.put_rows_nbi(0, 1, rows, 256, SimTime::from_ns(t_ns));
+            last_end = last_end.max(iv.end);
+        }
+        let q = os.quiet(0, SimTime::ZERO);
+        prop_assert!(q >= last_end);
+    }
+
+    /// The aggregator never loses or duplicates a row: flushed payload ==
+    /// staged payload, for any store schedule and thresholds.
+    #[test]
+    fn aggregator_conserves_rows(
+        flush_kib in 1u64..64,
+        wait_us in 1u64..200,
+        stores in prop::collection::vec((0usize..3, 0u64..500), 1..200),
+    ) {
+        let mut m = Machine::new(MachineConfig::multi_node_v100(2, 2));
+        let mut agg = Aggregator::new(AggregatorConfig {
+            flush_bytes: flush_kib << 10,
+            max_wait: Dur::from_us(wait_us),
+        });
+        let mut sorted = stores.clone();
+        sorted.sort_by_key(|&(_, t)| t);
+        for (dst, t_us) in sorted {
+            let dst = 1 + dst % 3; // never self (src = 0)
+            agg.store(&mut m, 0, dst, 256, SimTime::from_us(t_us));
+        }
+        agg.flush_all(&mut m, SimTime::from_ms(10));
+        prop_assert_eq!(m.traffic_stats().payload_bytes, agg.rows_staged() * 256);
+        prop_assert_eq!(agg.flushes(), m.traffic_stats().messages);
+    }
+}

@@ -1,0 +1,62 @@
+//! Deterministic random initialization.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Tensor;
+
+/// Xavier/Glorot uniform initializer: samples from
+/// `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+#[derive(Clone, Copy, Debug)]
+pub struct XavierUniform;
+
+impl XavierUniform {
+    /// Initialize a `[fan_in, fan_out]` weight matrix from `seed`.
+    pub fn init(self, fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = Uniform::new_inclusive(-bound, bound);
+        Tensor::from_vec(
+            (0..fan_in * fan_out).map(|_| dist.sample(&mut rng)).collect(),
+            &[fan_in, fan_out],
+        )
+    }
+}
+
+impl Tensor {
+    /// A tensor with i.i.d. `U(lo, hi)` entries, deterministic in `seed`.
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, seed: u64) -> Tensor {
+        assert!(lo <= hi, "rand_uniform: lo > hi");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n: usize = dims.iter().product();
+        Tensor::from_vec((0..n).map(|_| rng.gen_range(lo..=hi)).collect(), dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_bound_and_determinism() {
+        let w1 = XavierUniform.init(64, 32, 7);
+        let w2 = XavierUniform.init(64, 32, 7);
+        let w3 = XavierUniform.init(64, 32, 8);
+        assert_eq!(w1, w2);
+        assert_ne!(w1, w3);
+        let bound = (6.0f32 / 96.0).sqrt();
+        assert!(w1.data().iter().all(|&x| x.abs() <= bound + 1e-6));
+        // Not degenerate: spans a reasonable part of the range.
+        assert!(w1.max() > bound * 0.5);
+        assert!(w1.min() < -bound * 0.5);
+    }
+
+    #[test]
+    fn rand_uniform_in_range_and_seeded() {
+        let a = Tensor::rand_uniform(&[100], -2.0, 3.0, 42);
+        let b = Tensor::rand_uniform(&[100], -2.0, 3.0, 42);
+        assert_eq!(a, b);
+        assert!(a.data().iter().all(|&x| (-2.0..=3.0).contains(&x)));
+    }
+}

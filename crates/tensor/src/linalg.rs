@@ -1,0 +1,156 @@
+//! Dense linear algebra: matmul, bias-add, transpose.
+//!
+//! `matmul` parallelizes over output rows with rayon, following the
+//! data-parallel idiom of the HPC guides: each output row is an independent
+//! task, so `par_chunks_mut` gives race-free parallelism with zero locking.
+
+use rayon::prelude::*;
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Matrix product of a `[m, k]` tensor with a `[k, n]` tensor.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "matmul lhs must be 2-D");
+        assert_eq!(other.shape().ndim(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        assert_eq!(k, k2, "matmul inner-dimension mismatch: {k} vs {k2}");
+
+        let mut out = vec![0.0f32; m * n];
+        let lhs = self.data();
+        let rhs = other.data();
+        out.par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                let a_row = &lhs[i * k..(i + 1) * k];
+                // ikj loop order: stream through rhs rows for cache locality.
+                for (a_ik, rhs_row) in a_row.iter().zip(rhs.chunks_exact(n.max(1))) {
+                    if *a_ik == 0.0 {
+                        continue;
+                    }
+                    for (o, r) in out_row.iter_mut().zip(rhs_row) {
+                        *o += a_ik * r;
+                    }
+                }
+            });
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self.matmul(weight) + bias` where `bias` is a 1-D `[n]` tensor
+    /// broadcast over rows — the Linear-layer primitive.
+    pub fn addmm(&self, weight: &Tensor, bias: &Tensor) -> Tensor {
+        let mut out = self.matmul(weight);
+        let n = out.dims()[1];
+        assert_eq!(bias.dims(), &[n], "bias must be [out_features]");
+        let b = bias.data().to_vec();
+        for row in out.data_mut().chunks_exact_mut(n.max(1)) {
+            for (o, bi) in row.iter_mut().zip(&b) {
+                *o += bi;
+            }
+        }
+        out
+    }
+
+    /// Transpose of a 2-D tensor.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2, "transpose requires a 2-D tensor");
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data()[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Pairwise dot products between the rows of two `[r, d]` tensors:
+    /// result `[i][j] = a.row(i) · b.row(j)`. This is the DLRM feature
+    /// interaction primitive.
+    pub fn row_gram(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape().ndim(), 2);
+        assert_eq!(other.shape().ndim(), 2);
+        assert_eq!(self.dims()[1], other.dims()[1], "row length mismatch");
+        self.matmul(&other.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let b = Tensor::from_vec(vec![7., 8., 9., 10., 11., 12.], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec((0..20).map(|x| x as f32).collect(), &[4, 5]);
+        assert_eq!(a.matmul(&Tensor::eye(5)), a);
+        assert_eq!(Tensor::eye(4).matmul(&a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner-dimension mismatch")]
+    fn matmul_checks_dims() {
+        let _ = Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn addmm_broadcasts_bias() {
+        let x = Tensor::ones(&[2, 2]);
+        let w = Tensor::eye(2);
+        let b = Tensor::from_vec(vec![10., 20.], &[2]);
+        let y = x.addmm(&w, &b);
+        assert_eq!(y.row(0), &[11., 21.]);
+        assert_eq!(y.row(1), &[11., 21.]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let t = a.transpose();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn row_gram_is_pairwise_dots() {
+        let a = Tensor::from_vec(vec![1., 0., 0., 1.], &[2, 2]);
+        let b = Tensor::from_vec(vec![3., 4., 5., 6.], &[2, 2]);
+        let g = a.row_gram(&b);
+        assert_eq!(g.data(), &[3., 5., 4., 6.]);
+    }
+
+    #[test]
+    fn matmul_matches_naive_on_random() {
+        // Deterministic pseudo-random fill without pulling in rand here.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) as f32 - 0.5
+        };
+        let (m, k, n) = (17, 23, 13);
+        let a = Tensor::from_vec((0..m * k).map(|_| next()).collect(), &[m, k]);
+        let b = Tensor::from_vec((0..k * n).map(|_| next()).collect(), &[k, n]);
+        let c = a.matmul(&b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for l in 0..k {
+                    acc += a.at(&[i, l]) * b.at(&[l, j]);
+                }
+                assert!((c.at(&[i, j]) - acc).abs() < 1e-4);
+            }
+        }
+    }
+}

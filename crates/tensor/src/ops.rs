@@ -1,0 +1,172 @@
+//! Elementwise and reduction operations.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Elementwise sum with a tensor of identical shape.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// In-place elementwise accumulate: `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.dims(), other.dims(), "shape mismatch");
+        for (a, b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += b;
+        }
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Apply `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_vec(self.data().iter().map(|&x| f(x)).collect(), self.dims())
+    }
+
+    /// Apply `f` elementwise over two same-shaped tensors.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.dims(), other.dims(), "shape mismatch");
+        Tensor::from_vec(
+            self.data()
+                .iter()
+                .zip(other.data())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            self.dims(),
+        )
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.numel() == 0 {
+            0.0
+        } else {
+            self.sum() / self.numel() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for an empty tensor).
+    pub fn max(&self) -> f32 {
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (+∞ for an empty tensor).
+    pub fn min(&self) -> f32 {
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Dot product of two 1-D tensors of equal length.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.dims(), other.dims(), "shape mismatch");
+        self.data()
+            .iter()
+            .zip(other.data())
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Concatenate 2-D tensors along the column dimension (dim 1).
+    /// All inputs must share the same number of rows.
+    pub fn cat_cols(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "cat_cols of nothing");
+        let rows = parts[0].dims()[0];
+        for p in parts {
+            assert_eq!(p.shape().ndim(), 2, "cat_cols requires 2-D tensors");
+            assert_eq!(p.dims()[0], rows, "row-count mismatch in cat_cols");
+        }
+        let total_cols: usize = parts.iter().map(|p| p.dims()[1]).sum();
+        let mut out = Tensor::zeros(&[rows, total_cols]);
+        for r in 0..rows {
+            let dst = out.row_mut(r);
+            let mut off = 0;
+            for p in parts {
+                let src = p.row(r);
+                dst[off..off + src.len()].copy_from_slice(src);
+                off += src.len();
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, d: &[usize]) -> Tensor {
+        Tensor::from_vec(v, d)
+    }
+
+    #[test]
+    fn elementwise() {
+        let a = t(vec![1., 2., 3.], &[3]);
+        let b = t(vec![4., 5., 6.], &[3]);
+        assert_eq!(a.add(&b).data(), &[5., 7., 9.]);
+        assert_eq!(b.sub(&a).data(), &[3., 3., 3.]);
+        assert_eq!(a.mul(&b).data(), &[4., 10., 18.]);
+        assert_eq!(a.scale(2.0).data(), &[2., 4., 6.]);
+        assert_eq!(a.map(|x| x * x).data(), &[1., 4., 9.]);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c.data(), &[5., 7., 9.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn elementwise_shape_checked() {
+        let _ = t(vec![1.], &[1]).add(&t(vec![1., 2.], &[2]));
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(vec![1., -2., 3., 4.], &[4]);
+        assert_eq!(a.sum(), 6.0);
+        assert_eq!(a.mean(), 1.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), -2.0);
+        assert_eq!(Tensor::zeros(&[0]).mean(), 0.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = t(vec![1., 2., 3.], &[3]);
+        let b = t(vec![4., 5., 6.], &[3]);
+        assert_eq!(a.dot(&b), 32.0);
+    }
+
+    #[test]
+    fn cat_cols_concatenates() {
+        let a = t(vec![1., 2., 3., 4.], &[2, 2]);
+        let b = t(vec![5., 6.], &[2, 1]);
+        let c = Tensor::cat_cols(&[&a, &b]);
+        assert_eq!(c.dims(), &[2, 3]);
+        assert_eq!(c.row(0), &[1., 2., 5.]);
+        assert_eq!(c.row(1), &[3., 4., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row-count mismatch")]
+    fn cat_cols_checks_rows() {
+        let a = t(vec![1., 2.], &[1, 2]);
+        let b = t(vec![1., 2., 3., 4.], &[2, 2]);
+        let _ = Tensor::cat_cols(&[&a, &b]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Export Chrome-trace timelines of one batch under each backend — the
+//! visual version of the paper's Figure 7: open the two JSON files in
+//! `chrome://tracing` or https://ui.perfetto.dev and compare the link rows.
+//!
+//! ```sh
+//! cargo run --release --example timeline_trace
+//! ```
+
+use std::fs;
+
+use pgas_embedding::gpusim::{Machine, MachineConfig};
+use pgas_embedding::retrieval::backend::{
+    BaselineBackend, ExecMode, PgasFusedBackend, RetrievalBackend,
+};
+use pgas_embedding::retrieval::EmbLayerConfig;
+
+fn main() {
+    let mut cfg = EmbLayerConfig::paper_weak_scaling(2).scaled_down(32);
+    cfg.n_batches = 1;
+
+    let mut m = Machine::new(MachineConfig::dgx_v100(2));
+    m.enable_trace();
+    BaselineBackend::new().run(&mut m, &cfg, ExecMode::Timing);
+    let baseline = m.trace().unwrap();
+    fs::write("trace_baseline.json", baseline.to_chrome_json()).unwrap();
+    println!(
+        "trace_baseline.json: {} spans, horizon {}",
+        baseline.len(),
+        baseline.horizon()
+    );
+
+    let mut m = Machine::new(MachineConfig::dgx_v100(2));
+    m.enable_trace();
+    PgasFusedBackend::new().run(&mut m, &cfg, ExecMode::Timing);
+    let pgas = m.trace().unwrap();
+    fs::write("trace_pgas.json", pgas.to_chrome_json()).unwrap();
+    println!(
+        "trace_pgas.json:     {} spans, horizon {}",
+        pgas.len(),
+        pgas.horizon()
+    );
+
+    println!("\nOpen both in chrome://tracing — the baseline's link rows are");
+    println!("empty until its kernels end; the PGAS link rows run underneath");
+    println!("the kernels, which is the whole paper in one picture.");
+}

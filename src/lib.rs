@@ -1,0 +1,14 @@
+//! # pgas-embedding — umbrella crate
+//!
+//! Re-exports the full reproduction stack of *"Accelerating Multi-GPU
+//! Embedding Retrieval with PGAS-Style Communication for Deep Learning
+//! Recommendation Systems"* (SC 2024) under one roof, and hosts the
+//! repository-level examples and integration tests.
+
+pub use desim;
+pub use dlrm_model as dlrm;
+pub use emb_retrieval as retrieval;
+pub use gpusim;
+pub use pgas_rt as pgas;
+pub use simccl;
+pub use simtensor as tensor;

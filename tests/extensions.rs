@@ -1,0 +1,80 @@
+//! Integration tests of the §V extension experiments: their *shape*
+//! assertions at reduced scale.
+
+use bench_harness::{
+    backward_comparison, message_size_ablation, multinode_aggregator, sharding_ablation,
+    whatif_projection, zipf_ablation,
+};
+use desim::Dur;
+
+const SCALE: usize = 32;
+const BATCHES: usize = 3;
+
+#[test]
+fn backward_speedup_grows_with_gpus() {
+    // The baseline's ring rounds and per-round syncs scale with G; the
+    // PGAS atomic path stays nearly flat.
+    let mut last = 1.0;
+    for g in 2..=4 {
+        let p = backward_comparison(g, SCALE, BATCHES);
+        let s = p.speedup();
+        assert!(s > 1.0, "pgas backward must win at {g} GPUs (got {s})");
+        assert!(s > last * 0.95, "speedup should grow with G: {s} after {last}");
+        last = s;
+    }
+}
+
+#[test]
+fn aggregator_trades_latency_for_bandwidth() {
+    let saturated = multinode_aggregator(20_000, Dur::from_us(100));
+    assert!(saturated.aggregated < saturated.naive);
+    let idle = multinode_aggregator(100, Dur::from_ms(10));
+    assert!(idle.aggregated >= idle.naive);
+    // Message reduction holds in both regimes.
+    assert!(saturated.aggregated_messages * 10 < saturated.naive_messages);
+    // On an idle link rows age out individually: no batching possible.
+    assert_eq!(idle.aggregated_messages, idle.naive_messages);
+}
+
+#[test]
+fn smaller_payloads_cost_more_headers() {
+    let points = message_size_ablation(2, SCALE, BATCHES);
+    assert_eq!(points.len(), 5);
+    // Header overhead strictly decreases until the payload reaches the row
+    // size (256 B for d = 64), then is flat.
+    assert!(points[0].header_overhead > points[1].header_overhead);
+    assert!(points[1].header_overhead > points[2].header_overhead);
+    assert!((points[2].header_overhead - points[4].header_overhead).abs() < 1e-9);
+    // Runtime is never *better* with tiny payloads.
+    assert!(points[0].total >= points[2].total);
+}
+
+#[test]
+fn row_wise_sharding_costs_more_everywhere_but_pgas_still_wins() {
+    let a = sharding_ablation(2, SCALE, BATCHES);
+    assert!(a.row_wise_cpu > a.table_wise_cpu, "per-index routing is dearer");
+    assert!(
+        a.row_wise.baseline.total > a.table_wise.baseline.total,
+        "partial-row exchange moves more data"
+    );
+    assert!(a.table_wise.speedup() > 1.0);
+    assert!(a.row_wise.speedup() > 1.0);
+}
+
+#[test]
+fn zipf_skew_speeds_up_compute_and_widens_the_gap() {
+    let (uniform, skewed) = zipf_ablation(2, SCALE, BATCHES);
+    // Hot rows hit in L2: both backends get faster.
+    assert!(skewed.baseline.total < uniform.baseline.total);
+    assert!(skewed.pgas.total < uniform.pgas.total);
+    // With less compute to hide behind, the baseline becomes even more
+    // communication-bound, so the PGAS advantage grows.
+    assert!(skewed.speedup() > uniform.speedup());
+}
+
+#[test]
+fn whatif_pgas_wins_everywhere() {
+    for (name, p) in whatif_projection(8, SCALE, BATCHES) {
+        assert!(p.speedup() > 1.5, "{name}: speedup {}", p.speedup());
+    }
+}
