@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Repo CI gate: release build, full test suite, lint-clean under clippy.
+# Run from the repo root. Fails fast on the first broken step.
+set -eu
+
+cargo build --release --workspace --offline
+cargo test -q --workspace --offline
+cargo clippy --all-targets --workspace --offline -- -D warnings

@@ -2,11 +2,12 @@
 
 use desim::{Dur, SimTime, TimeSeries};
 use emb_retrieval::backend::{
-    BaselineBackend, ExecMode, PgasFusedBackend, RetrievalBackend,
+    BaselineBackend, ExecMode, PgasFusedBackend, ResiliencePolicy, ResilientBackend,
+    ResilientResult, RetrievalBackend,
 };
 use emb_retrieval::backward::{baseline_backward, pgas_backward};
 use emb_retrieval::{EmbLayerConfig, InputPartition, RunReport, Sharding, SparseBatch};
-use gpusim::{Machine, MachineConfig};
+use gpusim::{FaultPlan, FaultSpec, Machine, MachineConfig};
 use pgas_rt::{Aggregator, AggregatorConfig, PgasConfig};
 use simccl::CollectiveConfig;
 
@@ -128,6 +129,10 @@ pub struct CommVolumeResult {
     pub pgas_end: Dur,
     /// Baseline run end.
     pub baseline_end: Dur,
+    /// Per-bucket fraction of directed links inside an injected fault
+    /// window (degraded or down), aligned with the PGAS series' buckets.
+    /// All zeros when no fault plan is installed.
+    pub fault_frac: Vec<f64>,
 }
 
 impl CommVolumeResult {
@@ -142,17 +147,50 @@ impl CommVolumeResult {
     }
 }
 
-fn comm_volume(cfg: &EmbLayerConfig, bucket: Dur) -> CommVolumeResult {
-    let mk = || MachineConfig::dgx_v100(cfg.n_gpus).with_traffic_bucket(bucket);
-    let mut mp = Machine::new(mk());
-    let p = PgasFusedBackend::new().run(&mut mp, cfg, ExecMode::Timing).report;
-    let mut mb = Machine::new(mk());
+fn comm_volume(cfg: &EmbLayerConfig, bucket: Dur, chaos: Option<(u64, f64)>) -> CommVolumeResult {
+    let mk = || {
+        let mut m = Machine::new(MachineConfig::dgx_v100(cfg.n_gpus).with_traffic_bucket(bucket));
+        if let Some((seed, intensity)) = chaos {
+            m.install_faults(FaultPlan::generate(seed, cfg.n_gpus, FaultSpec::chaos(intensity)));
+        }
+        m
+    };
+    let mut mp = mk();
+    let p = if chaos.is_some() {
+        ResilientBackend::new().run(&mut mp, cfg, ExecMode::Timing).report
+    } else {
+        PgasFusedBackend::new().run(&mut mp, cfg, ExecMode::Timing).report
+    };
+    let mut mb = mk();
     let b = BaselineBackend::new().run(&mut mb, cfg, ExecMode::Timing).report;
+
+    // Tag each bucket with how much of it the fabric spent inside a fault
+    // window, averaged over directed links (the extra fig7/fig10 column).
+    let horizon = p.total.max(b.total);
+    let nb = (horizon.as_ns().div_ceil(bucket.as_ns())) as usize;
+    let pairs: Vec<(usize, usize)> = (0..cfg.n_gpus)
+        .flat_map(|s| (0..cfg.n_gpus).filter(move |&d| d != s).map(move |d| (s, d)))
+        .collect();
+    let fault_frac = (0..nb)
+        .map(|i| {
+            if pairs.is_empty() {
+                return 0.0;
+            }
+            let t0 = SimTime::ZERO + bucket * i as u64;
+            let t1 = t0 + bucket;
+            pairs
+                .iter()
+                .map(|&(s, d)| mp.fault_fraction(s, d, t0, t1))
+                .sum::<f64>()
+                / pairs.len() as f64
+        })
+        .collect();
     CommVolumeResult {
         pgas: p.comm_series,
         baseline: b.comm_series,
         pgas_end: p.total,
         baseline_end: b.total,
+        fault_frac,
     }
 }
 
@@ -160,14 +198,26 @@ fn comm_volume(cfg: &EmbLayerConfig, bucket: Dur) -> CommVolumeResult {
 /// Profiles a small number of batches so individual batches are visible.
 pub fn comm_volume_weak_2gpu(scale: usize, batches: usize) -> CommVolumeResult {
     let cfg = scaled(EmbLayerConfig::paper_weak_scaling(2), scale, batches);
-    comm_volume(&cfg, fig_bucket(&cfg))
+    comm_volume(&cfg, fig_bucket(&cfg), None)
 }
 
 /// **Fig. 10** — communication volume over time, strong-scaling config,
 /// 4 GPUs.
 pub fn comm_volume_strong_4gpu(scale: usize, batches: usize) -> CommVolumeResult {
     let cfg = scaled(EmbLayerConfig::paper_strong_scaling(4), scale, batches);
-    comm_volume(&cfg, fig_bucket(&cfg))
+    comm_volume(&cfg, fig_bucket(&cfg), None)
+}
+
+/// [`comm_volume_weak_2gpu`] on a faulty fabric: the fault-window column
+/// becomes nonzero and the PGAS side runs through the resilient backend.
+pub fn comm_volume_weak_2gpu_chaos(
+    scale: usize,
+    batches: usize,
+    seed: u64,
+    intensity: f64,
+) -> CommVolumeResult {
+    let cfg = scaled(EmbLayerConfig::paper_weak_scaling(2), scale, batches);
+    comm_volume(&cfg, fig_bucket(&cfg), Some((seed, intensity)))
 }
 
 /// Pick a bucket that yields ~200 points over a run of this size.
@@ -180,6 +230,107 @@ fn fig_bucket(cfg: &EmbLayerConfig) -> Dur {
     let bytes = lookups * (cfg.dim as u64 * 4) / cfg.n_gpus.max(1) as u64;
     let secs = (cfg.n_batches as f64) * (bytes as f64 * cfg.n_gpus as f64) / 900e9;
     Dur::from_secs_f64((secs / 200.0).max(1e-6))
+}
+
+/// Latency/degradation summary of one resilient run at one fault intensity.
+#[derive(Clone, Debug)]
+pub struct ChaosRun {
+    /// Accumulated EMB-stage wall time.
+    pub total: Dur,
+    /// Median batch latency.
+    pub p50: Dur,
+    /// 99th-percentile batch latency.
+    pub p99: Dur,
+    /// Retries across puts and collective chunks.
+    pub retries: u64,
+    /// Fraction of pooled rows served from the degradation fill.
+    pub degraded_fraction: f64,
+    /// Batch index at which PGAS→baseline failover triggered, if it did.
+    pub failover_at: Option<usize>,
+    /// Batches whose deadline expired before completion.
+    pub deadline_missed: usize,
+}
+
+impl ChaosRun {
+    fn from_result(r: &ResilientResult) -> Self {
+        ChaosRun {
+            total: r.result.report.total,
+            p50: r.resilience.latency_quantile(0.5),
+            p99: r.resilience.latency_quantile(0.99),
+            retries: r.resilience.retries,
+            degraded_fraction: r.resilience.degraded_fraction(),
+            failover_at: r.resilience.failover_at,
+            deadline_missed: r.resilience.deadline_missed_batches,
+        }
+    }
+}
+
+/// One intensity point of the chaos sweep: the resilient PGAS path and the
+/// baseline collective path over the *same* fault plan.
+#[derive(Clone, Debug)]
+pub struct ChaosPoint {
+    /// Chaos intensity in `[0, 1]` (0 = clean fabric, strict no-op).
+    pub intensity: f64,
+    /// Resilient PGAS-first run.
+    pub pgas: ChaosRun,
+    /// Baseline collective run under the same faults.
+    pub baseline: ChaosRun,
+}
+
+impl ChaosPoint {
+    /// Baseline median latency over PGAS median latency (>1 = PGAS wins).
+    pub fn speedup_p50(&self) -> f64 {
+        self.baseline.p50.as_secs_f64() / self.pgas.p50.as_secs_f64()
+    }
+}
+
+/// **`reproduce chaos`** — fault-injection sweep. For each intensity, both
+/// serving paths run over an identical seeded [`FaultPlan`]; the report
+/// gives p50/p99 batch latency, retry counts, the degraded-row fraction and
+/// where (if anywhere) the baseline overtakes resilient PGAS.
+///
+/// Intensity 0 installs no plan at all, so its runs are bit-identical to
+/// the plain backends — the speedup column reproduces Table I's entry for
+/// this GPU count. The per-batch degradation deadline for the faulty
+/// points is derived from the clean run (8× its median batch latency), so
+/// the sweep needs intensity 0 first to enable deadline-based degradation.
+pub fn chaos_sweep(
+    gpus: usize,
+    scale: usize,
+    batches: usize,
+    seed: u64,
+    intensities: &[f64],
+) -> Vec<ChaosPoint> {
+    let cfg = scaled(EmbLayerConfig::paper_weak_scaling(gpus), scale, batches);
+    let mut deadline: Option<Dur> = None;
+    let mut out = Vec::new();
+    for &intensity in intensities {
+        let run = |baseline_only: bool| {
+            let mut m = Machine::new(MachineConfig::dgx_v100(gpus));
+            if intensity > 0.0 {
+                m.install_faults(FaultPlan::generate(seed, gpus, FaultSpec::chaos(intensity)));
+            }
+            let policy = ResiliencePolicy {
+                batch_deadline: if intensity > 0.0 { deadline } else { None },
+                baseline_only,
+                ..ResiliencePolicy::default()
+            };
+            ResilientBackend::new()
+                .with_policy(policy)
+                .run_resilient(&mut m, &cfg, ExecMode::Timing)
+        };
+        let p = run(false);
+        let b = run(true);
+        if deadline.is_none() && intensity == 0.0 {
+            deadline = Some(p.resilience.latency_quantile(0.5) * 8u64);
+        }
+        out.push(ChaosPoint {
+            intensity,
+            pgas: ChaosRun::from_result(&p),
+            baseline: ChaosRun::from_result(&b),
+        });
+    }
+    out
 }
 
 /// **EXT-1** — backward pass: baseline collective rounds vs PGAS atomics.
@@ -418,6 +569,54 @@ mod tests {
         let r = multinode_aggregator(1_000, Dur::from_ms(5));
         assert!(r.aggregated >= r.naive);
         assert!(r.aggregated_messages < r.naive_messages);
+    }
+
+    #[test]
+    fn chaos_intensity_zero_reproduces_table1() {
+        // The sweep's clean point must be bit-identical to the plain
+        // backends' Table I runs — resilience is a strict timing no-op.
+        let pts = chaos_sweep(2, 512, 3, 42, &[0.0]);
+        let pair = run_pair(&scaled(EmbLayerConfig::paper_weak_scaling(2), 512, 3));
+        assert_eq!(pts[0].pgas.total, pair.pgas.total);
+        assert_eq!(pts[0].baseline.total, pair.baseline.total);
+        assert_eq!(pts[0].pgas.retries, 0);
+        assert_eq!(pts[0].pgas.degraded_fraction, 0.0);
+        let table1_speedup = pair.speedup();
+        let sweep_speedup = pts[0].pgas.total.as_secs_f64() / pts[0].baseline.total.as_secs_f64();
+        assert!((table1_speedup * sweep_speedup - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chaos_sweep_completes_under_heavy_faults() {
+        let pts = chaos_sweep(2, 512, 4, 7, &[0.0, 0.5, 1.0]);
+        assert_eq!(pts.len(), 3);
+        for p in &pts {
+            assert!(!p.pgas.p50.is_zero());
+            assert!(p.pgas.p99 >= p.pgas.p50);
+            assert!(!p.baseline.p50.is_zero());
+            assert!(p.speedup_p50() > 0.0);
+            assert!((0.0..=1.0).contains(&p.pgas.degraded_fraction));
+        }
+        // The clean point must see no faults at all.
+        assert_eq!(pts[0].pgas.retries, 0);
+        assert_eq!(pts[0].pgas.deadline_missed, 0);
+    }
+
+    #[test]
+    fn chaos_comm_volume_tags_fault_windows() {
+        let clean = comm_volume_weak_2gpu(512, 2);
+        assert!(clean.fault_frac.iter().all(|&f| f == 0.0));
+        // Search seeds for a plan whose windows overlap this short run.
+        let mut hit = false;
+        for seed in 0..32u64 {
+            let r = comm_volume_weak_2gpu_chaos(512, 2, seed, 1.0);
+            assert!(r.fault_frac.iter().all(|&f| (0.0..=1.0).contains(&f)));
+            if r.fault_frac.iter().any(|&f| f > 0.0) {
+                hit = true;
+                break;
+            }
+        }
+        assert!(hit, "some seed must place a fault window inside the run");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::fmt::Write as _;
 
 use desim::SimTime;
 
-use crate::{CommVolumeResult, ScalingResult};
+use crate::{ChaosPoint, CommVolumeResult, ScalingResult};
 
 /// Render the paper's speedup table (Table I / Table II).
 pub fn speedup_table(r: &ScalingResult, title: &str) -> String {
@@ -75,7 +75,7 @@ pub fn comm_volume_series(r: &CommVolumeResult, title: &str, max_points: usize) 
         s,
         "# burstiness (cv): pgas={bp:.2} baseline={bb:.2}; volume unit = 256 B"
     );
-    let _ = writeln!(s, "time_ms,pgas_units,baseline_units");
+    let _ = writeln!(s, "time_ms,pgas_units,baseline_units,fault_frac");
     let horizon = r.pgas_end.max(r.baseline_end);
     let bucket = r.pgas.bucket_width();
     let n = ((horizon.as_ns().div_ceil(bucket.as_ns())) as usize).min(max_points);
@@ -85,7 +85,54 @@ pub fn comm_volume_series(r: &CommVolumeResult, title: &str, max_points: usize) 
         let t = (SimTime::ZERO + bucket * i as u64).as_millis_f64();
         let pv = p.get(i).copied().unwrap_or(0.0) / 256.0;
         let bv = b.get(i).copied().unwrap_or(0.0) / 256.0;
-        let _ = writeln!(s, "{t:.4},{pv:.1},{bv:.1}");
+        let fv = r.fault_frac.get(i).copied().unwrap_or(0.0);
+        let _ = writeln!(s, "{t:.4},{pv:.1},{bv:.1},{fv:.3}");
+    }
+    s
+}
+
+/// Render the `reproduce chaos` sweep: latency percentiles, retry counts,
+/// the degraded-row fraction and the PGAS-vs-baseline crossover.
+pub fn chaos_table(points: &[ChaosPoint], title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== {title} ==");
+    let _ = writeln!(
+        s,
+        "intensity,pgas_p50_us,pgas_p99_us,pgas_retries,pgas_degraded_pct,pgas_missed,failover_batch,base_p50_us,base_p99_us,base_retries,base_degraded_pct,speedup_p50"
+    );
+    for p in points {
+        let failover = p
+            .pgas
+            .failover_at
+            .map_or_else(|| "-".to_string(), |b| b.to_string());
+        let _ = writeln!(
+            s,
+            "{:.2},{:.1},{:.1},{},{:.3},{},{},{:.1},{:.1},{},{:.3},{:.2}",
+            p.intensity,
+            p.pgas.p50.as_micros_f64(),
+            p.pgas.p99.as_micros_f64(),
+            p.pgas.retries,
+            100.0 * p.pgas.degraded_fraction,
+            p.pgas.deadline_missed,
+            failover,
+            p.baseline.p50.as_micros_f64(),
+            p.baseline.p99.as_micros_f64(),
+            p.baseline.retries,
+            100.0 * p.baseline.degraded_fraction,
+            p.speedup_p50(),
+        );
+    }
+    match points.iter().find(|p| p.speedup_p50() < 1.0) {
+        Some(p) => {
+            let _ = writeln!(
+                s,
+                "crossover: baseline overtakes resilient PGAS at intensity {:.2}",
+                p.intensity
+            );
+        }
+        None => {
+            let _ = writeln!(s, "crossover: none — PGAS holds its advantage at every intensity");
+        }
     }
     s
 }
@@ -111,7 +158,20 @@ mod tests {
     fn comm_series_renders() {
         let r = crate::comm_volume_weak_2gpu(512, 2);
         let s = comm_volume_series(&r, "Fig 7", 50);
-        assert!(s.contains("time_ms"));
+        assert!(s.contains("time_ms,pgas_units,baseline_units,fault_frac"));
         assert!(s.lines().count() > 5);
+        // Clean run: the fault column is all zeros.
+        for line in s.lines().skip(3) {
+            assert!(line.ends_with(",0.000"), "clean fault_frac must be 0: {line}");
+        }
+    }
+
+    #[test]
+    fn chaos_table_renders_and_reports_crossover() {
+        let pts = crate::chaos_sweep(2, 512, 3, 42, &[0.0, 1.0]);
+        let t = chaos_table(&pts, "EXT-7");
+        assert!(t.contains("intensity,pgas_p50_us"));
+        assert!(t.contains("crossover:"));
+        assert!(t.lines().count() >= 5);
     }
 }

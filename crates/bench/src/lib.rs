@@ -19,6 +19,7 @@
 //! | EXT-3 message-size ablation | [`message_size_ablation`] |
 //! | EXT-4 sharding ablation | [`sharding_ablation`] |
 //! | EXT-5 skew ablation | [`zipf_ablation`] |
+//! | EXT-7 fault-injection sweep | [`chaos_sweep`] |
 
 #![warn(missing_docs)]
 

@@ -13,10 +13,13 @@
 //!   ablation-msgsize          EXT-3 coalescing granularity
 //!   ablation-sharding         EXT-4 input-partition cost
 //!   ablation-zipf             EXT-5 skewed inputs
+//!   chaos                     EXT-7 fault-injection sweep (resilient PGAS
+//!                             vs baseline; intensity 0 reproduces Table I)
 //!   all                       everything above
 //!
 //! --scale K    shrink every workload axis by K (default 1 = paper scale)
 //! --batches N  batches per run (default 100, the paper's count)
+//! --seed S     fault-plan seed for `chaos` (default 42)
 //! ```
 
 use std::fs;
@@ -30,6 +33,7 @@ struct Args {
     scale: usize,
     batches: usize,
     gpus: usize,
+    seed: u64,
     csv: Option<PathBuf>,
 }
 
@@ -39,6 +43,7 @@ fn parse_args() -> Args {
         scale: 1,
         batches: 100,
         gpus: 4,
+        seed: 42,
         csv: None,
     };
     let mut it = std::env::args().skip(1);
@@ -49,9 +54,10 @@ fn parse_args() -> Args {
                 args.batches = it.next().and_then(|v| v.parse().ok()).expect("--batches N")
             }
             "--gpus" => args.gpus = it.next().and_then(|v| v.parse().ok()).expect("--gpus G"),
+            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S"),
             "--csv" => args.csv = Some(PathBuf::from(it.next().expect("--csv DIR"))),
             "--help" | "-h" => {
-                println!("usage: reproduce <experiment> [--scale K] [--batches N] [--gpus G] [--csv DIR]");
+                println!("usage: reproduce <experiment> [--scale K] [--batches N] [--gpus G] [--seed S] [--csv DIR]");
                 std::process::exit(0);
             }
             other if !other.starts_with('-') => args.experiment = other.to_string(),
@@ -138,7 +144,7 @@ fn main() {
     if matches!(e, "ablation-msgsize" | "all") {
         let mut s = String::from("== EXT-3: coalesced-payload ablation (PGAS, 2 GPUs) ==\n");
         s.push_str("max_payload_bytes,total_ms,header_overhead\n");
-        for p in message_size_ablation(2.min(args.gpus.max(2)), args.scale, args.batches) {
+        for p in message_size_ablation(2, args.scale, args.batches) {
             s.push_str(&format!(
                 "{},{:.3},{:.4}\n",
                 p.max_payload,
@@ -180,6 +186,27 @@ fn main() {
             ));
         }
         emit(&args, "whatif", &s);
+    }
+    if matches!(e, "chaos" | "all") {
+        let pts = chaos_sweep(
+            args.gpus.max(2),
+            args.scale,
+            args.batches,
+            args.seed,
+            &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0],
+        );
+        emit(
+            &args,
+            "chaos",
+            &chaos_table(
+                &pts,
+                &format!(
+                    "EXT-7: fault-injection sweep, {} GPUs, seed {} (resilient PGAS vs baseline)",
+                    args.gpus.max(2),
+                    args.seed
+                ),
+            ),
+        );
     }
     if matches!(e, "ablation-zipf" | "all") {
         let (u, z) = zipf_ablation(args.gpus.max(2), args.scale, args.batches);

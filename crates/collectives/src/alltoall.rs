@@ -1,7 +1,7 @@
 //! `all_to_all_single` — the baseline's layout-conversion collective.
 
 use desim::SimTime;
-use gpusim::Machine;
+use gpusim::{FabricError, Machine};
 
 use crate::{d2d_copy_time, Algorithm, CollectiveConfig, WorkHandle, ELEM_BYTES};
 
@@ -56,29 +56,7 @@ pub fn all_to_all_varied(
     }
 
     // ---- Functional data movement (algorithm-independent). ----
-    let offsets: Vec<Vec<usize>> = send_counts
-        .iter()
-        .map(|row| {
-            let mut off = 0;
-            row.iter()
-                .map(|&c| {
-                    let o = off;
-                    off += c;
-                    o
-                })
-                .collect()
-        })
-        .collect();
-    let outputs: Vec<Vec<f32>> = (0..n)
-        .map(|dst| {
-            let mut out = Vec::with_capacity((0..n).map(|s| send_counts[s][dst]).sum());
-            for src in 0..n {
-                let o = offsets[src][dst];
-                out.extend_from_slice(&inputs[src][o..o + send_counts[src][dst]]);
-            }
-            out
-        })
-        .collect();
+    let outputs = shuffle_functional(inputs, send_counts);
 
     // ---- Timed wire traffic. ----
     let bytes: Vec<Vec<u64>> = send_counts
@@ -109,6 +87,89 @@ pub fn all_to_all_timed(
         Algorithm::Direct => timed_direct(machine, cfg, send_bytes, ready),
         Algorithm::Ring => timed_ring(machine, cfg, send_bytes, ready),
     }
+}
+
+/// Fault-aware [`all_to_all_timed`]: every chunk is retried under the
+/// config's retry policy when its link is down or the chunk is dropped; the
+/// collective fails with [`FabricError::RetryExhausted`] only once a chunk's
+/// retry budget is spent. On a clean fabric (or with no fault plan
+/// installed) timing is bit-identical to the infallible path.
+pub fn try_all_to_all_timed(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    send_bytes: &[Vec<u64>],
+    ready: &[SimTime],
+) -> Result<WorkHandle, FabricError> {
+    let n = machine.n_gpus();
+    assert_eq!(send_bytes.len(), n, "one byte row per device");
+    assert_eq!(ready.len(), n, "one ready time per device");
+    for (i, row) in send_bytes.iter().enumerate() {
+        assert_eq!(row.len(), n, "send_bytes[{i}] must have {n} columns");
+    }
+    match cfg.algorithm {
+        Algorithm::Direct => try_timed_direct(machine, cfg, send_bytes, ready),
+        Algorithm::Ring => try_timed_ring(machine, cfg, send_bytes, ready),
+    }
+}
+
+/// Fault-aware [`all_to_all_varied`]: same functional output, fallible
+/// timing. Functional delivery is computed first — under retries every row
+/// still arrives, only later; rows are abandoned only if the collective
+/// errors, and then the caller decides what to degrade.
+pub fn try_all_to_all_varied(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    inputs: &[Vec<f32>],
+    send_counts: &[Vec<usize>],
+    ready: &[SimTime],
+) -> Result<(Vec<Vec<f32>>, WorkHandle), FabricError> {
+    let n = machine.n_gpus();
+    assert_eq!(inputs.len(), n, "one input buffer per device");
+    assert_eq!(send_counts.len(), n, "one send-count row per device");
+    for (i, row) in send_counts.iter().enumerate() {
+        assert_eq!(row.len(), n, "send_counts[{i}] must have {n} columns");
+        let total: usize = row.iter().sum();
+        assert_eq!(
+            total,
+            inputs[i].len(),
+            "send_counts[{i}] must cover the whole input"
+        );
+    }
+    let bytes: Vec<Vec<u64>> = send_counts
+        .iter()
+        .map(|row| row.iter().map(|&c| c as u64 * ELEM_BYTES).collect())
+        .collect();
+    let work = try_all_to_all_timed(machine, cfg, &bytes, ready)?;
+    let outputs = shuffle_functional(inputs, send_counts);
+    Ok((outputs, work))
+}
+
+/// The algorithm-independent functional data movement of an all-to-all.
+fn shuffle_functional(inputs: &[Vec<f32>], send_counts: &[Vec<usize>]) -> Vec<Vec<f32>> {
+    let n = inputs.len();
+    let offsets: Vec<Vec<usize>> = send_counts
+        .iter()
+        .map(|row| {
+            let mut off = 0;
+            row.iter()
+                .map(|&c| {
+                    let o = off;
+                    off += c;
+                    o
+                })
+                .collect()
+        })
+        .collect();
+    (0..n)
+        .map(|dst| {
+            let mut out = Vec::with_capacity((0..n).map(|s| send_counts[s][dst]).sum());
+            for src in 0..n {
+                let o = offsets[src][dst];
+                out.extend_from_slice(&inputs[src][o..o + send_counts[src][dst]]);
+            }
+            out
+        })
+        .collect()
 }
 
 /// Pairwise schedule: each device pushes its per-destination segment
@@ -148,6 +209,123 @@ fn timed_direct(
         }
     }
     WorkHandle::new(done)
+}
+
+/// Fault-aware pairwise schedule: [`timed_direct`] with each chunk retried
+/// under `cfg.retry`.
+fn try_timed_direct(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    send_bytes: &[Vec<u64>],
+    ready: &[SimTime],
+) -> Result<WorkHandle, FabricError> {
+    let n = machine.n_gpus();
+    let mut done = vec![SimTime::ZERO; n];
+    let mut retries = 0u64;
+    for src in 0..n {
+        let t0 = ready[src] + cfg.call_overhead;
+        for dst in 0..n {
+            let bytes = send_bytes[src][dst];
+            if dst == src {
+                let local_done = t0 + d2d_copy_time(bytes, machine.spec(src).mem_bw);
+                done[src] = done[src].max(local_done);
+                continue;
+            }
+            if bytes == 0 {
+                done[dst] = done[dst].max(t0);
+                continue;
+            }
+            let mut remaining = bytes;
+            let mut last_end = t0;
+            while remaining > 0 {
+                let this = remaining.min(cfg.chunk_bytes);
+                let (iv, attempts) = machine.try_send_retry(
+                    src,
+                    dst,
+                    this,
+                    1,
+                    t0,
+                    cfg.protocol_efficiency,
+                    cfg.retry,
+                )?;
+                retries += u64::from(attempts - 1);
+                last_end = last_end.max(iv.end);
+                remaining -= this;
+            }
+            done[dst] = done[dst].max(last_end);
+            done[src] = done[src].max(last_end);
+        }
+    }
+    Ok(WorkHandle::with_retries(done, retries))
+}
+
+/// Fault-aware ring schedule: [`timed_ring`] with each hop retried under
+/// `cfg.retry`.
+fn try_timed_ring(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    send_bytes: &[Vec<u64>],
+    ready: &[SimTime],
+) -> Result<WorkHandle, FabricError> {
+    let n = machine.n_gpus();
+    if n == 1 {
+        return Ok(WorkHandle::new(vec![ready[0] + cfg.call_overhead]));
+    }
+    let mut held: Vec<Vec<(usize, u64)>> = (0..n)
+        .map(|src| {
+            (0..n)
+                .filter(|&d| d != src)
+                .map(|d| (d, send_bytes[src][d]))
+                .filter(|&(_, b)| b > 0)
+                .collect()
+        })
+        .collect();
+    let mut t: Vec<SimTime> = ready.iter().map(|&r| r + cfg.call_overhead).collect();
+    let mut done = t.clone();
+    let mut retries = 0u64;
+    for src in 0..n {
+        let bytes = send_bytes[src][src];
+        let local = t[src] + d2d_copy_time(bytes, machine.spec(src).mem_bw);
+        done[src] = done[src].max(local);
+    }
+    for _step in 1..n {
+        let mut arriving: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+        let mut arrive_time = vec![SimTime::ZERO; n];
+        for src in 0..n {
+            let next = (src + 1) % n;
+            let parcels = std::mem::take(&mut held[src]);
+            if parcels.is_empty() {
+                continue;
+            }
+            let bytes: u64 = parcels.iter().map(|&(_, b)| b).sum();
+            let (iv, attempts) = machine.try_send_retry(
+                src,
+                next,
+                bytes,
+                cfg.n_chunks(bytes),
+                t[src],
+                cfg.protocol_efficiency,
+                cfg.retry,
+            )?;
+            retries += u64::from(attempts - 1);
+            done[src] = done[src].max(iv.end);
+            arrive_time[next] = arrive_time[next].max(iv.end);
+            arriving[next].extend(parcels);
+        }
+        for rank in 0..n {
+            let mut keep = Vec::new();
+            for (dst, bytes) in arriving[rank].drain(..) {
+                if dst == rank {
+                    done[rank] = done[rank].max(arrive_time[rank]);
+                } else {
+                    keep.push((dst, bytes));
+                }
+            }
+            held[rank] = keep;
+            t[rank] = t[rank].max(arrive_time[rank]);
+        }
+    }
+    Ok(WorkHandle::with_retries(done, retries))
 }
 
 /// Ring schedule: `n − 1` neighbor steps; parcels hop until they reach their
@@ -336,6 +514,77 @@ mod tests {
         let (_, _) = all_to_all_single(&mut m, &cfg, &inputs, &ready(2));
         // Each device sends 1024 elements = 4096 bytes = 4 chunks.
         assert_eq!(m.traffic_stats().messages, 8);
+    }
+
+    #[test]
+    fn try_timed_without_faults_matches_timed() {
+        let n = 4;
+        let bytes: Vec<Vec<u64>> = (0..n).map(|_| vec![1 << 16; n]).collect();
+        for alg in [Algorithm::Direct, Algorithm::Ring] {
+            let cfg = CollectiveConfig::default().with_algorithm(alg);
+            let mut m1 = Machine::new(MachineConfig::dgx_v100(n));
+            let a = all_to_all_timed(&mut m1, &cfg, &bytes, &ready(n));
+            let mut m2 = Machine::new(MachineConfig::dgx_v100(n));
+            let b = try_all_to_all_timed(&mut m2, &cfg, &bytes, &ready(n)).expect("clean");
+            for dev in 0..n {
+                assert_eq!(a.done_at(dev), b.done_at(dev), "{alg:?} dev {dev}");
+            }
+            assert_eq!(b.retries(), 0);
+            assert_eq!(m1.traffic_stats(), m2.traffic_stats());
+        }
+    }
+
+    #[test]
+    fn try_varied_matches_functional_reference() {
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let inputs = vec![vec![10.0, 20.0, 30.0, 40.0], vec![50.0, 60.0]];
+        let counts = vec![vec![1, 3], vec![2, 0]];
+        let (out, work) =
+            try_all_to_all_varied(&mut m, &CollectiveConfig::default(), &inputs, &counts, &ready(2))
+                .expect("clean fabric");
+        assert_eq!(out[0], vec![10.0, 50.0, 60.0]);
+        assert_eq!(out[1], vec![20.0, 30.0, 40.0]);
+        assert!(work.all_done() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn try_timed_survives_chaos() {
+        use gpusim::{FaultPlan, FaultSpec};
+        let n = 4;
+        let bytes: Vec<Vec<u64>> = (0..n).map(|_| vec![1 << 18; n]).collect();
+        // A moderately hostile fabric: the collective must either complete
+        // (possibly with retries) or fail with a typed error — never panic.
+        let mut completions = 0;
+        let mut total_retries = 0;
+        for seed in 0..20u64 {
+            let mut m = Machine::new(MachineConfig::dgx_v100(n));
+            m.install_faults(FaultPlan::generate(seed, n, FaultSpec::chaos(0.8)));
+            match try_all_to_all_timed(&mut m, &CollectiveConfig::default(), &bytes, &ready(n)) {
+                Ok(w) => {
+                    completions += 1;
+                    total_retries += w.retries();
+                }
+                Err(e) => assert!(matches!(e, FabricError::RetryExhausted { .. })),
+            }
+        }
+        assert!(completions > 0, "some seeds must complete");
+        assert!(total_retries > 0, "chaos(0.8) must force at least one retry");
+    }
+
+    #[test]
+    fn wait_deadline_reports_timeout() {
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let inputs = vec![vec![0.0f32; 1 << 16], vec![0.0f32; 1 << 16]];
+        let (_, work) = all_to_all_single(&mut m, &CollectiveConfig::default(), &inputs, &ready(2));
+        let fine = work.wait(&mut m, 0, SimTime::ZERO);
+        assert_eq!(
+            work.wait_deadline(&mut m, 0, SimTime::ZERO, fine).expect("met"),
+            fine
+        );
+        match work.wait_deadline(&mut m, 0, SimTime::ZERO, SimTime::from_ns(1)) {
+            Err(FabricError::Timeout { completes_at, .. }) => assert_eq!(completes_at, fine),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
     }
 
     #[test]

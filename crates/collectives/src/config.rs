@@ -1,6 +1,7 @@
 //! Collective configuration.
 
 use desim::Dur;
+use gpusim::RetryPolicy;
 
 /// Which communication schedule a collective uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,6 +30,8 @@ pub struct CollectiveConfig {
     /// GPU stores do not; 0.45 is calibrated from the paper's measured
     /// baseline communication phase (DESIGN.md §4).
     pub protocol_efficiency: f64,
+    /// Retry schedule the fallible (`try_`) collectives use per chunk.
+    pub retry: RetryPolicy,
 }
 
 impl Default for CollectiveConfig {
@@ -38,6 +41,7 @@ impl Default for CollectiveConfig {
             chunk_bytes: 4 << 20,
             call_overhead: Dur::from_us(15),
             protocol_efficiency: 0.45,
+            retry: RetryPolicy::default(),
         }
     }
 }

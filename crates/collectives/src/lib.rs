@@ -27,10 +27,17 @@ mod config;
 mod gatherreduce;
 mod work;
 
-pub use alltoall::{all_to_all_single, all_to_all_timed, all_to_all_varied};
+pub use alltoall::{
+    all_to_all_single, all_to_all_timed, all_to_all_varied, try_all_to_all_timed,
+    try_all_to_all_varied,
+};
 pub use config::{Algorithm, CollectiveConfig};
 pub use gatherreduce::{all_gather, all_reduce, all_reduce_timed, broadcast, reduce_scatter};
 pub use work::WorkHandle;
+
+/// The shared fault taxonomy and retry schedule, re-exported so collective
+/// callers need not depend on `gpusim` directly.
+pub use gpusim::{FabricError, RetryPolicy};
 
 use desim::Dur;
 

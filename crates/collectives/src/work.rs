@@ -1,19 +1,32 @@
 //! Async work handles.
 
 use desim::SimTime;
-use gpusim::Machine;
+use gpusim::{FabricError, Machine};
 
 /// Completion record of an asynchronous collective — the analogue of the
 /// request object returned by `all_to_all_single(..., async_op=True)`.
 #[derive(Clone, Debug)]
 pub struct WorkHandle {
     device_done: Vec<SimTime>,
+    retries: u64,
 }
 
 impl WorkHandle {
     /// Build from per-device completion instants.
     pub fn new(device_done: Vec<SimTime>) -> Self {
-        WorkHandle { device_done }
+        WorkHandle { device_done, retries: 0 }
+    }
+
+    /// Build from per-device completion instants plus the number of chunk
+    /// retries the fallible collective paths performed.
+    pub fn with_retries(device_done: Vec<SimTime>, retries: u64) -> Self {
+        WorkHandle { device_done, retries }
+    }
+
+    /// Chunk retries performed while completing this collective (0 on the
+    /// infallible paths or a clean fabric).
+    pub fn retries(&self) -> u64 {
+        self.retries
     }
 
     /// The instant the collective completed on `dev` (device timeline).
@@ -35,6 +48,23 @@ impl WorkHandle {
     pub fn wait(&self, machine: &mut Machine, dev: usize, at: SimTime) -> SimTime {
         let done = self.device_done[dev].max(at);
         done + machine.spec(dev).stream_sync
+    }
+
+    /// [`WorkHandle::wait`] with a completion deadline: fails with
+    /// [`FabricError::Timeout`] if the host would not observe completion by
+    /// `deadline`, reporting when it actually completes.
+    pub fn wait_deadline(
+        &self,
+        machine: &mut Machine,
+        dev: usize,
+        at: SimTime,
+        deadline: SimTime,
+    ) -> Result<SimTime, FabricError> {
+        let t = self.wait(machine, dev, at);
+        if t > deadline {
+            return Err(FabricError::Timeout { deadline, completes_at: t });
+        }
+        Ok(t)
     }
 }
 

@@ -35,7 +35,7 @@ impl BaselineBackend {
 /// dim]` is a strided permute done through framework tensor ops (split /
 /// cat / transpose), which sustains a small fraction of HBM peak. 26 GB/s
 /// is calibrated from the paper's measured sync+unpack phase (DESIGN.md §4).
-const UNPACK_BW: f64 = 26e9;
+pub(crate) const UNPACK_BW: f64 = 26e9;
 
 impl RetrievalBackend for BaselineBackend {
     fn name(&self) -> &'static str {

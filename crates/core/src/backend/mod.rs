@@ -8,9 +8,13 @@
 mod baseline;
 mod functional;
 mod pgas;
+mod resilient;
 
 pub use baseline::BaselineBackend;
 pub use pgas::PgasFusedBackend;
+pub use resilient::{
+    DegradedFill, ResiliencePolicy, ResilienceReport, ResilientBackend, ResilientResult,
+};
 
 use desim::Dur;
 use gpusim::{GpuSpec, KernelShape};

@@ -31,6 +31,46 @@ impl PgasFusedBackend {
     }
 }
 
+/// The fused kernel's one-sided store release schedule for one device:
+/// `(wire-entry instant, destination) → rows`, in ready order.
+///
+/// Release granularity: enough sub-releases that each kernel has ~32
+/// distinct wire-entry instants regardless of its wave structure
+/// (single-wave kernels still overlap). Shared by the plain PGAS backend
+/// and the resilient wrapper so both put identical traffic on the wire.
+pub(crate) fn stream_releases(
+    dp: &crate::DevicePlan,
+    durs: &[Dur],
+    run: &gpusim::KernelRun,
+) -> std::collections::BTreeMap<(SimTime, usize), u64> {
+    let waves = (dp.blocks.len() as u64).div_ceil(run.resident.max(1) as u64);
+    let subs = (32 / waves.max(1)).clamp(1, 32);
+    // Collect every sub-release as (wire-entry instant, dst) → rows, merging
+    // stores that become ready at the same instant (blocks of one wave issue
+    // in lockstep) — the order a link actually sees.
+    let mut releases: std::collections::BTreeMap<(SimTime, usize), u64> =
+        std::collections::BTreeMap::new();
+    for ((blk, &end), &tau) in dp.blocks.iter().zip(&run.block_ends).zip(durs) {
+        for &(dst, rows) in &blk.dest_rows {
+            if dst == dp.device {
+                continue;
+            }
+            let k = subs.min(rows);
+            let base = rows / k;
+            let rem = rows % k;
+            for s in 0..k {
+                let part = base + u64::from(s < rem);
+                if part == 0 {
+                    continue;
+                }
+                let ready = end - tau * (k - 1 - s) * (1.0 / k as f64);
+                *releases.entry((ready, dst)).or_default() += part;
+            }
+        }
+    }
+    releases
+}
+
 impl RetrievalBackend for PgasFusedBackend {
     fn name(&self) -> &'static str {
         "pgas-fused"
@@ -69,35 +109,7 @@ impl RetrievalBackend for PgasFusedBackend {
                 let durs = &durations[which][dp.device];
                 let run = machine.run_kernel_varied(dp.device, durs, batch_start);
                 k_end[dp.device] = run.interval.end;
-                // Release granularity: enough sub-releases that each kernel
-                // has ~32 distinct wire-entry instants regardless of its
-                // wave structure (single-wave kernels still overlap).
-                let waves = (dp.blocks.len() as u64).div_ceil(run.resident.max(1) as u64);
-                let subs = (32 / waves.max(1)).clamp(1, 32) as u64;
-                // Collect every sub-release as (wire-entry instant, dst) →
-                // rows, merging stores that become ready at the same instant
-                // (blocks of one wave issue in lockstep), then put them on
-                // the wire in ready order — the order a link actually sees.
-                let mut releases: std::collections::BTreeMap<(SimTime, usize), u64> =
-                    std::collections::BTreeMap::new();
-                for ((blk, &end), &tau) in dp.blocks.iter().zip(&run.block_ends).zip(durs) {
-                    for &(dst, rows) in &blk.dest_rows {
-                        if dst == dp.device {
-                            continue;
-                        }
-                        let k = subs.min(rows);
-                        let base = rows / k;
-                        let rem = rows % k;
-                        for s in 0..k {
-                            let part = base + u64::from(s < rem);
-                            if part == 0 {
-                                continue;
-                            }
-                            let ready = end - tau * (k - 1 - s) * (1.0 / k as f64);
-                            *releases.entry((ready, dst)).or_default() += part;
-                        }
-                    }
-                }
+                let releases = stream_releases(dp, durs, &run);
                 let mut os = OneSided::with_config(machine, self.pgas);
                 for ((ready, dst), rows) in releases {
                     os.put_rows_nbi(dp.device, dst, rows, row_bytes, ready);

@@ -1,0 +1,690 @@
+//! Resilient retrieval: PGAS-first with graceful degradation.
+//!
+//! Production recommenders cannot return an error to the ranking stage just
+//! because a link flapped: they serve *something* for every request, at
+//! degraded quality if need be. This wrapper drives the PGAS fused path
+//! through the fallible runtime APIs and applies a [`ResiliencePolicy`]:
+//!
+//! * **Failover** — once any directed link has flapped (gone down and come
+//!   back) more than a configured number of times, the remaining batches run
+//!   on the baseline collective path, whose bulk transfers amortize the
+//!   per-message fault exposure of 256 B one-sided stores.
+//! * **Deadlines** — each batch may carry a completion deadline. Rows still
+//!   in flight when it expires are *served from the fill* (zeros or the mean
+//!   embedding) instead of stalling inference, and are counted in the
+//!   served-with-degradation statistics.
+//! * **Retry exhaustion** — a put or collective chunk that exhausts its
+//!   retry budget degrades only the rows it carried; the batch still
+//!   completes.
+//!
+//! On a clean fabric (no fault plan, or a trivial one) the wrapper is
+//! bit-identical in both timing and functional output to
+//! [`PgasFusedBackend`] — resilience costs nothing until something breaks.
+
+use desim::{Dur, SimTime};
+use gpusim::Machine;
+use pgas_rt::{OneSided, PgasConfig};
+use simccl::{try_all_to_all_timed, CollectiveConfig};
+use simtensor::Tensor;
+
+use crate::backend::pgas::stream_releases;
+use crate::backend::{
+    functional, lookup_block_durations, prepare_batches, BackendResult, ExecMode,
+    RetrievalBackend,
+};
+use crate::{EmbLayerConfig, ForwardPlan, RunReport, TimeBreakdown};
+
+/// What to serve in place of a pooled row that missed its deadline or whose
+/// transfer exhausted its retries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradedFill {
+    /// All-zero rows: the interaction layer sees a null embedding.
+    Zeros,
+    /// The mean of the rows that did arrive — a serving-quality fallback
+    /// that keeps downstream activations in distribution.
+    Mean,
+}
+
+/// Tunables of the graceful-degradation behavior.
+#[derive(Clone, Copy, Debug)]
+pub struct ResiliencePolicy {
+    /// Fail over to the baseline collective path once any directed link has
+    /// completed this many down/up flaps. `0` disables failover.
+    pub failover_flaps: usize,
+    /// Per-batch completion deadline, measured from the batch's start.
+    /// `None` waits indefinitely (strict correctness, no degradation).
+    pub batch_deadline: Option<Dur>,
+    /// Fill served for degraded rows.
+    pub fill: DegradedFill,
+    /// Serve every batch on the baseline collective path from the start —
+    /// the failover target measured directly (used by the chaos benchmark
+    /// to locate the PGAS-vs-baseline crossover under faults).
+    pub baseline_only: bool,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            failover_flaps: 3,
+            batch_deadline: None,
+            fill: DegradedFill::Zeros,
+            baseline_only: false,
+        }
+    }
+}
+
+/// Degradation accounting for a resilient run.
+#[derive(Clone, Debug, Default)]
+pub struct ResilienceReport {
+    /// Batches served by the PGAS fused path.
+    pub pgas_batches: usize,
+    /// Batches served by the baseline collective path (after failover).
+    pub baseline_batches: usize,
+    /// Batch index at which failover triggered, if it did.
+    pub failover_at: Option<usize>,
+    /// One-sided puts that needed at least one retry but were delivered.
+    pub retried_puts: u64,
+    /// Total retries across puts and collective chunks.
+    pub retries: u64,
+    /// Puts that exhausted their retry budget.
+    pub exhausted_puts: u64,
+    /// Pooled rows served from the fill instead of real data.
+    pub degraded_rows: u64,
+    /// All pooled rows served (degraded or not).
+    pub total_rows: u64,
+    /// Batches whose deadline expired before completion.
+    pub deadline_missed_batches: usize,
+    /// Wall time of each batch, in execution order (for p50/p99 latency).
+    pub batch_latencies: Vec<Dur>,
+}
+
+impl ResilienceReport {
+    /// Fraction of served rows that carried the fill instead of real data.
+    pub fn degraded_fraction(&self) -> f64 {
+        if self.total_rows == 0 {
+            0.0
+        } else {
+            self.degraded_rows as f64 / self.total_rows as f64
+        }
+    }
+
+    /// Batch-latency quantile in `[0, 1]` (nearest-rank on the sorted
+    /// latencies). [`Dur::ZERO`] if no batches ran.
+    pub fn latency_quantile(&self, q: f64) -> Dur {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0, 1]");
+        if self.batch_latencies.is_empty() {
+            return Dur::ZERO;
+        }
+        let mut sorted = self.batch_latencies.clone();
+        sorted.sort();
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+}
+
+/// A backend run plus its degradation accounting.
+#[derive(Clone, Debug)]
+pub struct ResilientResult {
+    /// The ordinary backend result (report + optional outputs).
+    pub result: BackendResult,
+    /// What the resilience machinery did along the way.
+    pub resilience: ResilienceReport,
+}
+
+/// PGAS retrieval hardened against link faults, stragglers and message
+/// loss. See the module docs for the policy semantics.
+#[derive(Clone, Debug, Default)]
+pub struct ResilientBackend {
+    /// One-sided runtime tuning for the PGAS path (includes the retry
+    /// schedule puts use).
+    pub pgas: PgasConfig,
+    /// Collective tuning for the post-failover baseline path.
+    pub collectives: CollectiveConfig,
+    /// Degradation policy.
+    pub policy: ResiliencePolicy,
+}
+
+impl ResilientBackend {
+    /// Default policy over default PGAS/collective configs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the policy.
+    pub fn with_policy(mut self, policy: ResiliencePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Run with full degradation accounting. Never panics on fabric faults:
+    /// every batch completes and (in functional mode) outputs are always
+    /// produced, with degraded rows carrying the policy's fill.
+    pub fn run_resilient(
+        &self,
+        machine: &mut Machine,
+        cfg: &EmbLayerConfig,
+        mode: ExecMode,
+    ) -> ResilientResult {
+        let n = machine.n_gpus();
+        assert_eq!(n, cfg.n_gpus, "machine/config GPU count mismatch");
+        let prepared = prepare_batches(cfg, mode, &machine.spec(0).clone());
+        let row_bytes = (cfg.dim * 4) as u64;
+
+        let durations: Vec<Vec<Vec<Dur>>> = prepared
+            .plans
+            .iter()
+            .map(|plan| {
+                plan.devices
+                    .iter()
+                    .map(|dp| lookup_block_durations(dp, plan, machine.spec(dp.device)))
+                    .collect()
+            })
+            .collect();
+        let byte_matrices: Vec<Vec<Vec<u64>>> = prepared
+            .plans
+            .iter()
+            .map(|plan| {
+                plan.devices
+                    .iter()
+                    .map(|dp| (0..n).map(|g| dp.rows_to(g) * row_bytes).collect())
+                    .collect()
+            })
+            .collect();
+
+        let mut rep = ResilienceReport::default();
+        let mut breakdown = TimeBreakdown::default();
+        let mut batch_start = SimTime::ZERO;
+        let mut failed_over = self.policy.baseline_only;
+        // Per-destination degraded rows of the most recent batch — the ones
+        // the functional fill applies to.
+        let mut final_degraded = vec![0u64; n];
+        for batch_idx in 0..cfg.n_batches {
+            let which = batch_idx % prepared.plans.len();
+            let plan = &prepared.plans[which];
+            final_degraded.iter_mut().for_each(|d| *d = 0);
+
+            if !failed_over && self.policy.failover_flaps > 0 {
+                if let Some(fp) = machine.faults() {
+                    let tripped = (0..n).any(|s| {
+                        (0..n).any(|d| {
+                            s != d && fp.flap_count(s, d, batch_start) >= self.policy.failover_flaps
+                        })
+                    });
+                    if tripped {
+                        failed_over = true;
+                        rep.failover_at = Some(batch_idx);
+                    }
+                }
+            }
+
+            let deadline = self.policy.batch_deadline.map(|d| batch_start + d);
+            rep.total_rows += plan
+                .mb_sizes
+                .iter()
+                .map(|&m| (m * plan.n_features) as u64)
+                .sum::<u64>();
+
+            let batch_end = if failed_over {
+                rep.baseline_batches += 1;
+                self.baseline_batch(
+                    machine,
+                    plan,
+                    &durations[which],
+                    &byte_matrices[which],
+                    batch_start,
+                    deadline,
+                    &mut rep,
+                    &mut breakdown,
+                    &mut final_degraded,
+                )
+            } else {
+                rep.pgas_batches += 1;
+                self.pgas_batch(
+                    machine,
+                    plan,
+                    &durations[which],
+                    batch_start,
+                    deadline,
+                    &mut rep,
+                    &mut breakdown,
+                    &mut final_degraded,
+                )
+            };
+            rep.batch_latencies.push(batch_end - batch_start);
+            batch_start = batch_end;
+        }
+
+        let outputs = match mode {
+            ExecMode::Timing => None,
+            ExecMode::Functional => {
+                let which = (cfg.n_batches.saturating_sub(1)) % prepared.plans.len();
+                let plan = &prepared.plans[which];
+                let batch = &prepared.batches[which];
+                let shards = functional::materialize_shards(plan, cfg.table_spec(), cfg.seed);
+                let pooled: Vec<Vec<f32>> = plan
+                    .devices
+                    .iter()
+                    .map(|dp| {
+                        functional::compute_pooled_rows(dp, plan, batch, &shards[dp.device], cfg.seed)
+                    })
+                    .collect();
+                let mut outs = if failed_over {
+                    functional::exchange_and_unpack(plan, &pooled)
+                } else {
+                    functional::scatter_via_symmetric_heap(plan, &pooled)
+                };
+                for (out, &deg) in outs.iter_mut().zip(&final_degraded) {
+                    apply_fill(self.policy.fill, out, deg, cfg.dim);
+                }
+                Some(outs)
+            }
+        };
+
+        ResilientResult {
+            result: BackendResult {
+                report: RunReport {
+                    batches: cfg.n_batches,
+                    breakdown,
+                    total: breakdown.total(),
+                    traffic: machine.traffic_stats(),
+                    comm_series: machine.total_traffic(),
+                },
+                outputs,
+            },
+            resilience: rep,
+        }
+    }
+
+    /// One batch on the PGAS fused path through the fallible put/quiet
+    /// APIs. Returns the instant the batch completes on every device.
+    #[allow(clippy::too_many_arguments)]
+    fn pgas_batch(
+        &self,
+        machine: &mut Machine,
+        plan: &ForwardPlan,
+        durs_all: &[Vec<Dur>],
+        batch_start: SimTime,
+        deadline: Option<SimTime>,
+        rep: &mut ResilienceReport,
+        breakdown: &mut TimeBreakdown,
+        final_degraded: &mut [u64],
+    ) -> SimTime {
+        let n = machine.n_gpus();
+        let row_bytes = (plan.dim * 4) as u32;
+        let mut k_end = vec![SimTime::ZERO; n];
+        let mut proceed = vec![SimTime::ZERO; n];
+        let mut missed = false;
+        for dp in &plan.devices {
+            let durs = &durs_all[dp.device];
+            let run = machine.run_kernel_varied(dp.device, durs, batch_start);
+            k_end[dp.device] = run.interval.end;
+            let releases = stream_releases(dp, durs, &run);
+            let mut os = OneSided::with_config(machine, self.pgas);
+            // Rows whose delivery lands past the deadline: degraded only if
+            // the quiet actually abandons them (it always observes them).
+            let mut late_by_dst = vec![0u64; n];
+            for ((ready, dst), rows) in releases {
+                match os.try_put_rows_nbi(dp.device, dst, rows, row_bytes, ready) {
+                    Ok(d) => {
+                        if deadline.is_some_and(|dl| d.interval.end > dl) {
+                            late_by_dst[dst] += rows;
+                        }
+                    }
+                    Err(_) => {
+                        rep.degraded_rows += rows;
+                        final_degraded[dst] += rows;
+                    }
+                }
+            }
+            let st = os.retry_stats();
+            rep.retried_puts += st.retried_puts;
+            rep.retries += st.retries;
+            rep.exhausted_puts += st.exhausted;
+            proceed[dp.device] = match deadline {
+                Some(dl) => match os.try_quiet(dp.device, run.interval.end, dl) {
+                    Ok(t) => t,
+                    Err(_) => {
+                        missed = true;
+                        for (dst, &late) in late_by_dst.iter().enumerate() {
+                            rep.degraded_rows += late;
+                            final_degraded[dst] += late;
+                        }
+                        dl
+                    }
+                },
+                None => os.quiet(dp.device, run.interval.end),
+            };
+        }
+        if missed {
+            rep.deadline_missed_batches += 1;
+        }
+        let k_max = machine.barrier(&k_end);
+        let mut os = OneSided::with_config(machine, self.pgas);
+        let bar = os.barrier_all(&proceed);
+        let end: Vec<SimTime> = (0..n).map(|d| machine.stream_sync(d, bar)).collect();
+        let batch_end = machine.barrier(&end);
+        breakdown.accumulate(&TimeBreakdown {
+            compute: k_max - batch_start,
+            communication: Dur::ZERO,
+            sync_unpack: batch_end - k_max,
+        });
+        batch_end
+    }
+
+    /// One batch on the baseline collective path (after failover), through
+    /// the fallible collective with per-device deadline waits.
+    #[allow(clippy::too_many_arguments)]
+    fn baseline_batch(
+        &self,
+        machine: &mut Machine,
+        plan: &ForwardPlan,
+        durs_all: &[Vec<Dur>],
+        bytes: &[Vec<u64>],
+        batch_start: SimTime,
+        deadline: Option<SimTime>,
+        rep: &mut ResilienceReport,
+        breakdown: &mut TimeBreakdown,
+        final_degraded: &mut [u64],
+    ) -> SimTime {
+        let n = machine.n_gpus();
+        let row_bytes = (plan.dim * 4) as u64;
+        let mut k_end = vec![SimTime::ZERO; n];
+        for dp in &plan.devices {
+            let run = machine.run_kernel_varied(dp.device, &durs_all[dp.device], batch_start);
+            k_end[dp.device] = run.interval.end;
+        }
+        let k_max = machine.barrier(&k_end);
+        let remote_rows = |d: usize| -> u64 {
+            plan.devices
+                .iter()
+                .filter(|dp| dp.device != d)
+                .map(|dp| dp.rows_to(d))
+                .sum()
+        };
+        match try_all_to_all_timed(machine, &self.collectives, bytes, &k_end) {
+            Ok(work) => {
+                rep.retries += work.retries();
+                let c_end: Vec<SimTime> = (0..n).map(|d| work.done_at(d)).collect();
+                let c_max = machine.barrier(&c_end).max(k_max);
+                let mut end = vec![SimTime::ZERO; n];
+                let mut missed = false;
+                for d in 0..n {
+                    let waited = match deadline {
+                        Some(dl) => match work.wait_deadline(machine, d, k_end[d], dl) {
+                            Ok(t) => t,
+                            Err(_) => {
+                                // Serve the fill for everything remote; no
+                                // unpack of data that never arrived.
+                                missed = true;
+                                let r = remote_rows(d);
+                                rep.degraded_rows += r;
+                                final_degraded[d] += r;
+                                end[d] = machine.stream_sync(d, dl);
+                                continue;
+                            }
+                        },
+                        None => work.wait(machine, d, k_end[d]),
+                    };
+                    let remote_features = plan.n_features - plan.devices[d].features.len();
+                    let unpack_bytes =
+                        2 * (plan.mb_sizes[d] * remote_features) as u64 * row_bytes;
+                    let dur = Dur::from_secs_f64(unpack_bytes as f64 / super::baseline::UNPACK_BW);
+                    let run = machine.run_kernel_varied(d, &[dur], waited);
+                    end[d] = machine.stream_sync(d, run.interval.end);
+                }
+                if missed {
+                    rep.deadline_missed_batches += 1;
+                }
+                let batch_end = machine.barrier(&end);
+                breakdown.accumulate(&TimeBreakdown {
+                    compute: k_max - batch_start,
+                    communication: c_max - k_max,
+                    sync_unpack: batch_end - c_max,
+                });
+                batch_end
+            }
+            Err(e) => {
+                // The collective itself exhausted its retries: this batch's
+                // remote rows are all served from the fill.
+                for (d, fd) in final_degraded.iter_mut().enumerate() {
+                    let r = remote_rows(d);
+                    rep.degraded_rows += r;
+                    *fd += r;
+                }
+                let at = e.observed_at();
+                let end: Vec<SimTime> = (0..n)
+                    .map(|d| machine.stream_sync(d, k_end[d].max(at)))
+                    .collect();
+                let batch_end = machine.barrier(&end);
+                breakdown.accumulate(&TimeBreakdown {
+                    compute: k_max - batch_start,
+                    communication: batch_end - k_max,
+                    sync_unpack: Dur::ZERO,
+                });
+                batch_end
+            }
+        }
+    }
+}
+
+impl RetrievalBackend for ResilientBackend {
+    fn name(&self) -> &'static str {
+        "pgas-resilient"
+    }
+
+    fn run(&self, machine: &mut Machine, cfg: &EmbLayerConfig, mode: ExecMode) -> BackendResult {
+        self.run_resilient(machine, cfg, mode).result
+    }
+}
+
+/// Overwrite `degraded` pooled rows of a `[mb, n_features × dim]` output
+/// with the policy fill.
+///
+/// The timing model moves row *counts*, not row identities, so which
+/// specific rows were late is not knowable; the fill is applied to the tail
+/// rows deterministically — the statistic (how many rows were served
+/// degraded) is the modeled quantity.
+pub(crate) fn apply_fill(fill: DegradedFill, out: &mut Tensor, degraded: u64, dim: usize) {
+    let data = out.data_mut();
+    debug_assert_eq!(data.len() % dim, 0);
+    let n_rows = data.len() / dim;
+    let k = (degraded as usize).min(n_rows);
+    if k == 0 {
+        return;
+    }
+    let intact = n_rows - k;
+    let fill_row: Vec<f32> = match fill {
+        DegradedFill::Zeros => vec![0.0; dim],
+        DegradedFill::Mean => {
+            let mut acc = vec![0.0f64; dim];
+            for r in 0..intact {
+                for (j, a) in acc.iter_mut().enumerate() {
+                    *a += f64::from(data[r * dim + j]);
+                }
+            }
+            let denom = intact.max(1) as f64;
+            acc.iter().map(|&v| (v / denom) as f32).collect()
+        }
+    };
+    for r in intact..n_rows {
+        data[r * dim..(r + 1) * dim].copy_from_slice(&fill_row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::PgasFusedBackend;
+    use gpusim::{FaultPlan, FaultSpec, MachineConfig};
+
+    fn tiny_cfg(g: usize) -> EmbLayerConfig {
+        let mut c = EmbLayerConfig::paper_weak_scaling(g).scaled_down(512);
+        c.n_batches = 3;
+        c.distinct_batches = 2;
+        c
+    }
+
+    #[test]
+    fn clean_fabric_is_bit_identical_to_pgas() {
+        let cfg = tiny_cfg(2);
+        let mut mp = Machine::new(MachineConfig::dgx_v100(2));
+        let p = PgasFusedBackend::new().run(&mut mp, &cfg, ExecMode::Timing);
+        let mut mr = Machine::new(MachineConfig::dgx_v100(2));
+        let r = ResilientBackend::new().run_resilient(&mut mr, &cfg, ExecMode::Timing);
+        assert_eq!(r.result.report.total, p.report.total);
+        assert_eq!(r.result.report.breakdown, p.report.breakdown);
+        assert_eq!(
+            r.result.report.traffic.payload_bytes,
+            p.report.traffic.payload_bytes
+        );
+        assert_eq!(r.result.report.traffic.messages, p.report.traffic.messages);
+        let res = &r.resilience;
+        assert_eq!(res.pgas_batches, cfg.n_batches);
+        assert_eq!(res.baseline_batches, 0);
+        assert_eq!(res.failover_at, None);
+        assert_eq!(res.degraded_rows, 0);
+        assert_eq!(res.retries, 0);
+        assert!(res.total_rows > 0);
+        assert_eq!(res.batch_latencies.len(), cfg.n_batches);
+    }
+
+    #[test]
+    fn trivial_fault_plan_is_also_identical() {
+        let cfg = tiny_cfg(2);
+        let mut mp = Machine::new(MachineConfig::dgx_v100(2));
+        let p = PgasFusedBackend::new().run(&mut mp, &cfg, ExecMode::Timing);
+        let mut mr = Machine::new(MachineConfig::dgx_v100(2));
+        mr.install_faults(FaultPlan::generate(7, 2, FaultSpec::chaos(0.0)));
+        let r = ResilientBackend::new().run_resilient(&mut mr, &cfg, ExecMode::Timing);
+        assert_eq!(r.result.report.total, p.report.total);
+        assert_eq!(r.resilience.degraded_rows, 0);
+    }
+
+    #[test]
+    fn functional_clean_matches_pgas_outputs() {
+        let cfg = tiny_cfg(2);
+        let mut mp = Machine::new(MachineConfig::dgx_v100(2));
+        let p = PgasFusedBackend::new().run(&mut mp, &cfg, ExecMode::Functional);
+        let mut mr = Machine::new(MachineConfig::dgx_v100(2));
+        let r = ResilientBackend::new().run_resilient(&mut mr, &cfg, ExecMode::Functional);
+        for (a, b) in r.result.outputs.unwrap().iter().zip(&p.outputs.unwrap()) {
+            assert!(a.allclose(b, 0.0), "clean resilient run must not alter outputs");
+        }
+    }
+
+    #[test]
+    fn baseline_only_matches_baseline_on_clean_fabric() {
+        use crate::backend::BaselineBackend;
+        let cfg = tiny_cfg(2);
+        let mut mb = Machine::new(MachineConfig::dgx_v100(2));
+        let b = BaselineBackend::new().run(&mut mb, &cfg, ExecMode::Timing);
+        let mut mr = Machine::new(MachineConfig::dgx_v100(2));
+        let policy = ResiliencePolicy {
+            baseline_only: true,
+            ..ResiliencePolicy::default()
+        };
+        let r = ResilientBackend::new()
+            .with_policy(policy)
+            .run_resilient(&mut mr, &cfg, ExecMode::Timing);
+        assert_eq!(r.result.report.total, b.report.total);
+        assert_eq!(r.result.report.breakdown, b.report.breakdown);
+        assert_eq!(r.resilience.baseline_batches, cfg.n_batches);
+        assert_eq!(r.resilience.pgas_batches, 0);
+        assert_eq!(r.resilience.failover_at, None);
+    }
+
+    #[test]
+    fn impossible_deadline_degrades_but_always_returns() {
+        let cfg = tiny_cfg(2);
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let policy = ResiliencePolicy {
+            batch_deadline: Some(Dur::from_ns(1)),
+            ..ResiliencePolicy::default()
+        };
+        let r = ResilientBackend::new()
+            .with_policy(policy)
+            .run_resilient(&mut m, &cfg, ExecMode::Functional);
+        let res = &r.resilience;
+        assert_eq!(res.deadline_missed_batches, cfg.n_batches);
+        assert!(res.degraded_rows > 0, "late rows must be counted");
+        assert!(res.degraded_fraction() > 0.0 && res.degraded_fraction() <= 1.0);
+        // Inference still returns outputs, with the tail rows zero-filled.
+        let outs = r.result.outputs.expect("outputs always produced");
+        let dim = cfg.dim;
+        let out0 = &outs[0];
+        let rows = out0.data().len() / dim;
+        let tail = &out0.data()[(rows - 1) * dim..];
+        assert!(tail.iter().all(|&v| v == 0.0), "degraded tail must be filled");
+    }
+
+    #[test]
+    fn failover_trips_on_flapping_links() {
+        // A spec that flaps hard and fast so a handful of µs-scale batches
+        // observe several completed down/up cycles.
+        let spec = FaultSpec {
+            flap_rate: 50_000.0,
+            flap_window: (Dur::from_us(1), Dur::from_us(5)),
+            horizon: Dur::from_ms(50),
+            ..FaultSpec::none()
+        };
+        let cfg = tiny_cfg(2);
+        let policy = ResiliencePolicy {
+            failover_flaps: 1,
+            ..ResiliencePolicy::default()
+        };
+        let mut found = None;
+        for seed in 0..64u64 {
+            let mut m = Machine::new(MachineConfig::dgx_v100(2));
+            m.install_faults(FaultPlan::generate(seed, 2, spec));
+            let r = ResilientBackend::new()
+                .with_policy(policy)
+                .run_resilient(&mut m, &cfg, ExecMode::Timing);
+            if r.resilience.failover_at.is_some() {
+                found = Some(r);
+                break;
+            }
+        }
+        let r = found.expect("some seed must flap before the run ends");
+        let res = &r.resilience;
+        assert!(res.baseline_batches > 0, "failover must hand batches to baseline");
+        assert_eq!(
+            res.pgas_batches + res.baseline_batches,
+            cfg.n_batches,
+            "every batch is served by exactly one path"
+        );
+        assert!(res.failover_at.unwrap() < cfg.n_batches);
+    }
+
+    #[test]
+    fn chaos_always_completes_every_batch() {
+        let cfg = tiny_cfg(2);
+        for seed in 0..20u64 {
+            let mut m = Machine::new(MachineConfig::dgx_v100(2));
+            m.install_faults(FaultPlan::generate(seed, 2, FaultSpec::chaos(0.8)));
+            let policy = ResiliencePolicy {
+                batch_deadline: Some(Dur::from_ms(5)),
+                ..ResiliencePolicy::default()
+            };
+            let r = ResilientBackend::new()
+                .with_policy(policy)
+                .run_resilient(&mut m, &cfg, ExecMode::Timing);
+            let res = &r.resilience;
+            assert_eq!(res.batch_latencies.len(), cfg.n_batches);
+            assert!(res.total_rows > 0);
+            assert!(res.degraded_rows <= res.total_rows);
+            assert!(res.latency_quantile(0.99) >= res.latency_quantile(0.5));
+        }
+    }
+
+    #[test]
+    fn mean_fill_replaces_tail_with_mean_of_intact_rows() {
+        let dim = 2;
+        let mut t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 9.0, 9.0], &[3, 2]);
+        apply_fill(DegradedFill::Mean, &mut t, 1, dim);
+        assert_eq!(t.data(), &[1.0, 2.0, 3.0, 4.0, 2.0, 3.0]);
+        // Zeros fill, everything degraded.
+        let mut z = Tensor::from_vec(vec![1.0; 6], &[3, 2]);
+        apply_fill(DegradedFill::Zeros, &mut z, 99, dim);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+    }
+}

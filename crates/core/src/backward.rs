@@ -162,11 +162,11 @@ pub fn baseline_backward(
         // Gradient "computation" on each device: materializing mb × S grad
         // rows from the interaction layer's gradient (memory-bound).
         let mut k_end = vec![SimTime::ZERO; n];
-        for d in 0..n {
+        for (d, ke) in k_end.iter_mut().enumerate() {
             let bytes = (plan.mb_sizes[d] * plan.n_features) as u64 * row_bytes * 2;
             let shape = KernelShape::memory_bound(bytes.div_ceil(128 << 10).max(1), 128 << 10);
             let run = machine.run_kernel(d, shape, batch_start);
-            k_end[d] = run.interval.end;
+            *ke = run.interval.end;
         }
         let k_max = machine.barrier(&k_end);
 

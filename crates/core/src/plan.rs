@@ -309,7 +309,9 @@ mod tests {
         assert_eq!(p.mb_size, 4);
         let (dst, idx) = p.output_index(2, 9);
         assert_eq!(dst, 9 / 4);
-        assert_eq!(idx, ((9 % 4) * 4 + 2) * 8);
+        #[allow(clippy::identity_op)] // spelled out: (mb_row * S + feature) * dim
+        let expect = ((9 % 4) * 4 + 2) * 8;
+        assert_eq!(idx, expect);
         assert!(idx < p.output_elems());
     }
 

@@ -174,8 +174,8 @@ pub fn rowwise_baseline_forward(
     let mut batch_start = SimTime::ZERO;
     for _ in 0..cfg.n_batches {
         let mut k_end = vec![SimTime::ZERO; n];
-        for d in 0..n {
-            k_end[d] = machine.run_kernel_varied(d, &durs, batch_start).interval.end;
+        for (d, ke) in k_end.iter_mut().enumerate() {
+            *ke = machine.run_kernel_varied(d, &durs, batch_start).interval.end;
         }
         let k_max = machine.barrier(&k_end);
 
@@ -247,7 +247,7 @@ pub fn rowwise_pgas_forward(
             let run = machine.run_kernel_varied(d, &durs, batch_start);
             k_end[d] = run.interval.end;
             let waves = (blocks as u64).div_ceil(run.resident.max(1) as u64);
-            let subs = (32 / waves.max(1)).clamp(1, 32) as u64;
+            let subs = (32 / waves.max(1)).clamp(1, 32);
             // Bags are feature-major over the FULL batch: a block's bags
             // belong to sample range [first % N, ...]; its partial rows for
             // remote-owned samples are atomically pushed.

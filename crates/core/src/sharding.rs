@@ -192,7 +192,7 @@ mod tests {
             Sharding::table_wise_block(12, 4),
             Sharding::table_wise_round_robin(12, 4),
         ] {
-            let mut seen = vec![0; 12];
+            let mut seen = [0; 12];
             for d in 0..4 {
                 for f in s.features_on(d, 12) {
                     seen[f] += 1;

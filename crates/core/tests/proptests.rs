@@ -1,9 +1,12 @@
 //! Property-based tests for the embedding-retrieval structures.
 
+use desim::Dur;
+use emb_retrieval::backend::{ExecMode, ResiliencePolicy, ResilientBackend};
 use emb_retrieval::{
     hash_to_row, EmbLayerConfig, ForwardPlan, IndexDistribution, IndexHasher, PoolingOp,
     Sharding, SparseBatch, SparseBatchSpec,
 };
+use gpusim::{FaultPlan, FaultSpec, Machine, MachineConfig};
 use proptest::prelude::*;
 
 fn batch_strategy() -> impl Strategy<Value = (SparseBatch, usize)> {
@@ -121,6 +124,48 @@ proptest! {
             let z = IndexDistribution::Zipf { exponent: 1.2 }.cache_hit_fraction(space, rows, cache);
             prop_assert!(z >= u, "skew concentrates traffic: z={z} u={u}");
         }
+    }
+
+    /// The whole resilient retrieval run is a pure function of the chaos
+    /// seed: same seed ⇒ bit-identical functional outputs, timings and
+    /// resilience counters across two independent runs.
+    #[test]
+    fn identical_chaos_seed_identical_retrieval(
+        seed in 0u64..200,
+        intensity in 0.1f64..1.0,
+        deadline_us in 50u64..5000,
+    ) {
+        let mut cfg = EmbLayerConfig::paper_weak_scaling(2).scaled_down(512);
+        cfg.n_batches = 2;
+        cfg.distinct_batches = 1;
+        let run = || {
+            let mut m = Machine::new(MachineConfig::dgx_v100(2));
+            m.install_faults(FaultPlan::generate(seed, 2, FaultSpec::chaos(intensity)));
+            let backend = ResilientBackend::new().with_policy(ResiliencePolicy {
+                batch_deadline: Some(Dur::from_us(deadline_us)),
+                ..ResiliencePolicy::default()
+            });
+            let r = backend.run_resilient(&mut m, &cfg, ExecMode::Functional);
+            let outs: Vec<Vec<f32>> = r
+                .result
+                .outputs
+                .expect("functional mode returns outputs")
+                .iter()
+                .map(|t| t.data().to_vec())
+                .collect();
+            (
+                r.result.report.total,
+                outs,
+                r.resilience.degraded_rows,
+                r.resilience.retries,
+                r.resilience.batch_latencies.clone(),
+                m.faults().expect("plan installed").fingerprint(),
+            )
+        };
+        let a = run();
+        let b = run();
+        // Outputs must be bit-identical, not approximately equal.
+        prop_assert_eq!(a, b);
     }
 
     /// scaled_down always produces a valid, divisible configuration.

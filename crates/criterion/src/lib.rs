@@ -1,0 +1,178 @@
+//! In-tree stand-in for `criterion` (the build environment has no network
+//! access). Benches compile and run as smoke tests: each closure is timed
+//! over a handful of iterations and a one-line mean is printed. No
+//! statistics, no plots — the simulated results the benches print are the
+//! interesting output in this repository.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u32 = 1;
+const MEASURE_ITERS: u32 = 3;
+
+/// The bench driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run one stand-alone bench.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(&format!("{id}"), &mut f);
+    }
+}
+
+/// A group of benches sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declared throughput (recorded for API compatibility; unused).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Declared sample count (unused; the stub always runs a few iters).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one bench in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), &mut f);
+        self
+    }
+
+    /// Run one bench with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut g = |b: &mut Bencher| f(b, input);
+        run_one(&format!("{}/{id}", self.name), &mut g);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher { elapsed_ns: 0, iters: 0 };
+    f(&mut b);
+    if b.iters > 0 {
+        println!("bench {label}: {:.3} ms/iter ({} iters)", b.elapsed_ns as f64 / b.iters as f64 / 1e6, b.iters);
+    }
+}
+
+/// Passed to the bench closure; `iter` times the workload.
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f` over a few iterations (after one warmup call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(f());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos();
+        self.iters += MEASURE_ITERS as u64;
+    }
+}
+
+/// A two-part bench identifier, `function/parameter`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `"{name}/{param}"`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId { text: format!("{name}/{param}") }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId { text: format!("{param}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Declared throughput of a bench (unused by the stub).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Group bench functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10).throughput(Throughput::Elements(4));
+        g.bench_function("direct", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(3) * 3));
+    }
+
+    criterion_group!(benches, a_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+        assert_eq!(format!("{}", BenchmarkId::new("f", 2)), "f/2");
+        assert_eq!(format!("{}", BenchmarkId::from_parameter(9)), "9");
+    }
+}

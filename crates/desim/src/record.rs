@@ -167,11 +167,9 @@ impl Histogram {
 
     /// `(bucket_upper_bound, count)` for each non-empty power-of-two bucket.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.counts.iter().enumerate().filter_map(|(i, &c)| {
-            (c > 0).then(|| {
-                let ub = if i == 0 { 0 } else { (1u64 << i) - 1 };
-                (ub, c)
-            })
+        self.counts.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(i, &c)| {
+            let ub = if i == 0 { 0 } else { (1u64 << i) - 1 };
+            (ub, c)
         })
     }
 }
@@ -267,7 +265,7 @@ mod tests {
         assert_eq!(h.count(), 6);
         assert_eq!(h.min(), Some(0));
         assert_eq!(h.max(), Some(257));
-        assert!((h.mean() - (0 + 1 + 2 + 3 + 256 + 257) as f64 / 6.0).abs() < 1e-12);
+        assert!((h.mean() - (1 + 2 + 3 + 256 + 257) as f64 / 6.0).abs() < 1e-12);
         let buckets: Vec<_> = h.buckets().collect();
         // value 0 -> bucket ub 0; 1 -> ub 1; 2,3 -> ub 3; 256,257 -> ub 511.
         assert_eq!(buckets, vec![(0, 1), (1, 1), (3, 2), (511, 2)]);

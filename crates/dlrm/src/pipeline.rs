@@ -10,7 +10,9 @@
 //! reported separately and is exactly what `reproduce` regenerates.
 
 use desim::Dur;
-use emb_retrieval::backend::{BackendResult, ExecMode, RetrievalBackend};
+use emb_retrieval::backend::{
+    BackendResult, ExecMode, ResilienceReport, ResilientBackend, RetrievalBackend,
+};
 use emb_retrieval::RunReport;
 use gpusim::{KernelShape, Machine};
 use simtensor::Tensor;
@@ -63,12 +65,37 @@ impl<'a> InferencePipeline<'a> {
         backend: &dyn RetrievalBackend,
         mode: ExecMode,
     ) -> PipelineReport {
+        // The EMB stage (timed + optionally functional).
+        let BackendResult { report, outputs } = backend.run(machine, &self.model.cfg.emb, mode);
+        self.assemble(machine, report, outputs)
+    }
+
+    /// Like [`InferencePipeline::run`], but through a [`ResilientBackend`]
+    /// so fabric faults degrade answers instead of failing them. Inference
+    /// always returns: every batch completes and (in functional mode)
+    /// predictions are always produced, with degraded embedding rows served
+    /// from the policy's fill. The degradation accounting rides along.
+    pub fn run_resilient(
+        &self,
+        machine: &mut Machine,
+        backend: &ResilientBackend,
+        mode: ExecMode,
+    ) -> (PipelineReport, ResilienceReport) {
+        let r = backend.run_resilient(machine, &self.model.cfg.emb, mode);
+        let BackendResult { report, outputs } = r.result;
+        (self.assemble(machine, report, outputs), r.resilience)
+    }
+
+    /// Fold an EMB-stage result into the end-to-end pipeline report.
+    fn assemble(
+        &self,
+        machine: &Machine,
+        report: RunReport,
+        outputs: Option<Vec<Tensor>>,
+    ) -> PipelineReport {
         let cfg = &self.model.cfg;
         let mb = cfg.emb.mb_size();
         let spec = machine.spec(0).clone();
-
-        // The EMB stage (timed + optionally functional).
-        let BackendResult { report, outputs } = backend.run(machine, &cfg.emb, mode);
 
         // Per-batch MLP costs (identical every batch: same shapes).
         let top_shape = self.model.top.kernel_shape(mb, &spec);
@@ -157,6 +184,46 @@ mod tests {
                 x.allclose(y, 1e-6),
                 "backends must yield the same predictions"
             );
+        }
+    }
+
+    #[test]
+    fn resilient_pipeline_matches_pgas_on_clean_fabric() {
+        let cfg = DlrmConfig::tiny(2);
+        let model = Dlrm::new(cfg);
+        let pipeline = InferencePipeline::new(&model);
+        let mut mp = Machine::new(MachineConfig::dgx_v100(2));
+        let p = pipeline.run(&mut mp, &PgasFusedBackend::new(), ExecMode::Timing);
+        let mut mr = Machine::new(MachineConfig::dgx_v100(2));
+        let (r, res) = pipeline.run_resilient(&mut mr, &ResilientBackend::new(), ExecMode::Timing);
+        assert_eq!(r.total, p.total);
+        assert_eq!(r.emb.total, p.emb.total);
+        assert_eq!(res.degraded_rows, 0);
+    }
+
+    #[test]
+    fn resilient_pipeline_always_predicts_under_chaos() {
+        use gpusim::{FaultPlan, FaultSpec};
+        let cfg = DlrmConfig::tiny(2);
+        let model = Dlrm::new(cfg);
+        let pipeline = InferencePipeline::new(&model);
+        for seed in 0..8u64 {
+            let mut m = Machine::new(MachineConfig::dgx_v100(2));
+            m.install_faults(FaultPlan::generate(seed, 2, FaultSpec::chaos(0.9)));
+            let backend = ResilientBackend::new().with_policy(
+                emb_retrieval::backend::ResiliencePolicy {
+                    batch_deadline: Some(Dur::from_ms(2)),
+                    ..Default::default()
+                },
+            );
+            let (r, res) = pipeline.run_resilient(&mut m, &backend, ExecMode::Functional);
+            let preds = r.predictions.expect("inference must always return");
+            assert_eq!(preds.len(), 2);
+            assert!(
+                preds.iter().all(|t| t.data().iter().all(|v| v.is_finite())),
+                "degraded serving must stay numerically sane"
+            );
+            assert_eq!(res.batch_latencies.len(), r.batches);
         }
     }
 

@@ -197,7 +197,7 @@ mod tests {
         let y = labels(mb, 5);
         let first = model.head_train_step(&dense, &emb, &y, 0.1).loss;
         let mut last = first;
-        for _ in 0..30 {
+        for _ in 0..200 {
             last = model.head_train_step(&dense, &emb, &y, 0.1).loss;
         }
         assert!(

@@ -105,6 +105,22 @@ pub struct KernelRun {
 impl KernelRun {
     /// Build the wave-model run for `shape` starting execution at `start`.
     pub fn wave_model(shape: &KernelShape, spec: &GpuSpec, start: SimTime) -> KernelRun {
+        Self::wave_model_scaled(shape, spec, start, 1.0)
+    }
+
+    /// [`KernelRun::wave_model`] with every block time multiplied by `slow`
+    /// (a straggler factor, `>= 1`). `slow == 1.0` takes the exact unscaled
+    /// path — no float round-trip — so healthy runs are bit-identical.
+    pub fn wave_model_scaled(
+        shape: &KernelShape,
+        spec: &GpuSpec,
+        start: SimTime,
+        slow: f64,
+    ) -> KernelRun {
+        assert!(
+            slow.is_finite() && slow >= 1.0,
+            "straggler factor {slow} must be >= 1"
+        );
         if shape.blocks == 0 {
             return KernelRun {
                 interval: Interval { start, end: start },
@@ -113,13 +129,16 @@ impl KernelRun {
             };
         }
         let resident = KernelShape::effective_resident(shape.blocks, spec.max_resident_blocks());
-        let tau = shape.block_time(spec, resident);
+        let mut tau = shape.block_time(spec, resident);
+        if slow != 1.0 {
+            tau = tau * slow;
+        }
         let mut block_ends = Vec::with_capacity(shape.blocks as usize);
         for b in 0..shape.blocks {
             let wave = b / resident as u64;
             block_ends.push(start + tau * (wave + 1));
         }
-        let end = *block_ends.last().expect("blocks >= 1");
+        let end = block_ends.last().copied().unwrap_or(start);
         KernelRun {
             interval: Interval { start, end },
             block_ends,
@@ -223,6 +242,28 @@ mod tests {
         assert!(run.block_ends[4] > run.block_ends[3]);
         assert!(run.block_ends[8] > run.block_ends[7]);
         assert_eq!(run.interval.end, run.block_ends[9]);
+    }
+
+    #[test]
+    fn scaled_wave_model_stretches_blocks() {
+        let s = spec();
+        let shape = KernelShape::memory_bound(10, 1 << 16);
+        let clean = KernelRun::wave_model(&shape, &s, SimTime::ZERO);
+        let slow = KernelRun::wave_model_scaled(&shape, &s, SimTime::ZERO, 1.5);
+        let ratio = slow.interval.end.as_ns() as f64 / clean.interval.end.as_ns() as f64;
+        assert!((ratio - 1.5).abs() < 1e-4, "ratio {ratio}");
+        // Factor 1.0 must be bit-identical to the unscaled path.
+        let one = KernelRun::wave_model_scaled(&shape, &s, SimTime::ZERO, 1.0);
+        assert_eq!(one.interval, clean.interval);
+        assert_eq!(one.block_ends, clean.block_ends);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn speedup_factor_rejected() {
+        let s = spec();
+        let shape = KernelShape::memory_bound(1, 256);
+        let _ = KernelRun::wave_model_scaled(&shape, &s, SimTime::ZERO, 0.5);
     }
 
     #[test]

@@ -33,12 +33,17 @@
 
 #![warn(missing_docs)]
 
+mod fault;
 mod kernel;
 mod machine;
 mod spec;
 mod topology;
 mod trace;
 
+pub use fault::{
+    FabricError, FaultEvent, FaultKind, FaultPlan, FaultSpec, FaultWindow, LinkState, MessageFault,
+    RetryPolicy,
+};
 pub use kernel::{KernelRun, KernelShape};
 pub use machine::{Machine, MachineConfig, TrafficStats};
 pub use spec::GpuSpec;

@@ -2,6 +2,7 @@
 
 use desim::{Dur, Histogram, Interval, Resource, SimTime, TimeSeries};
 
+use crate::fault::{FabricError, FaultKind, FaultPlan, LinkState, MessageFault, RetryPolicy};
 use crate::{GpuSpec, KernelRun, KernelShape, LinkSpec, Topology};
 
 /// Everything needed to instantiate a [`Machine`].
@@ -92,6 +93,9 @@ pub struct Machine {
     stats: TrafficStats,
     horizon: SimTime,
     trace: Option<crate::TraceLog>,
+    /// Installed fault schedule, if any. A trivial plan (all-zero spec) is
+    /// treated exactly like no plan: every fault code path is bypassed.
+    faults: Option<FaultPlan>,
 }
 
 impl Machine {
@@ -117,7 +121,75 @@ impl Machine {
             stats: TrafficStats::default(),
             horizon: SimTime::ZERO,
             trace: None,
+            faults: None,
             cfg,
+        }
+    }
+
+    /// Install a fault schedule. Panics if the plan was generated for a
+    /// different GPU count. Installing a trivial plan keeps the machine on
+    /// the exact fault-free timing path.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        assert_eq!(
+            plan.n_gpus(),
+            self.n_gpus(),
+            "fault plan generated for {} GPUs, machine has {}",
+            plan.n_gpus(),
+            self.n_gpus()
+        );
+        if self.trace.is_some() {
+            Self::trace_fault_windows(&mut self.trace, &plan);
+        }
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// True if a non-trivial fault plan is installed.
+    fn faults_active(&self) -> bool {
+        self.faults.as_ref().is_some_and(|p| !p.is_trivial())
+    }
+
+    /// Straggler slowdown factor for `dev` (1.0 when healthy or no plan).
+    pub fn straggler_factor(&self, dev: usize) -> f64 {
+        match &self.faults {
+            Some(p) if !p.is_trivial() => p.straggler_factor(dev),
+            _ => 1.0,
+        }
+    }
+
+    /// Fraction of `[start, end)` during which the directed link sits inside
+    /// a scheduled fault window. Zero when no plan is installed. Feeds the
+    /// fault column of the fig7/fig10 traffic CSVs.
+    pub fn fault_fraction(&self, src: usize, dst: usize, start: SimTime, end: SimTime) -> f64 {
+        match &self.faults {
+            Some(p) if !p.is_trivial() => p.fault_fraction(src, dst, start, end),
+            _ => 0.0,
+        }
+    }
+
+    fn trace_fault_windows(trace: &mut Option<crate::TraceLog>, plan: &FaultPlan) {
+        let Some(t) = trace else { return };
+        if plan.is_trivial() {
+            return;
+        }
+        for src in 0..plan.n_gpus() {
+            for dst in 0..plan.n_gpus() {
+                for w in plan.windows(src, dst) {
+                    let name = match w.kind {
+                        FaultKind::Down => "link down".to_string(),
+                        FaultKind::Degraded(f) => format!("degraded {:.0}%", f * 100.0),
+                    };
+                    t.record(
+                        format!("fault{src}->{dst}"),
+                        name,
+                        Interval { start: w.start, end: w.end },
+                    );
+                }
+            }
         }
     }
 
@@ -126,6 +198,10 @@ impl Machine {
     /// small runs — tracing records one span per message batch.
     pub fn enable_trace(&mut self) {
         self.trace = Some(crate::TraceLog::new());
+        if let Some(plan) = self.faults.take() {
+            Self::trace_fault_windows(&mut self.trace, &plan);
+            self.faults = Some(plan);
+        }
     }
 
     /// The recorded trace, if tracing was enabled.
@@ -151,9 +227,10 @@ impl Machine {
     /// Launch `shape` on `dev`'s default stream, not before `ready`.
     /// Pays the launch overhead, then executes the wave model.
     pub fn run_kernel(&mut self, dev: usize, shape: KernelShape, ready: SimTime) -> KernelRun {
+        let slow = self.straggler_factor(dev);
         let spec = &self.cfg.specs[dev];
         let start = self.streams[dev].max(ready) + spec.kernel_launch;
-        let run = KernelRun::wave_model(&shape, spec, start);
+        let run = KernelRun::wave_model_scaled(&shape, spec, start, slow);
         self.streams[dev] = run.interval.end;
         self.bump(run.interval.end);
         if let Some(t) = &mut self.trace {
@@ -171,6 +248,7 @@ impl Machine {
         block_durations: &[Dur],
         ready: SimTime,
     ) -> KernelRun {
+        let slow = self.straggler_factor(dev);
         let spec = &self.cfg.specs[dev];
         let start = self.streams[dev].max(ready) + spec.kernel_launch;
         if block_durations.is_empty() {
@@ -190,6 +268,9 @@ impl Machine {
         let mut slots = desim::MultiResource::new(resident as usize);
         let mut block_ends = Vec::with_capacity(block_durations.len());
         for &d in block_durations {
+            // Straggler scaling only when active: factor 1.0 must not take
+            // the float path, so healthy runs stay bit-identical.
+            let d = if slow != 1.0 { d * slow } else { d };
             let iv = slots.acquire(start, d);
             block_ends.push(iv.end);
         }
@@ -274,6 +355,117 @@ impl Machine {
             );
         }
         iv
+    }
+
+    /// Fault-aware [`Machine::send`]: fails if the directed link is inside a
+    /// down window at the attempted injection time, consumes wire time then
+    /// fails if the message is sampled as dropped, stretches wire time while
+    /// inside a bandwidth-degradation window, and adds sampled jitter to
+    /// delayed messages. With no (or a trivial) fault plan installed this is
+    /// exactly `Ok(self.send(..))` — bit-identical timing.
+    pub fn try_send(
+        &mut self,
+        src: usize,
+        dst: usize,
+        payload: u64,
+        n_messages: u64,
+        ready: SimTime,
+    ) -> Result<Interval, FabricError> {
+        self.try_send_throttled(src, dst, payload, n_messages, ready, 1.0)
+    }
+
+    /// Fault-aware [`Machine::send_throttled`]; see [`Machine::try_send`].
+    pub fn try_send_throttled(
+        &mut self,
+        src: usize,
+        dst: usize,
+        payload: u64,
+        n_messages: u64,
+        ready: SimTime,
+        efficiency: f64,
+    ) -> Result<Interval, FabricError> {
+        if !self.faults_active() {
+            return Ok(self.send_throttled(src, dst, payload, n_messages, ready, efficiency));
+        }
+        assert_ne!(src, dst, "send to self does not touch the fabric");
+        let link = *self.cfg.topology.link(src, dst);
+        let attempt_at = ready + link.latency;
+        // Decide the message's fate up front (link state at the attempted
+        // injection instant; per-pair sampling stream), then run the normal
+        // timing path with the degradation folded into the efficiency.
+        let (bw_factor, fate) = {
+            // faults_active() above guarantees the plan is present.
+            let Some(plan) = self.faults.as_mut() else {
+                unreachable!("faults_active() checked above")
+            };
+            match plan.link_state(src, dst, attempt_at) {
+                LinkState::Down { up_at } => {
+                    return Err(FabricError::LinkDown { src, dst, at: attempt_at, up_at });
+                }
+                LinkState::Up { bw_factor } => (bw_factor, plan.sample_message(src, dst)),
+            }
+        };
+        let eff = if bw_factor < 1.0 { efficiency * bw_factor } else { efficiency };
+        let iv = self.send_throttled(src, dst, payload, n_messages, ready, eff);
+        match fate {
+            MessageFault::None => Ok(iv),
+            MessageFault::Delay(jitter) => {
+                let iv = Interval { start: iv.start, end: iv.end + jitter };
+                self.sent_upto[src] = self.sent_upto[src].max(iv.end);
+                self.bump(iv.end);
+                Ok(iv)
+            }
+            // The dropped message already consumed its wire interval (it was
+            // transmitted, then lost); the caller retries from `iv.end`.
+            MessageFault::Drop => Err(FabricError::MessageDropped { src, dst, at: iv.end }),
+        }
+    }
+
+    /// [`Machine::try_send_throttled`] wrapped in a retry loop under
+    /// `policy`: link-down and dropped-message faults are retried with
+    /// capped exponential backoff (deterministic, in simulated time),
+    /// waiting out a down window when its end is known. Returns the
+    /// successful wire interval and the number of attempts it took;
+    /// exhaustion yields [`FabricError::RetryExhausted`].
+    ///
+    /// The loop runs inline, so two calls for the same destination can
+    /// never reorder relative to each other.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_send_retry(
+        &mut self,
+        src: usize,
+        dst: usize,
+        payload: u64,
+        n_messages: u64,
+        ready: SimTime,
+        efficiency: f64,
+        policy: RetryPolicy,
+    ) -> Result<(Interval, u32), FabricError> {
+        let mut attempt = 1u32;
+        let mut at = ready;
+        loop {
+            match self.try_send_throttled(src, dst, payload, n_messages, at, efficiency) {
+                Ok(iv) => return Ok((iv, attempt)),
+                Err(e) if e.is_retryable() && attempt < policy.max_attempts => {
+                    // Retry `ready` feeds the link-latency offset again, so
+                    // back out the latency the next attempt will re-add.
+                    let link_latency = self.cfg.topology.link(src, dst).latency;
+                    let next = policy.next_attempt_at(&e, attempt);
+                    at = if next.as_ns() >= link_latency.as_ns() {
+                        next - link_latency
+                    } else {
+                        SimTime::ZERO
+                    };
+                    attempt += 1;
+                }
+                Err(e) => {
+                    return Err(FabricError::RetryExhausted {
+                        attempts: attempt,
+                        last: Box::new(e),
+                    })
+                }
+            }
+        }
     }
 
     /// Host-visible stream synchronization on `dev`: returns the time the
@@ -518,6 +710,151 @@ mod tests {
         assert!(json.contains("gpu0"));
         assert!(json.contains("link0->1"));
         assert!(json.contains("4096B x2"));
+    }
+
+    #[test]
+    fn try_send_without_plan_matches_send() {
+        let mut m1 = machine(2);
+        let a = m1.send(0, 1, 1 << 20, 4, SimTime::ZERO);
+        let mut m2 = machine(2);
+        let b = m2.try_send(0, 1, 1 << 20, 4, SimTime::ZERO).expect("no faults");
+        assert_eq!(a, b);
+        assert_eq!(m1.traffic_stats(), m2.traffic_stats());
+    }
+
+    #[test]
+    fn trivial_plan_is_timing_noop() {
+        let mut m1 = machine(4);
+        let mut m2 = machine(4);
+        m2.install_faults(crate::FaultPlan::generate(42, 4, crate::FaultSpec::none()));
+        let shape = KernelShape::memory_bound(200, 1 << 16);
+        for dev in 0..4 {
+            let a = m1.run_kernel(dev, shape, SimTime::ZERO);
+            let b = m2.run_kernel(dev, shape, SimTime::ZERO);
+            assert_eq!(a.interval, b.interval);
+            assert_eq!(a.block_ends, b.block_ends);
+        }
+        let a = m1.try_send(0, 1, 1 << 20, 8, SimTime::ZERO).expect("clean");
+        let b = m2.try_send(0, 1, 1 << 20, 8, SimTime::ZERO).expect("trivial plan");
+        assert_eq!(a, b);
+        assert_eq!(m2.straggler_factor(0), 1.0);
+        assert_eq!(m2.fault_fraction(0, 1, SimTime::ZERO, SimTime::from_ms(1)), 0.0);
+    }
+
+    #[test]
+    fn down_window_fails_send_with_up_time() {
+        let mut m = machine(2);
+        // Hand-build a plan with one down window on 0->1 via the chaos spec:
+        // probe seeds until a flap covers our attempt time. Deterministic:
+        // seed search itself is fixed at build time.
+        let mut seed = 0u64;
+        let plan = loop {
+            let p = crate::FaultPlan::generate(seed, 2, crate::FaultSpec::chaos(1.0));
+            if let crate::LinkState::Down { .. } =
+                p.link_state(0, 1, SimTime::from_us(50) + m.topology().link(0, 1).latency)
+            {
+                break p;
+            }
+            seed += 1;
+            assert!(seed < 10_000, "no flap found covering the probe instant");
+        };
+        m.install_faults(plan);
+        match m.try_send(0, 1, 4096, 1, SimTime::from_us(50)) {
+            Err(crate::FabricError::LinkDown { src: 0, dst: 1, at, up_at }) => {
+                assert!(up_at > at);
+            }
+            other => panic!("expected LinkDown, got {other:?}"),
+        }
+        // The failed attempt must not have touched the wire.
+        assert_eq!(m.traffic_stats().messages, 0);
+    }
+
+    #[test]
+    fn degraded_window_stretches_wire_time() {
+        // Same construction trick: find a seed whose 0->1 link is degraded
+        // (and not down) at the attempt instant.
+        let mut seed = 0u64;
+        let (plan, factor) = loop {
+            let p = crate::FaultPlan::generate(seed, 2, crate::FaultSpec::chaos(0.7));
+            let at = SimTime::from_us(50) + Dur::from_ns(1300);
+            if let crate::LinkState::Up { bw_factor } = p.link_state(0, 1, at) {
+                if bw_factor < 0.999 && p.spec().drop_prob == 0.0 {
+                    break (p, bw_factor);
+                }
+                // drop_prob is nonzero under chaos; accept and handle drops below.
+                if bw_factor < 0.999 {
+                    break (p, bw_factor);
+                }
+            }
+            seed += 1;
+            assert!(seed < 10_000, "no degradation found covering the probe instant");
+        };
+        let mut m = machine(2);
+        m.install_faults(plan);
+        let mut clean = machine(2);
+        let base = clean.send(0, 1, 1 << 20, 1, SimTime::from_us(50));
+        match m.try_send(0, 1, 1 << 20, 1, SimTime::from_us(50)) {
+            Ok(iv) => {
+                let ratio = iv.duration().as_secs_f64() / base.duration().as_secs_f64();
+                // Wire time stretched by at least 1/bw_factor (jitter may add
+                // more; ns rounding may shave a hair off).
+                assert!(
+                    ratio >= (1.0 / factor) * (1.0 - 1e-3),
+                    "ratio {ratio}, factor {factor}"
+                );
+            }
+            Err(crate::FabricError::MessageDropped { at, .. }) => {
+                // Drop still consumed (stretched) wire time.
+                assert!(at > base.end);
+            }
+            Err(e) => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn straggler_slows_kernels_on_that_device_only() {
+        // Find a seed where exactly some device straggles.
+        let mut seed = 0u64;
+        let plan = loop {
+            let p = crate::FaultPlan::generate(seed, 2, crate::FaultSpec::chaos(1.0));
+            if p.straggler_factor(0) > 1.0 && p.straggler_factor(1) == 1.0 {
+                break p;
+            }
+            seed += 1;
+            assert!(seed < 10_000);
+        };
+        let factor = plan.straggler_factor(0);
+        let mut m = machine(2);
+        m.install_faults(plan);
+        let mut clean = machine(2);
+        let shape = KernelShape::memory_bound(100, 1 << 16);
+        let slow = m.run_kernel(0, shape, SimTime::ZERO);
+        let healthy = m.run_kernel(1, shape, SimTime::ZERO);
+        let base = clean.run_kernel(0, shape, SimTime::ZERO);
+        assert_eq!(healthy.interval, base.interval, "non-straggler unaffected");
+        let ratio = slow.interval.duration().as_secs_f64() / base.interval.duration().as_secs_f64();
+        assert!((ratio - factor).abs() / factor < 0.05, "ratio {ratio} vs factor {factor}");
+    }
+
+    #[test]
+    fn fault_windows_show_up_in_trace() {
+        let mut m = machine(2);
+        m.enable_trace();
+        m.install_faults(crate::FaultPlan::generate(3, 2, crate::FaultSpec::chaos(1.0)));
+        let has_fault_track = m
+            .trace()
+            .expect("trace enabled")
+            .events()
+            .iter()
+            .any(|e| e.track.starts_with("fault"));
+        assert!(has_fault_track, "chaos(1.0) must schedule at least one window");
+    }
+
+    #[test]
+    #[should_panic(expected = "fault plan generated for")]
+    fn plan_gpu_count_mismatch_panics() {
+        let mut m = machine(2);
+        m.install_faults(crate::FaultPlan::generate(1, 4, crate::FaultSpec::none()));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for the GPU machine model.
 
 use desim::SimTime;
-use gpusim::{KernelShape, Machine, MachineConfig};
+use gpusim::{FaultPlan, FaultSpec, KernelShape, Machine, MachineConfig};
 use proptest::prelude::*;
 
 proptest! {
@@ -60,6 +60,55 @@ proptest! {
         // Block ends are non-decreasing in block index.
         for w in run.block_ends.windows(2) {
             prop_assert!(w[1] >= w[0]);
+        }
+    }
+
+    /// The same fault seed yields the same plan, the same event trace and
+    /// the same send outcomes — the whole chaos run is a pure function of
+    /// `(seed, spec, call sequence)`.
+    #[test]
+    fn identical_fault_seed_identical_trace(
+        seed in 0u64..1000,
+        intensity in 0.05f64..1.0,
+        sends in prop::collection::vec((1u64..100_000, 1u64..32, 0u64..500), 1..30),
+    ) {
+        let spec = FaultSpec::chaos(intensity);
+        let run = || {
+            let mut m = Machine::new(MachineConfig::dgx_v100(2));
+            m.install_faults(FaultPlan::generate(seed, 2, spec));
+            let outcomes: Vec<_> = sends
+                .iter()
+                .map(|&(payload, n_msgs, ready_us)| {
+                    m.try_send(0, 1, payload, n_msgs, SimTime::from_us(ready_us))
+                        .map(|iv| (iv.start, iv.end))
+                        .map_err(|e| e.to_string())
+                })
+                .collect();
+            let plan = m.faults().expect("plan installed");
+            (plan.fingerprint(), plan.events().to_vec(), outcomes, m.finish_time())
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.2, b.2);
+        prop_assert_eq!(a.3, b.3);
+    }
+
+    /// A trivial plan (intensity 0) never changes any send outcome relative
+    /// to a machine with no plan at all.
+    #[test]
+    fn trivial_plan_never_perturbs(
+        sends in prop::collection::vec((1u64..100_000, 1u64..32, 0u64..500), 1..20),
+    ) {
+        let mut clean = Machine::new(MachineConfig::dgx_v100(2));
+        let mut faulty = Machine::new(MachineConfig::dgx_v100(2));
+        faulty.install_faults(FaultPlan::generate(99, 2, FaultSpec::chaos(0.0)));
+        for &(payload, n_msgs, ready_us) in &sends {
+            let at = SimTime::from_us(ready_us);
+            let a = clean.send(0, 1, payload, n_msgs, at);
+            let b = faulty.try_send(0, 1, payload, n_msgs, at).expect("trivial plan");
+            prop_assert_eq!(a, b);
         }
     }
 

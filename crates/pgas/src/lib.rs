@@ -34,7 +34,11 @@ mod coalesce;
 mod heap;
 mod ops;
 
-pub use aggregator::{Aggregator, AggregatorConfig};
+pub use aggregator::{Aggregator, AggregatorConfig, FlushReport};
 pub use coalesce::{coalesce_rows, CoalescedBatch};
 pub use heap::{SegmentId, SymmetricHeap};
-pub use ops::{OneSided, PgasConfig};
+pub use ops::{Delivery, OneSided, PgasConfig, RetryStats};
+
+/// The shared fault taxonomy and retry schedule, re-exported so PGAS
+/// callers need not depend on `gpusim` directly.
+pub use gpusim::{FabricError, RetryPolicy};

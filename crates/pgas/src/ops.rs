@@ -1,9 +1,29 @@
 //! Timed one-sided operations over the simulated fabric.
 
 use desim::{Dur, Interval, SimTime};
-use gpusim::Machine;
+use gpusim::{FabricError, Machine, RetryPolicy};
 
 use crate::{coalesce_rows, CoalescedBatch};
+
+/// Delivery record of a (possibly retried) one-sided put.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Wire interval of the attempt that succeeded.
+    pub interval: Interval,
+    /// Total send attempts (1 = clean first try).
+    pub attempts: u32,
+}
+
+/// Aggregate retry accounting across an [`OneSided`] session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Puts that needed at least one retry but were delivered.
+    pub retried_puts: u64,
+    /// Total extra attempts beyond the first, across all puts.
+    pub retries: u64,
+    /// Puts that exhausted their retry budget.
+    pub exhausted: u64,
+}
 
 /// Tunables of the PGAS runtime's timing model.
 #[derive(Clone, Copy, Debug)]
@@ -19,6 +39,8 @@ pub struct PgasConfig {
     pub quiet_overhead: Dur,
     /// Cost of `barrier_all` beyond the max of participant times.
     pub barrier_overhead: Dur,
+    /// Retry schedule for the fallible (`try_*`) operations.
+    pub retry: RetryPolicy,
 }
 
 impl Default for PgasConfig {
@@ -28,6 +50,7 @@ impl Default for PgasConfig {
             issue_overhead: Dur::from_ns(20),
             quiet_overhead: Dur::from_us(2),
             barrier_overhead: Dur::from_us(3),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -38,6 +61,7 @@ impl Default for PgasConfig {
 pub struct OneSided<'m> {
     machine: &'m mut Machine,
     cfg: PgasConfig,
+    stats: RetryStats,
 }
 
 impl<'m> OneSided<'m> {
@@ -48,7 +72,16 @@ impl<'m> OneSided<'m> {
 
     /// Wrap a machine with an explicit config.
     pub fn with_config(machine: &'m mut Machine, cfg: PgasConfig) -> Self {
-        OneSided { machine, cfg }
+        OneSided {
+            machine,
+            cfg,
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Retry accounting accumulated by the `try_*` operations.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.stats
     }
 
     /// The active config.
@@ -112,16 +145,107 @@ impl<'m> OneSided<'m> {
         self.put_rows_nbi(src, dst, rows, row_bytes, ready)
     }
 
+    /// Fault-aware [`OneSided::put_rows_nbi`]: each wire message is retried
+    /// under the config's [`RetryPolicy`] (capped exponential backoff in
+    /// simulated time) when the link is down or the message is dropped.
+    ///
+    /// The retry loop runs inline, so two `try_put_*` calls to the same
+    /// destination can never reorder: the first put's messages are fully
+    /// delivered (or the call has failed) before the second's are attempted.
+    ///
+    /// With no fault plan on the machine this is timing-identical to the
+    /// infallible path.
+    pub fn try_put_rows_nbi(
+        &mut self,
+        src: usize,
+        dst: usize,
+        rows: u64,
+        row_bytes: u32,
+        ready: SimTime,
+    ) -> Result<Delivery, FabricError> {
+        let batch = coalesce_rows(rows, row_bytes, self.cfg.max_payload);
+        self.try_put_batch_nbi(src, dst, batch, ready)
+    }
+
+    /// Fault-aware [`OneSided::put_batch_nbi`]; see
+    /// [`OneSided::try_put_rows_nbi`].
+    pub fn try_put_batch_nbi(
+        &mut self,
+        src: usize,
+        dst: usize,
+        batch: CoalescedBatch,
+        ready: SimTime,
+    ) -> Result<Delivery, FabricError> {
+        if batch.messages == 0 {
+            return Ok(Delivery {
+                interval: Interval { start: ready, end: ready },
+                attempts: 1,
+            });
+        }
+        let on_wire = ready + self.cfg.issue_overhead * batch.messages;
+        let policy = self.cfg.retry;
+        match self
+            .machine
+            .try_send_retry(src, dst, batch.payload, batch.messages, on_wire, 1.0, policy)
+        {
+            Ok((interval, attempts)) => {
+                if attempts > 1 {
+                    self.stats.retried_puts += 1;
+                    self.stats.retries += u64::from(attempts - 1);
+                }
+                Ok(Delivery { interval, attempts })
+            }
+            Err(e) => {
+                if let FabricError::RetryExhausted { attempts, .. } = &e {
+                    self.stats.retries += u64::from(attempts.saturating_sub(1));
+                }
+                self.stats.exhausted += 1;
+                Err(e)
+            }
+        }
+    }
+
     /// `quiet` on `src`: returns when every message `src` has issued is
     /// delivered, observed no earlier than `at`.
     pub fn quiet(&mut self, src: usize, at: SimTime) -> SimTime {
         self.machine.quiet(src, at) + self.cfg.quiet_overhead
     }
 
+    /// [`OneSided::quiet`] with a completion deadline. Fails with
+    /// [`FabricError::Timeout`] if outstanding deliveries push completion
+    /// past `deadline`. A `quiet` with nothing outstanding completes at
+    /// `at + quiet_overhead` regardless of link state — it only *observes*
+    /// deliveries, it does not touch the fabric.
+    pub fn try_quiet(
+        &mut self,
+        src: usize,
+        at: SimTime,
+        deadline: SimTime,
+    ) -> Result<SimTime, FabricError> {
+        let t = self.quiet(src, at);
+        if t > deadline {
+            return Err(FabricError::Timeout { deadline, completes_at: t });
+        }
+        Ok(t)
+    }
+
     /// Global barrier: all PEs proceed at the max of their times plus the
     /// barrier cost.
     pub fn barrier_all(&mut self, times: &[SimTime]) -> SimTime {
         self.machine.barrier(times) + self.cfg.barrier_overhead
+    }
+
+    /// [`OneSided::barrier_all`] with a completion deadline.
+    pub fn try_barrier_all(
+        &mut self,
+        times: &[SimTime],
+        deadline: SimTime,
+    ) -> Result<SimTime, FabricError> {
+        let t = self.barrier_all(times);
+        if t > deadline {
+            return Err(FabricError::Timeout { deadline, completes_at: t });
+        }
+        Ok(t)
     }
 }
 
@@ -207,5 +331,107 @@ mod tests {
         let mut os = OneSided::new(&mut m);
         os.put_rows_nbi(0, 1, 10, 1024, SimTime::ZERO);
         assert_eq!(m.traffic_stats().messages, 40); // 1024/256 per row
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Dur::from_us(5),
+            max_backoff: Dur::from_us(30),
+        };
+        assert_eq!(p.backoff(1), Dur::from_us(5));
+        assert_eq!(p.backoff(2), Dur::from_us(10));
+        assert_eq!(p.backoff(3), Dur::from_us(20));
+        assert_eq!(p.backoff(4), Dur::from_us(30), "capped");
+        assert_eq!(p.backoff(10), Dur::from_us(30));
+    }
+
+    #[test]
+    fn try_put_without_faults_matches_put() {
+        let mut m1 = machine(2);
+        let a = OneSided::new(&mut m1).put_rows_nbi(0, 1, 100, 256, SimTime::ZERO);
+        let mut m2 = machine(2);
+        let mut os = OneSided::new(&mut m2);
+        let d = os.try_put_rows_nbi(0, 1, 100, 256, SimTime::ZERO).expect("clean fabric");
+        assert_eq!(d.interval, a);
+        assert_eq!(d.attempts, 1);
+        assert_eq!(os.retry_stats(), RetryStats::default());
+        assert_eq!(m1.traffic_stats(), m2.traffic_stats());
+    }
+
+    #[test]
+    fn try_put_retries_through_a_drop() {
+        use gpusim::{FaultPlan, FaultSpec, MessageFault};
+        // Find a seed whose very first 0->1 message is sampled as dropped.
+        let mut seed = 0u64;
+        let plan = loop {
+            let mut p = FaultPlan::generate(seed, 2, FaultSpec::chaos(1.0));
+            let first = p.sample_message(0, 1);
+            if first == MessageFault::Drop {
+                break FaultPlan::generate(seed, 2, FaultSpec::chaos(1.0));
+            }
+            seed += 1;
+            assert!(seed < 100_000, "2% drop rate should fire well before this");
+        };
+        let mut m = machine(2);
+        m.install_faults(plan);
+        let mut os = OneSided::new(&mut m);
+        // One coalesced message (256 B) so the sampled drop hits this put.
+        let d = os
+            .try_put_rows_nbi(0, 1, 1, 256, SimTime::ZERO)
+            .expect("retry should clear a transient drop");
+        assert!(d.attempts >= 2, "first attempt was dropped");
+        let stats = os.retry_stats();
+        assert_eq!(stats.retried_puts, 1);
+        assert!(stats.retries >= 1);
+        assert_eq!(stats.exhausted, 0);
+    }
+
+    #[test]
+    fn try_quiet_honors_deadline() {
+        let mut m = machine(2);
+        let mut os = OneSided::new(&mut m);
+        let iv = os.put_rows_nbi(0, 1, 10_000, 256, SimTime::ZERO);
+        let overhead = PgasConfig::default().quiet_overhead;
+        // Deadline after completion: ok.
+        let t = os
+            .try_quiet(0, SimTime::ZERO, iv.end + overhead)
+            .expect("deadline met");
+        assert_eq!(t, iv.end + overhead);
+        // Deadline before completion: timeout carrying the actual finish.
+        match os.try_quiet(0, SimTime::ZERO, SimTime::from_ns(1)) {
+            Err(gpusim::FabricError::Timeout { completes_at, .. }) => {
+                assert_eq!(completes_at, iv.end + overhead);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quiet_with_nothing_outstanding_ignores_link_state() {
+        use gpusim::{FaultPlan, FaultSpec};
+        let mut m = machine(2);
+        m.install_faults(FaultPlan::generate(5, 2, FaultSpec::chaos(1.0)));
+        let mut os = OneSided::new(&mut m);
+        // No puts issued: quiet completes at `at + overhead` even though the
+        // chaos plan has links flapping — quiet observes, it does not send.
+        let at = SimTime::from_us(40);
+        let overhead = PgasConfig::default().quiet_overhead;
+        let t = os.try_quiet(0, at, at + overhead).expect("nothing outstanding");
+        assert_eq!(t, at + overhead);
+    }
+
+    #[test]
+    fn try_barrier_honors_deadline() {
+        let mut m = machine(2);
+        let mut os = OneSided::new(&mut m);
+        let times = [SimTime::from_us(1), SimTime::from_us(4)];
+        let overhead = PgasConfig::default().barrier_overhead;
+        let t = os
+            .try_barrier_all(&times, SimTime::from_us(4) + overhead)
+            .expect("met");
+        assert_eq!(t, SimTime::from_us(4) + overhead);
+        assert!(os.try_barrier_all(&times, SimTime::from_us(4)).is_err());
     }
 }

@@ -1,8 +1,8 @@
 //! Property-based tests for the PGAS runtime.
 
 use desim::{Dur, SimTime};
-use gpusim::{Machine, MachineConfig};
-use pgas_rt::{coalesce_rows, Aggregator, AggregatorConfig, OneSided, SymmetricHeap};
+use gpusim::{FaultPlan, FaultSpec, Machine, MachineConfig};
+use pgas_rt::{coalesce_rows, Aggregator, AggregatorConfig, OneSided, PgasConfig, SymmetricHeap};
 use proptest::prelude::*;
 
 proptest! {
@@ -26,9 +26,9 @@ proptest! {
             heap.put(segs[si], idx, &[val], pe);
             shadow[pe][si][idx] = val;
         }
-        for pe in 0..n_pes {
+        for (pe, pe_shadow) in shadow.iter().enumerate() {
             for (si, seg) in segs.iter().enumerate() {
-                prop_assert_eq!(heap.segment(*seg, pe), &shadow[pe][si][..]);
+                prop_assert_eq!(heap.segment(*seg, pe), &pe_shadow[si][..]);
             }
         }
     }
@@ -79,6 +79,70 @@ proptest! {
         }
         let q = os.quiet(0, SimTime::ZERO);
         prop_assert!(q >= last_end);
+    }
+
+    /// Retry/backoff never reorders same-destination puts. With jitter
+    /// disabled (delay extends *observation*, not wire occupancy, so it is
+    /// not a retry effect) successive deliveries to one destination are
+    /// non-overlapping in issue order; under full chaos, wire entry is
+    /// still monotone because the retry loop runs inline.
+    #[test]
+    fn retries_never_reorder_same_destination_puts(
+        seed in 0u64..500,
+        intensity in 0.05f64..1.0,
+        puts in prop::collection::vec((1u64..200, 0u64..2000), 1..30),
+    ) {
+        let spec = gpusim::FaultSpec {
+            delay_prob: 0.0,
+            ..FaultSpec::chaos(intensity)
+        };
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        m.install_faults(FaultPlan::generate(seed, 2, spec));
+        let mut os = OneSided::new(&mut m);
+        let mut last_ok_end = SimTime::ZERO;
+        for &(rows, t_us) in &puts {
+            if let Ok(d) = os.try_put_rows_nbi(0, 1, rows, 256, SimTime::from_us(t_us)) {
+                prop_assert!(
+                    d.interval.start >= last_ok_end,
+                    "put delivered at {:?} overtook an earlier put ending {:?}",
+                    d.interval.start,
+                    last_ok_end
+                );
+                last_ok_end = d.interval.end;
+            }
+        }
+
+        // Full chaos (jitter included): wire entry stays in issue order.
+        let mut m2 = Machine::new(MachineConfig::dgx_v100(2));
+        m2.install_faults(FaultPlan::generate(seed, 2, FaultSpec::chaos(intensity)));
+        let mut os2 = OneSided::new(&mut m2);
+        let mut last_start = SimTime::ZERO;
+        for &(rows, t_us) in &puts {
+            if let Ok(d) = os2.try_put_rows_nbi(0, 1, rows, 256, SimTime::from_us(t_us)) {
+                prop_assert!(d.interval.start >= last_start);
+                last_start = d.interval.start;
+            }
+        }
+    }
+
+    /// A `quiet` with nothing outstanding completes at `at + quiet_overhead`
+    /// immediately, no matter how broken the fabric is: quiet only observes
+    /// deliveries, it never touches the links.
+    #[test]
+    fn idle_quiet_is_immediate_even_with_links_down(
+        seed in 0u64..1000,
+        intensity in 0.0f64..=1.0,
+        at_us in 0u64..10_000,
+    ) {
+        let mut m = Machine::new(MachineConfig::dgx_v100(4));
+        m.install_faults(FaultPlan::generate(seed, 4, FaultSpec::chaos(intensity)));
+        let mut os = OneSided::new(&mut m);
+        let at = SimTime::from_us(at_us);
+        let expect = at + PgasConfig::default().quiet_overhead;
+        for src in 0..4 {
+            prop_assert_eq!(os.try_quiet(src, at, expect), Ok(expect));
+            prop_assert_eq!(os.quiet(src, at), expect);
+        }
     }
 
     /// The aggregator never loses or duplicates a row: flushed payload ==

@@ -1,0 +1,60 @@
+//! In-tree stand-in for `rayon` (the build environment has no network
+//! access). The "parallel" adapters run sequentially: `par_chunks_mut`
+//! returns the standard `ChunksMut` iterator, whose `enumerate`/`for_each`
+//! combinators come from `std::iter::Iterator`. Results are bit-identical to
+//! the parallel versions because all call sites in this workspace write
+//! disjoint chunks.
+
+/// Mirror of `rayon::prelude`.
+pub mod prelude {
+    /// Parallel operations on mutable slices (sequential here).
+    pub trait ParallelSliceMut<T> {
+        /// Split into mutable chunks of `chunk_size` (last may be shorter).
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        #[inline]
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// Parallel iteration over collections (sequential here).
+    pub trait IntoParallelIterator {
+        /// The sequential iterator standing in for the parallel one.
+        type Iter;
+        /// Convert into the iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        #[inline]
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_covers_all_elements() {
+        let mut v = vec![0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for c in chunk {
+                *c = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn into_par_iter_matches_serial() {
+        let total: usize = (0..10usize).into_par_iter().sum();
+        assert_eq!(total, 45);
+    }
+}

@@ -45,18 +45,18 @@ fn main() {
 
     let sharding = cfg.sharding();
     let lr = 0.01;
-    for dev in 0..gpus {
+    for (dev, dev_grads) in grads.iter().enumerate() {
         let features = sharding.features_on(dev, cfg.n_features);
         let mut shard = EmbeddingShard::materialize(&features, cfg.table_spec(), cfg.seed);
         // Check gradients against the oracle before updating.
         for (i, &f) in features.iter().enumerate() {
             assert!(
-                grads[dev][i].allclose(&reference[f], 1e-4),
+                dev_grads[i].allclose(&reference[f], 1e-4),
                 "gradient mismatch on feature {f}"
             );
         }
         let before = shard.weights(features[0]).clone();
-        sgd_update(&mut shard, &grads[dev], lr);
+        sgd_update(&mut shard, dev_grads, lr);
         let after = shard.weights(features[0]);
         let moved = before.max_abs_diff(after);
         println!(

@@ -46,16 +46,14 @@ fn main() {
     );
 
     println!("\n== does placement change retrieval time? (uniform inputs: no) ==");
-    for scale_desc in ["table-wise block"] {
-        let mut m = Machine::new(MachineConfig::dgx_v100(gpus));
-        let r = PgasFusedBackend::new().run(&mut m, &cfg, ExecMode::Timing).report;
-        println!(
-            "  {scale_desc}: EMB stage {} over {} batches ({} per batch)",
-            r.total,
-            r.batches,
-            r.per_batch()
-        );
-    }
+    let mut m = Machine::new(MachineConfig::dgx_v100(gpus));
+    let r = PgasFusedBackend::new().run(&mut m, &cfg, ExecMode::Timing).report;
+    println!(
+        "  table-wise block: EMB stage {} over {} batches ({} per batch)",
+        r.total,
+        r.batches,
+        r.per_batch()
+    );
     println!("\nUnder uniform synthetic inputs every table sees identical load, so");
     println!("table-wise placement variants tie; skew (see `reproduce ablation-zipf`)");
     println!("and row-wise partitioning costs are where placement starts to matter.");

@@ -28,10 +28,10 @@ fn backward_grads_match_reference_on_all_gpu_counts() {
         let batch = SparseBatch::generate(&cfg.batch_spec(), cfg.batch_seed(cfg.n_batches - 1));
         let reference = reference_backward(&batch, cfg.table_spec(), cfg.pooling, cfg.seed);
         let sharding = cfg.sharding();
-        for dev in 0..gpus {
+        for (dev, dev_grads) in grads.iter().enumerate() {
             for (i, f) in sharding.features_on(dev, cfg.n_features).iter().enumerate() {
                 assert!(
-                    grads[dev][i].allclose(&reference[*f], 1e-4),
+                    dev_grads[i].allclose(&reference[*f], 1e-4),
                     "gpus={gpus} feature={f}"
                 );
             }
@@ -49,9 +49,9 @@ fn backward_mean_pooling_grads() {
     let batch = SparseBatch::generate(&cfg.batch_spec(), cfg.batch_seed(cfg.n_batches - 1));
     let reference = reference_backward(&batch, cfg.table_spec(), cfg.pooling, cfg.seed);
     let sharding = cfg.sharding();
-    for dev in 0..2 {
+    for (dev, dev_grads) in grads.iter().enumerate() {
         for (i, f) in sharding.features_on(dev, cfg.n_features).iter().enumerate() {
-            assert!(grads[dev][i].allclose(&reference[*f], 1e-4));
+            assert!(dev_grads[i].allclose(&reference[*f], 1e-4));
         }
     }
 }
