@@ -1,8 +1,11 @@
 #!/usr/bin/env sh
-# Repo CI gate: release build, full test suite, lint-clean under clippy.
-# Run from the repo root. Fails fast on the first broken step.
+# Repo CI gate: formatting, release build, full test suite, lint-clean under
+# clippy, and a fast end-to-end serving smoke (EXT-8). Run from the repo
+# root. Fails fast on the first broken step.
 set -eu
 
+cargo fmt --all -- --check
 cargo build --release --workspace --offline
 cargo test -q --workspace --offline
 cargo clippy --all-targets --workspace --offline -- -D warnings
+cargo run --release -p bench-harness --offline -- serve --smoke

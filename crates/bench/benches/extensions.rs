@@ -22,9 +22,11 @@ fn bench_extensions(c: &mut Criterion) {
     let mut g = c.benchmark_group("extensions");
     g.sample_size(10);
     for gpus in 2..=4usize {
-        g.bench_with_input(BenchmarkId::new("ext1_backward", gpus), &gpus, |b, &gpus| {
-            b.iter(|| black_box(backward_comparison(gpus, SCALE, BATCHES).speedup()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("ext1_backward", gpus),
+            &gpus,
+            |b, &gpus| b.iter(|| black_box(backward_comparison(gpus, SCALE, BATCHES).speedup())),
+        );
     }
     g.bench_function("ext2_multinode_aggregator", |b| {
         b.iter(|| black_box(multinode_aggregator(10_000, Dur::from_us(50)).aggregated))

@@ -7,9 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use desim::SimTime;
-use emb_retrieval::{
-    EmbLayerConfig, ForwardPlan, IndexHasher, PoolingOp, SparseBatch,
-};
+use emb_retrieval::{EmbLayerConfig, ForwardPlan, IndexHasher, PoolingOp, SparseBatch};
 use gpusim::{Machine, MachineConfig};
 use pgas_rt::{OneSided, SymmetricHeap};
 use simccl::{all_to_all_timed, CollectiveConfig};

@@ -14,7 +14,10 @@ const BATCHES: usize = 3;
 
 fn bench_strong_scaling(c: &mut Criterion) {
     let table = strong_scaling(4, SCALE, BATCHES);
-    println!("\n{}", speedup_table(&table, "Table II (regenerated, scaled)"));
+    println!(
+        "\n{}",
+        speedup_table(&table, "Table II (regenerated, scaled)")
+    );
 
     let mut g = c.benchmark_group("table2_fig8_fig9_strong_scaling");
     g.sample_size(10);
@@ -23,13 +26,23 @@ fn bench_strong_scaling(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("baseline", gpus), &cfg, |b, cfg| {
             b.iter(|| {
                 let mut m = Machine::new(MachineConfig::dgx_v100(cfg.n_gpus));
-                black_box(BaselineBackend::new().run(&mut m, cfg, ExecMode::Timing).report.total)
+                black_box(
+                    BaselineBackend::new()
+                        .run(&mut m, cfg, ExecMode::Timing)
+                        .report
+                        .total,
+                )
             })
         });
         g.bench_with_input(BenchmarkId::new("pgas", gpus), &cfg, |b, cfg| {
             b.iter(|| {
                 let mut m = Machine::new(MachineConfig::dgx_v100(cfg.n_gpus));
-                black_box(PgasFusedBackend::new().run(&mut m, cfg, ExecMode::Timing).report.total)
+                black_box(
+                    PgasFusedBackend::new()
+                        .run(&mut m, cfg, ExecMode::Timing)
+                        .report
+                        .total,
+                )
             })
         });
     }

@@ -18,7 +18,10 @@ fn bench_weak_scaling(c: &mut Criterion) {
     // Print the regenerated Table I once, from the same configs the bench
     // exercises.
     let table = weak_scaling(4, SCALE, BATCHES);
-    println!("\n{}", speedup_table(&table, "Table I (regenerated, scaled)"));
+    println!(
+        "\n{}",
+        speedup_table(&table, "Table I (regenerated, scaled)")
+    );
 
     let mut g = c.benchmark_group("table1_fig5_fig6_weak_scaling");
     g.sample_size(10);
@@ -27,13 +30,23 @@ fn bench_weak_scaling(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("baseline", gpus), &cfg, |b, cfg| {
             b.iter(|| {
                 let mut m = Machine::new(MachineConfig::dgx_v100(cfg.n_gpus));
-                black_box(BaselineBackend::new().run(&mut m, cfg, ExecMode::Timing).report.total)
+                black_box(
+                    BaselineBackend::new()
+                        .run(&mut m, cfg, ExecMode::Timing)
+                        .report
+                        .total,
+                )
             })
         });
         g.bench_with_input(BenchmarkId::new("pgas", gpus), &cfg, |b, cfg| {
             b.iter(|| {
                 let mut m = Machine::new(MachineConfig::dgx_v100(cfg.n_gpus));
-                black_box(PgasFusedBackend::new().run(&mut m, cfg, ExecMode::Timing).report.total)
+                black_box(
+                    PgasFusedBackend::new()
+                        .run(&mut m, cfg, ExecMode::Timing)
+                        .report
+                        .total,
+                )
             })
         });
         g.bench_with_input(BenchmarkId::new("pair", gpus), &cfg, |b, cfg| {

@@ -95,7 +95,11 @@ pub fn run_pair(cfg: &EmbLayerConfig) -> RunPair {
 /// Apply a harness-level scale factor: `scale = 1` is the paper's exact
 /// configuration; larger values shrink every axis for quick runs.
 pub fn scaled(cfg: EmbLayerConfig, scale: usize, batches: usize) -> EmbLayerConfig {
-    let mut c = if scale > 1 { cfg.scaled_down(scale) } else { cfg };
+    let mut c = if scale > 1 {
+        cfg.scaled_down(scale)
+    } else {
+        cfg
+    };
     c.n_batches = batches;
     c
 }
@@ -104,7 +108,13 @@ pub fn scaled(cfg: EmbLayerConfig, scale: usize, batches: usize) -> EmbLayerConf
 pub fn weak_scaling(max_gpus: usize, scale: usize, batches: usize) -> ScalingResult {
     ScalingResult {
         runs: (1..=max_gpus)
-            .map(|g| run_pair(&scaled(EmbLayerConfig::paper_weak_scaling(g), scale, batches)))
+            .map(|g| {
+                run_pair(&scaled(
+                    EmbLayerConfig::paper_weak_scaling(g),
+                    scale,
+                    batches,
+                ))
+            })
             .collect(),
     }
 }
@@ -113,7 +123,13 @@ pub fn weak_scaling(max_gpus: usize, scale: usize, batches: usize) -> ScalingRes
 pub fn strong_scaling(max_gpus: usize, scale: usize, batches: usize) -> ScalingResult {
     ScalingResult {
         runs: (1..=max_gpus)
-            .map(|g| run_pair(&scaled(EmbLayerConfig::paper_strong_scaling(g), scale, batches)))
+            .map(|g| {
+                run_pair(&scaled(
+                    EmbLayerConfig::paper_strong_scaling(g),
+                    scale,
+                    batches,
+                ))
+            })
             .collect(),
     }
 }
@@ -139,10 +155,8 @@ impl CommVolumeResult {
     /// Burstiness (coefficient of variation) of each series over its run.
     pub fn burstiness(&self) -> (f64, f64) {
         (
-            self.pgas
-                .burstiness(SimTime::ZERO + self.pgas_end),
-            self.baseline
-                .burstiness(SimTime::ZERO + self.baseline_end),
+            self.pgas.burstiness(SimTime::ZERO + self.pgas_end),
+            self.baseline.burstiness(SimTime::ZERO + self.baseline_end),
         )
     }
 }
@@ -151,25 +165,39 @@ fn comm_volume(cfg: &EmbLayerConfig, bucket: Dur, chaos: Option<(u64, f64)>) -> 
     let mk = || {
         let mut m = Machine::new(MachineConfig::dgx_v100(cfg.n_gpus).with_traffic_bucket(bucket));
         if let Some((seed, intensity)) = chaos {
-            m.install_faults(FaultPlan::generate(seed, cfg.n_gpus, FaultSpec::chaos(intensity)));
+            m.install_faults(FaultPlan::generate(
+                seed,
+                cfg.n_gpus,
+                FaultSpec::chaos(intensity),
+            ));
         }
         m
     };
     let mut mp = mk();
     let p = if chaos.is_some() {
-        ResilientBackend::new().run(&mut mp, cfg, ExecMode::Timing).report
+        ResilientBackend::new()
+            .run(&mut mp, cfg, ExecMode::Timing)
+            .report
     } else {
-        PgasFusedBackend::new().run(&mut mp, cfg, ExecMode::Timing).report
+        PgasFusedBackend::new()
+            .run(&mut mp, cfg, ExecMode::Timing)
+            .report
     };
     let mut mb = mk();
-    let b = BaselineBackend::new().run(&mut mb, cfg, ExecMode::Timing).report;
+    let b = BaselineBackend::new()
+        .run(&mut mb, cfg, ExecMode::Timing)
+        .report;
 
     // Tag each bucket with how much of it the fabric spent inside a fault
     // window, averaged over directed links (the extra fig7/fig10 column).
     let horizon = p.total.max(b.total);
     let nb = (horizon.as_ns().div_ceil(bucket.as_ns())) as usize;
     let pairs: Vec<(usize, usize)> = (0..cfg.n_gpus)
-        .flat_map(|s| (0..cfg.n_gpus).filter(move |&d| d != s).map(move |d| (s, d)))
+        .flat_map(|s| {
+            (0..cfg.n_gpus)
+                .filter(move |&d| d != s)
+                .map(move |d| (s, d))
+        })
         .collect();
     let fault_frac = (0..nb)
         .map(|i| {
@@ -223,7 +251,8 @@ pub fn comm_volume_weak_2gpu_chaos(
 /// Pick a bucket that yields ~200 points over a run of this size.
 fn fig_bucket(cfg: &EmbLayerConfig) -> Dur {
     // Rough per-batch compute estimate: bytes / bandwidth.
-    let lookups = cfg.batch_size as u64 * cfg.n_features as u64
+    let lookups = cfg.batch_size as u64
+        * cfg.n_features as u64
         * u64::from(cfg.pooling_min + cfg.pooling_max)
         / 2
         / cfg.n_gpus.max(1) as u64;
@@ -315,9 +344,11 @@ pub fn chaos_sweep(
                 baseline_only,
                 ..ResiliencePolicy::default()
             };
-            ResilientBackend::new()
-                .with_policy(policy)
-                .run_resilient(&mut m, &cfg, ExecMode::Timing)
+            ResilientBackend::new().with_policy(policy).run_resilient(
+                &mut m,
+                &cfg,
+                ExecMode::Timing,
+            )
         };
         let p = run(false);
         let b = run(true);
@@ -337,8 +368,13 @@ pub fn chaos_sweep(
 pub fn backward_comparison(gpus: usize, scale: usize, batches: usize) -> RunPair {
     let cfg = scaled(EmbLayerConfig::paper_weak_scaling(gpus), scale, batches);
     let mut mb = Machine::new(MachineConfig::dgx_v100(gpus));
-    let baseline =
-        baseline_backward(&mut mb, &cfg, &CollectiveConfig::default(), ExecMode::Timing).report;
+    let baseline = baseline_backward(
+        &mut mb,
+        &cfg,
+        &CollectiveConfig::default(),
+        ExecMode::Timing,
+    )
+    .report;
     let mut mp = Machine::new(MachineConfig::dgx_v100(gpus));
     let pgas = pgas_backward(&mut mp, &cfg, PgasConfig::default(), ExecMode::Timing).report;
     RunPair {
@@ -504,10 +540,21 @@ pub fn whatif_projection(max_gpus: usize, scale: usize, batches: usize) -> Vec<(
         let cfg = scaled(EmbLayerConfig::paper_weak_scaling(g), scale, batches);
         // V100 crossbar beyond the paper's 4 GPUs.
         let mut mb = Machine::new(MachineConfig::dgx_v100(g));
-        let baseline = BaselineBackend::new().run(&mut mb, &cfg, ExecMode::Timing).report;
+        let baseline = BaselineBackend::new()
+            .run(&mut mb, &cfg, ExecMode::Timing)
+            .report;
         let mut mp = Machine::new(MachineConfig::dgx_v100(g));
-        let pgas = PgasFusedBackend::new().run(&mut mp, &cfg, ExecMode::Timing).report;
-        out.push((format!("v100x{g}"), RunPair { gpus: g, baseline, pgas }));
+        let pgas = PgasFusedBackend::new()
+            .run(&mut mp, &cfg, ExecMode::Timing)
+            .report;
+        out.push((
+            format!("v100x{g}"),
+            RunPair {
+                gpus: g,
+                baseline,
+                pgas,
+            },
+        ));
 
         // A100 with 2× faster links (NVLink3 pairs through NVSwitch).
         let mk = || {
@@ -520,12 +567,185 @@ pub fn whatif_projection(max_gpus: usize, scale: usize, batches: usize) -> Vec<(
             }
         };
         let mut mb = Machine::new(mk());
-        let baseline = BaselineBackend::new().run(&mut mb, &cfg, ExecMode::Timing).report;
+        let baseline = BaselineBackend::new()
+            .run(&mut mb, &cfg, ExecMode::Timing)
+            .report;
         let mut mp = Machine::new(mk());
-        let pgas = PgasFusedBackend::new().run(&mut mp, &cfg, ExecMode::Timing).report;
-        out.push((format!("a100x{g}"), RunPair { gpus: g, baseline, pgas }));
+        let pgas = PgasFusedBackend::new()
+            .run(&mut mp, &cfg, ExecMode::Timing)
+            .report;
+        out.push((
+            format!("a100x{g}"),
+            RunPair {
+                gpus: g,
+                baseline,
+                pgas,
+            },
+        ));
     }
     out
+}
+
+/// One load point of the serving sweep (EXT-8).
+#[derive(Clone, Debug)]
+pub struct ServePoint {
+    /// Backend label (`baseline` / `pgas` / `resilient`).
+    pub backend: &'static str,
+    /// Arrival-process label (`poisson` / `onoff`).
+    pub arrival: &'static str,
+    /// Offered load as a multiple of the probed baseline capacity.
+    pub offered_x: f64,
+    /// Offered mean load in requests per second.
+    pub offered_qps: f64,
+    /// Median end-to-end request latency.
+    pub p50: Dur,
+    /// 99th-percentile end-to-end request latency (the SLO metric).
+    pub p99: Dur,
+    /// 99.9th-percentile end-to-end request latency.
+    pub p999: Dur,
+    /// Median machine service time per closed batch.
+    pub batch_p50: Dur,
+    /// Requests served / shed / timed out at this load.
+    pub served: u64,
+    /// Arrivals shed at admission.
+    pub shed: u64,
+    /// Requests dropped for exceeding the request timeout.
+    pub timed_out: u64,
+    /// Whether this load met the SLO at p99 with nothing shed or dropped.
+    pub sustained: bool,
+}
+
+/// Result of **`reproduce serve`** (EXT-8).
+#[derive(Clone, Debug)]
+pub struct ServeSweep {
+    /// GPUs in the machine.
+    pub gpus: usize,
+    /// Unloaded closed-loop baseline service time of one full batch (the
+    /// sweep's yardstick).
+    pub baseline_service: Dur,
+    /// The p99 SLO every point is judged against (4× the yardstick).
+    pub slo: Dur,
+    /// Probed baseline serving capacity (`batch_size / baseline_service`)
+    /// in requests per second — the sweep's load unit.
+    pub capacity_qps: f64,
+    /// All measured load points, grouped by backend.
+    pub points: Vec<ServePoint>,
+}
+
+impl ServeSweep {
+    /// Largest Poisson load (requests/second) `backend` sustained under the
+    /// p99 SLO with nothing shed or timed out; 0 if none.
+    pub fn max_sustained_qps(&self, backend: &str) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.backend == backend && p.arrival == "poisson" && p.sustained)
+            .map(|p| p.offered_qps)
+            .fold(0.0, f64::max)
+    }
+
+    /// PGAS max sustained QPS over baseline max sustained QPS — the
+    /// serving-capacity ratio the experiment is after.
+    pub fn capacity_ratio(&self) -> f64 {
+        let b = self.max_sustained_qps("baseline");
+        if b == 0.0 {
+            0.0
+        } else {
+            self.max_sustained_qps("pgas") / b
+        }
+    }
+}
+
+/// **`reproduce serve`** — EXT-8: open-loop serving sweep. Probes the
+/// unloaded closed-loop baseline batch time, derives a p99 SLO (4× that)
+/// and a capacity unit (`batch_size / baseline_service` QPS), then sweeps
+/// Poisson offered load across `multipliers` of that unit for each backend
+/// (baseline collective, PGAS fused, resilient PGAS on a clean fabric),
+/// plus one bursty ON/OFF point per backend at 0.75× mean load. Each point
+/// serves `batches_per_point` batches' worth of requests. Deterministic
+/// for a fixed `seed`.
+pub fn serve_load_sweep(
+    gpus: usize,
+    scale: usize,
+    batches_per_point: usize,
+    seed: u64,
+    multipliers: &[f64],
+) -> ServeSweep {
+    use emb_retrieval::backend::{baseline_batch, plan_for_batch, PlannedBatch};
+    use emb_serve::{ArrivalProcess, EmbServer, ServeBackendKind, ServeConfig};
+
+    let cfg = scaled(EmbLayerConfig::paper_weak_scaling(gpus), scale, 1);
+
+    // Unloaded yardstick: one canonical batch on the baseline path.
+    let mut m = Machine::new(MachineConfig::dgx_v100(gpus));
+    let batch = SparseBatch::generate_counts_only(&cfg.batch_spec(), cfg.batch_seed(0));
+    let pb = PlannedBatch::new(&m, plan_for_batch(&cfg, &batch, m.spec(0)));
+    let baseline_service =
+        baseline_batch(&mut m, &CollectiveConfig::default(), &pb, SimTime::ZERO).service();
+    let slo = baseline_service * 4u64;
+    let capacity_qps = cfg.batch_size as f64 / baseline_service.as_secs_f64();
+    let n_requests = batches_per_point.max(1) * cfg.batch_size;
+
+    let backends = [
+        ServeBackendKind::Baseline,
+        ServeBackendKind::PgasFused,
+        ServeBackendKind::Resilient,
+    ];
+    let mut points = Vec::new();
+    let mut measure =
+        |backend: ServeBackendKind, arrival: &'static str, mult: f64, process: ArrivalProcess| {
+            let mut scfg = ServeConfig::new(
+                cfg.clone(),
+                backend,
+                capacity_qps, // placeholder; process set below
+                baseline_service,
+                n_requests,
+                seed,
+            );
+            scfg.process = process;
+            scfg.batcher.request_timeout = slo * 2u64;
+            let mut machine = Machine::new(MachineConfig::dgx_v100(gpus));
+            let rep = EmbServer::new(scfg)
+                .run(&mut machine)
+                .expect("a clean dgx machine must pass serving preflight");
+            points.push(ServePoint {
+                backend: backend.label(),
+                arrival,
+                offered_x: mult,
+                offered_qps: mult * capacity_qps,
+                p50: rep.latency.p50(),
+                p99: rep.latency.p99(),
+                p999: rep.latency.p999(),
+                batch_p50: rep.batch_service.p50(),
+                served: rep.served,
+                shed: rep.shed,
+                timed_out: rep.timed_out,
+                sustained: rep.sustains(slo),
+            });
+        };
+    for backend in backends {
+        for &mult in multipliers {
+            let process = ArrivalProcess::Poisson {
+                rate_qps: mult * capacity_qps,
+            };
+            measure(backend, "poisson", mult, process);
+        }
+        // One bursty point: same 0.75× mean load, delivered as 3×-capacity
+        // bursts at 25% duty — the tail-latency stressor.
+        let burst = ArrivalProcess::OnOff {
+            rate_qps: 3.0 * capacity_qps,
+            on: baseline_service * 4u64,
+            off: baseline_service * 12u64,
+        };
+        measure(backend, "onoff", 0.75, burst);
+    }
+
+    ServeSweep {
+        gpus,
+        baseline_service,
+        slo,
+        capacity_qps,
+        points,
+    }
 }
 
 #[cfg(test)]
@@ -617,6 +837,39 @@ mod tests {
             }
         }
         assert!(hit, "some seed must place a fault window inside the run");
+    }
+
+    #[test]
+    fn serve_sweep_is_deterministic_and_pgas_sustains_no_less() {
+        let s = serve_load_sweep(2, 256, 2, 42, &[0.5, 1.5]);
+        assert!(!s.baseline_service.is_zero());
+        assert!(s.capacity_qps > 0.0);
+        // The PGAS path must sustain at least the baseline's load.
+        assert!(
+            s.max_sustained_qps("pgas") >= s.max_sustained_qps("baseline"),
+            "pgas {} vs baseline {}",
+            s.max_sustained_qps("pgas"),
+            s.max_sustained_qps("baseline")
+        );
+        assert!(s.capacity_ratio() >= 1.0);
+        // Clean fabric: the resilient path serves exactly like PGAS.
+        for (p, r) in s
+            .points
+            .iter()
+            .filter(|p| p.backend == "pgas")
+            .zip(s.points.iter().filter(|p| p.backend == "resilient"))
+        {
+            assert_eq!(p.p99, r.p99);
+            assert_eq!(p.served, r.served);
+        }
+        // Bit-identical on rerun.
+        let s2 = serve_load_sweep(2, 256, 2, 42, &[0.5, 1.5]);
+        assert_eq!(s.points.len(), s2.points.len());
+        for (a, b) in s.points.iter().zip(&s2.points) {
+            assert_eq!(a.p99, b.p99);
+            assert_eq!(a.served, b.served);
+            assert_eq!(a.sustained, b.sustained);
+        }
     }
 
     #[test]

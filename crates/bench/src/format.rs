@@ -4,7 +4,7 @@ use std::fmt::Write as _;
 
 use desim::SimTime;
 
-use crate::{ChaosPoint, CommVolumeResult, ScalingResult};
+use crate::{ChaosPoint, CommVolumeResult, ScalingResult, ServeSweep};
 
 /// Render the paper's speedup table (Table I / Table II).
 pub fn speedup_table(r: &ScalingResult, title: &str) -> String {
@@ -131,9 +131,55 @@ pub fn chaos_table(points: &[ChaosPoint], title: &str) -> String {
             );
         }
         None => {
-            let _ = writeln!(s, "crossover: none — PGAS holds its advantage at every intensity");
+            let _ = writeln!(
+                s,
+                "crossover: none — PGAS holds its advantage at every intensity"
+            );
         }
     }
+    s
+}
+
+/// Render the serving sweep (EXT-8) as a CSV plus a capacity summary.
+pub fn serve_table(sweep: &ServeSweep, title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== {title} ==");
+    let _ = writeln!(
+        s,
+        "backend,arrival,offered_x,offered_qps,p50_us,p99_us,p999_us,batch_p50_us,served,shed,timed_out,sustained"
+    );
+    for p in &sweep.points {
+        let _ = writeln!(
+            s,
+            "{},{},{:.2},{:.0},{:.1},{:.1},{:.1},{:.1},{},{},{},{}",
+            p.backend,
+            p.arrival,
+            p.offered_x,
+            p.offered_qps,
+            p.p50.as_micros_f64(),
+            p.p99.as_micros_f64(),
+            p.p999.as_micros_f64(),
+            p.batch_p50.as_micros_f64(),
+            p.served,
+            p.shed,
+            p.timed_out,
+            p.sustained,
+        );
+    }
+    let _ = writeln!(
+        s,
+        "slo_p99_us,{:.1} (4x unloaded baseline batch {:.1} us)",
+        sweep.slo.as_micros_f64(),
+        sweep.baseline_service.as_micros_f64(),
+    );
+    for b in ["baseline", "pgas", "resilient"] {
+        let _ = writeln!(s, "max_sustained_qps_{b},{:.0}", sweep.max_sustained_qps(b));
+    }
+    let _ = writeln!(
+        s,
+        "serving_capacity_ratio_pgas_over_baseline,{:.2}",
+        sweep.capacity_ratio()
+    );
     s
 }
 
@@ -162,8 +208,23 @@ mod tests {
         assert!(s.lines().count() > 5);
         // Clean run: the fault column is all zeros.
         for line in s.lines().skip(3) {
-            assert!(line.ends_with(",0.000"), "clean fault_frac must be 0: {line}");
+            assert!(
+                line.ends_with(",0.000"),
+                "clean fault_frac must be 0: {line}"
+            );
         }
+    }
+
+    #[test]
+    fn serve_table_renders_capacity_summary() {
+        let sweep = crate::serve_load_sweep(2, 512, 2, 42, &[0.5]);
+        let t = serve_table(&sweep, "EXT-8");
+        assert!(t.contains("backend,arrival,offered_x"));
+        assert!(t.contains("max_sustained_qps_pgas"));
+        assert!(t.contains("serving_capacity_ratio_pgas_over_baseline"));
+        // 3 backends × (1 poisson + 1 onoff) points.
+        assert_eq!(t.lines().filter(|l| l.contains(",poisson,")).count(), 3);
+        assert_eq!(t.lines().filter(|l| l.contains(",onoff,")).count(), 3);
     }
 
     #[test]

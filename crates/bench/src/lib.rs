@@ -20,6 +20,7 @@
 //! | EXT-4 sharding ablation | [`sharding_ablation`] |
 //! | EXT-5 skew ablation | [`zipf_ablation`] |
 //! | EXT-7 fault-injection sweep | [`chaos_sweep`] |
+//! | EXT-8 online-serving load sweep | [`serve_load_sweep`] |
 
 #![warn(missing_docs)]
 

@@ -15,11 +15,15 @@
 //!   ablation-zipf             EXT-5 skewed inputs
 //!   chaos                     EXT-7 fault-injection sweep (resilient PGAS
 //!                             vs baseline; intensity 0 reproduces Table I)
+//!   serve                     EXT-8 online-serving load sweep (max QPS per
+//!                             backend under a p99 SLO)
 //!   all                       everything above
 //!
 //! --scale K    shrink every workload axis by K (default 1 = paper scale)
 //! --batches N  batches per run (default 100, the paper's count)
-//! --seed S     fault-plan seed for `chaos` (default 42)
+//! --seed S     fault-plan/arrival seed for `chaos` and `serve` (default 42)
+//! --smoke      shrink `serve` to a seconds-long CI gate
+//! --out-dir D  write every experiment's CSV into D (alias: --csv)
 //! ```
 
 use std::fs;
@@ -34,6 +38,7 @@ struct Args {
     batches: usize,
     gpus: usize,
     seed: u64,
+    smoke: bool,
     csv: Option<PathBuf>,
 }
 
@@ -44,6 +49,7 @@ fn parse_args() -> Args {
         batches: 100,
         gpus: 4,
         seed: 42,
+        smoke: false,
         csv: None,
     };
     let mut it = std::env::args().skip(1);
@@ -55,9 +61,12 @@ fn parse_args() -> Args {
             }
             "--gpus" => args.gpus = it.next().and_then(|v| v.parse().ok()).expect("--gpus G"),
             "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed S"),
-            "--csv" => args.csv = Some(PathBuf::from(it.next().expect("--csv DIR"))),
+            "--smoke" => args.smoke = true,
+            "--csv" | "--out-dir" => {
+                args.csv = Some(PathBuf::from(it.next().expect("--out-dir DIR")))
+            }
             "--help" | "-h" => {
-                println!("usage: reproduce <experiment> [--scale K] [--batches N] [--gpus G] [--seed S] [--csv DIR]");
+                println!("usage: reproduce <experiment> [--scale K] [--batches N] [--gpus G] [--seed S] [--smoke] [--out-dir DIR]");
                 std::process::exit(0);
             }
             other if !other.starts_with('-') => args.experiment = other.to_string(),
@@ -83,34 +92,66 @@ fn main() {
     if matches!(e, "table1" | "fig5" | "fig6" | "all") {
         let r = weak_scaling(args.gpus, args.scale, args.batches);
         if matches!(e, "table1" | "all") {
-            emit(&args, "table1", &speedup_table(&r, "Table I: weak-scaling speedup (PGAS over baseline)"));
+            emit(
+                &args,
+                "table1",
+                &speedup_table(&r, "Table I: weak-scaling speedup (PGAS over baseline)"),
+            );
         }
         if matches!(e, "fig5" | "all") {
-            emit(&args, "fig5", &scaling_factor_series(&r, "Fig 5: weak scaling factor (1 = ideal)", false));
+            emit(
+                &args,
+                "fig5",
+                &scaling_factor_series(&r, "Fig 5: weak scaling factor (1 = ideal)", false),
+            );
         }
         if matches!(e, "fig6" | "all") {
-            emit(&args, "fig6", &breakdown_table(&r, "Fig 6: weak-scaling runtime breakdown"));
+            emit(
+                &args,
+                "fig6",
+                &breakdown_table(&r, "Fig 6: weak-scaling runtime breakdown"),
+            );
         }
     }
     if matches!(e, "table2" | "fig8" | "fig9" | "all") {
         let r = strong_scaling(args.gpus, args.scale, args.batches);
         if matches!(e, "table2" | "all") {
-            emit(&args, "table2", &speedup_table(&r, "Table II: strong-scaling speedup (PGAS over baseline)"));
+            emit(
+                &args,
+                "table2",
+                &speedup_table(&r, "Table II: strong-scaling speedup (PGAS over baseline)"),
+            );
         }
         if matches!(e, "fig8" | "all") {
-            emit(&args, "fig8", &scaling_factor_series(&r, "Fig 8: strong scaling factor (ideal = #GPUs)", true));
+            emit(
+                &args,
+                "fig8",
+                &scaling_factor_series(&r, "Fig 8: strong scaling factor (ideal = #GPUs)", true),
+            );
         }
         if matches!(e, "fig9" | "all") {
-            emit(&args, "fig9", &breakdown_table(&r, "Fig 9: strong-scaling runtime breakdown"));
+            emit(
+                &args,
+                "fig9",
+                &breakdown_table(&r, "Fig 9: strong-scaling runtime breakdown"),
+            );
         }
     }
     if matches!(e, "fig7" | "all") {
         let r = comm_volume_weak_2gpu(args.scale, fig_batches);
-        emit(&args, "fig7", &comm_volume_series(&r, "Fig 7: comm volume over time (weak, 2 GPUs)", 400));
+        emit(
+            &args,
+            "fig7",
+            &comm_volume_series(&r, "Fig 7: comm volume over time (weak, 2 GPUs)", 400),
+        );
     }
     if matches!(e, "fig10" | "all") {
         let r = comm_volume_strong_4gpu(args.scale, fig_batches);
-        emit(&args, "fig10", &comm_volume_series(&r, "Fig 10: comm volume over time (strong, 4 GPUs)", 400));
+        emit(
+            &args,
+            "fig10",
+            &comm_volume_series(&r, "Fig 10: comm volume over time (strong, 4 GPUs)", 400),
+        );
     }
     if matches!(e, "backward" | "all") {
         let mut s = String::from("== EXT-1: EMB backward pass (gradient exchange) ==\n");
@@ -203,6 +244,31 @@ fn main() {
                 &format!(
                     "EXT-7: fault-injection sweep, {} GPUs, seed {} (resilient PGAS vs baseline)",
                     args.gpus.max(2),
+                    args.seed
+                ),
+            ),
+        );
+    }
+    if matches!(e, "serve" | "all") {
+        let gpus = args.gpus.max(2);
+        let sweep = if args.smoke {
+            serve_load_sweep(gpus, args.scale.max(128), 2, args.seed, &[0.5, 1.5])
+        } else {
+            serve_load_sweep(
+                gpus,
+                args.scale,
+                12,
+                args.seed,
+                &[0.25, 0.5, 0.75, 0.9, 1.0, 1.25, 1.5],
+            )
+        };
+        emit(
+            &args,
+            "serve",
+            &serve_table(
+                &sweep,
+                &format!(
+                    "EXT-8: online-serving load sweep, {gpus} GPUs, seed {} (max QPS under p99 SLO)",
                     args.seed
                 ),
             ),

@@ -24,7 +24,11 @@ pub fn all_to_all_single(
     for (i, buf) in inputs.iter().enumerate() {
         assert_eq!(buf.len(), len, "input {i} length mismatch");
     }
-    assert_eq!(len % n, 0, "input length {len} not divisible by {n} devices");
+    assert_eq!(
+        len % n,
+        0,
+        "input length {len} not divisible by {n} devices"
+    );
     let per = len / n;
     let counts: Vec<Vec<usize>> = vec![vec![per; n]; n];
     all_to_all_varied(machine, cfg, inputs, &counts, ready)
@@ -369,7 +373,14 @@ fn timed_ring(
                 continue;
             }
             let bytes: u64 = parcels.iter().map(|&(_, b)| b).sum();
-            let iv = machine.send_throttled(src, next, bytes, cfg.n_chunks(bytes), t[src], cfg.protocol_efficiency);
+            let iv = machine.send_throttled(
+                src,
+                next,
+                bytes,
+                cfg.n_chunks(bytes),
+                t[src],
+                cfg.protocol_efficiency,
+            );
             done[src] = done[src].max(iv.end);
             arrive_time[next] = arrive_time[next].max(iv.end);
             arriving[next].extend(parcels);
@@ -443,8 +454,13 @@ mod tests {
         // Device 1 sends 2 to device 0, 0 to itself.
         let inputs = vec![vec![10.0, 20.0, 30.0, 40.0], vec![50.0, 60.0]];
         let counts = vec![vec![1, 3], vec![2, 0]];
-        let (out, _) =
-            all_to_all_varied(&mut m, &CollectiveConfig::default(), &inputs, &counts, &ready(2));
+        let (out, _) = all_to_all_varied(
+            &mut m,
+            &CollectiveConfig::default(),
+            &inputs,
+            &counts,
+            &ready(2),
+        );
         assert_eq!(out[0], vec![10.0, 50.0, 60.0]);
         assert_eq!(out[1], vec![20.0, 30.0, 40.0]);
     }
@@ -454,12 +470,8 @@ mod tests {
         let n = 4;
         let inputs: Vec<Vec<f32>> = (0..n).map(|_| vec![1.0f32; 4096]).collect();
         let mut md = Machine::new(MachineConfig::dgx_v100(n));
-        let (out_d, _) = all_to_all_single(
-            &mut md,
-            &CollectiveConfig::default(),
-            &inputs,
-            &ready(n),
-        );
+        let (out_d, _) =
+            all_to_all_single(&mut md, &CollectiveConfig::default(), &inputs, &ready(n));
         let mut mr = Machine::new(MachineConfig::dgx_v100(n));
         let (out_r, _) = all_to_all_single(
             &mut mr,
@@ -539,9 +551,14 @@ mod tests {
         let mut m = Machine::new(MachineConfig::dgx_v100(2));
         let inputs = vec![vec![10.0, 20.0, 30.0, 40.0], vec![50.0, 60.0]];
         let counts = vec![vec![1, 3], vec![2, 0]];
-        let (out, work) =
-            try_all_to_all_varied(&mut m, &CollectiveConfig::default(), &inputs, &counts, &ready(2))
-                .expect("clean fabric");
+        let (out, work) = try_all_to_all_varied(
+            &mut m,
+            &CollectiveConfig::default(),
+            &inputs,
+            &counts,
+            &ready(2),
+        )
+        .expect("clean fabric");
         assert_eq!(out[0], vec![10.0, 50.0, 60.0]);
         assert_eq!(out[1], vec![20.0, 30.0, 40.0]);
         assert!(work.all_done() > SimTime::ZERO);
@@ -568,7 +585,10 @@ mod tests {
             }
         }
         assert!(completions > 0, "some seeds must complete");
-        assert!(total_retries > 0, "chaos(0.8) must force at least one retry");
+        assert!(
+            total_retries > 0,
+            "chaos(0.8) must force at least one retry"
+        );
     }
 
     #[test]
@@ -578,7 +598,8 @@ mod tests {
         let (_, work) = all_to_all_single(&mut m, &CollectiveConfig::default(), &inputs, &ready(2));
         let fine = work.wait(&mut m, 0, SimTime::ZERO);
         assert_eq!(
-            work.wait_deadline(&mut m, 0, SimTime::ZERO, fine).expect("met"),
+            work.wait_deadline(&mut m, 0, SimTime::ZERO, fine)
+                .expect("met"),
             fine
         );
         match work.wait_deadline(&mut m, 0, SimTime::ZERO, SimTime::from_ns(1)) {
@@ -601,7 +622,12 @@ mod tests {
         let mut m = Machine::new(MachineConfig::dgx_v100(2));
         let inputs = vec![vec![0.0f32; 4], vec![0.0f32; 4]];
         let counts = vec![vec![1, 1], vec![2, 2]];
-        let _ =
-            all_to_all_varied(&mut m, &CollectiveConfig::default(), &inputs, &counts, &ready(2));
+        let _ = all_to_all_varied(
+            &mut m,
+            &CollectiveConfig::default(),
+            &inputs,
+            &counts,
+            &ready(2),
+        );
     }
 }

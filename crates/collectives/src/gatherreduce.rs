@@ -33,7 +33,14 @@ pub fn all_gather(
                     if dst == src || bytes == 0 {
                         continue;
                     }
-                    let iv = machine.send_throttled(src, dst, bytes, cfg.n_chunks(bytes), t0, cfg.protocol_efficiency);
+                    let iv = machine.send_throttled(
+                        src,
+                        dst,
+                        bytes,
+                        cfg.n_chunks(bytes),
+                        t0,
+                        cfg.protocol_efficiency,
+                    );
                     done[dst] = done[dst].max(iv.end);
                     done[src] = done[src].max(iv.end);
                 }
@@ -43,7 +50,8 @@ pub fn all_gather(
             // n-1 steps; at each step every rank forwards the block it most
             // recently received (starting with its own) to its neighbor.
             let mut t: Vec<SimTime> = ready.iter().map(|&r| r + cfg.call_overhead).collect();
-            let mut carried: Vec<u64> = inputs.iter().map(|b| b.len() as u64 * ELEM_BYTES).collect();
+            let mut carried: Vec<u64> =
+                inputs.iter().map(|b| b.len() as u64 * ELEM_BYTES).collect();
             done = t.clone();
             for _ in 1..n {
                 let mut new_t = t.clone();
@@ -54,7 +62,14 @@ pub fn all_gather(
                     if bytes == 0 {
                         continue;
                     }
-                    let iv = machine.send_throttled(src, next, bytes, cfg.n_chunks(bytes), t[src], cfg.protocol_efficiency);
+                    let iv = machine.send_throttled(
+                        src,
+                        next,
+                        bytes,
+                        cfg.n_chunks(bytes),
+                        t[src],
+                        cfg.protocol_efficiency,
+                    );
                     new_t[next] = new_t[next].max(iv.end);
                     new_carried[next] = bytes;
                     done[src] = done[src].max(iv.end);
@@ -103,14 +118,22 @@ pub fn reduce_scatter(
         let t0 = ready[src] + cfg.call_overhead;
         for dst in 0..n {
             if dst == src {
-                done[src] = done[src].max(t0 + d2d_copy_time(chunk_bytes, machine.spec(src).mem_bw));
+                done[src] =
+                    done[src].max(t0 + d2d_copy_time(chunk_bytes, machine.spec(src).mem_bw));
                 continue;
             }
             if chunk_bytes == 0 {
                 done[dst] = done[dst].max(t0);
                 continue;
             }
-            let iv = machine.send_throttled(src, dst, chunk_bytes, cfg.n_chunks(chunk_bytes), t0, cfg.protocol_efficiency);
+            let iv = machine.send_throttled(
+                src,
+                dst,
+                chunk_bytes,
+                cfg.n_chunks(chunk_bytes),
+                t0,
+                cfg.protocol_efficiency,
+            );
             done[dst] = done[dst].max(iv.end);
             done[src] = done[src].max(iv.end);
         }
@@ -147,7 +170,14 @@ pub fn all_reduce_timed(
             if dst == src || chunk == 0 {
                 continue;
             }
-            let iv = machine.send_throttled(src, dst, chunk, cfg.n_chunks(chunk), t0, cfg.protocol_efficiency);
+            let iv = machine.send_throttled(
+                src,
+                dst,
+                chunk,
+                cfg.n_chunks(chunk),
+                t0,
+                cfg.protocol_efficiency,
+            );
             done[dst] = done[dst].max(iv.end);
             done[src] = done[src].max(iv.end);
         }
@@ -213,7 +243,14 @@ pub fn broadcast(
         if dst == root || bytes == 0 {
             continue;
         }
-        let iv = machine.send_throttled(root, dst, bytes, cfg.n_chunks(bytes), t0, cfg.protocol_efficiency);
+        let iv = machine.send_throttled(
+            root,
+            dst,
+            bytes,
+            cfg.n_chunks(bytes),
+            t0,
+            cfg.protocol_efficiency,
+        );
         done[dst] = done[dst].max(iv.end);
         done[root] = done[root].max(iv.end);
     }

@@ -14,13 +14,19 @@ pub struct WorkHandle {
 impl WorkHandle {
     /// Build from per-device completion instants.
     pub fn new(device_done: Vec<SimTime>) -> Self {
-        WorkHandle { device_done, retries: 0 }
+        WorkHandle {
+            device_done,
+            retries: 0,
+        }
     }
 
     /// Build from per-device completion instants plus the number of chunk
     /// retries the fallible collective paths performed.
     pub fn with_retries(device_done: Vec<SimTime>, retries: u64) -> Self {
-        WorkHandle { device_done, retries }
+        WorkHandle {
+            device_done,
+            retries,
+        }
     }
 
     /// Chunk retries performed while completing this collective (0 on the
@@ -62,7 +68,10 @@ impl WorkHandle {
     ) -> Result<SimTime, FabricError> {
         let t = self.wait(machine, dev, at);
         if t > deadline {
-            return Err(FabricError::Timeout { deadline, completes_at: t });
+            return Err(FabricError::Timeout {
+                deadline,
+                completes_at: t,
+            });
         }
         Ok(t)
     }

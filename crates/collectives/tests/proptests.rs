@@ -14,7 +14,11 @@ fn cfg_strategy() -> impl Strategy<Value = CollectiveConfig> {
         prop_oneof![Just(Algorithm::Direct), Just(Algorithm::Ring)],
         prop_oneof![Just(256u64), Just(4096), Just(4 << 20)],
     )
-        .prop_map(|(a, c)| CollectiveConfig::default().with_algorithm(a).with_chunk_bytes(c))
+        .prop_map(|(a, c)| {
+            CollectiveConfig::default()
+                .with_algorithm(a)
+                .with_chunk_bytes(c)
+        })
 }
 
 proptest! {

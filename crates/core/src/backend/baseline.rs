@@ -6,14 +6,12 @@
 //! §IV), with `wait()` called to synchronize, followed by the data
 //! rearrangement into the layout the next layer consumes.
 
-use desim::{Dur, SimTime};
+use desim::SimTime;
 use gpusim::Machine;
-use simccl::{all_to_all_timed, CollectiveConfig};
+use simccl::CollectiveConfig;
 
-use crate::backend::{
-    functional, lookup_block_durations, prepare_batches, BackendResult, ExecMode,
-    RetrievalBackend,
-};
+use crate::backend::single::{baseline_batch, PlannedBatch};
+use crate::backend::{functional, prepare_batches, BackendResult, ExecMode, RetrievalBackend};
 use crate::{EmbLayerConfig, RunReport, TimeBreakdown};
 
 /// Baseline NCCL-style retrieval.
@@ -46,71 +44,22 @@ impl RetrievalBackend for BaselineBackend {
         let n = machine.n_gpus();
         assert_eq!(n, cfg.n_gpus, "machine/config GPU count mismatch");
         let prepared = prepare_batches(cfg, mode, &machine.spec(0).clone());
-        let row_bytes = (cfg.dim * 4) as u64;
 
         // Per distinct batch, precompute block durations and the all-to-all
         // byte matrix — they do not change across repetitions.
-        let durations: Vec<Vec<Vec<Dur>>> = prepared
+        let planned: Vec<PlannedBatch> = prepared
             .plans
             .iter()
-            .map(|plan| {
-                plan.devices
-                    .iter()
-                    .map(|dp| lookup_block_durations(dp, plan, machine.spec(dp.device)))
-                    .collect()
-            })
-            .collect();
-        let byte_matrices: Vec<Vec<Vec<u64>>> = prepared
-            .plans
-            .iter()
-            .map(|plan| {
-                plan.devices
-                    .iter()
-                    .map(|dp| (0..n).map(|g| dp.rows_to(g) * row_bytes).collect())
-                    .collect()
-            })
+            .map(|plan| PlannedBatch::new(machine, plan.clone()))
             .collect();
 
         let mut breakdown = TimeBreakdown::default();
         let mut batch_start = SimTime::ZERO;
         for batch_idx in 0..cfg.n_batches {
-            let which = batch_idx % prepared.plans.len();
-            let plan = &prepared.plans[which];
-
-            // --- Phase 1: lookup kernels, one per device, concurrent. ---
-            let mut k_end = vec![SimTime::ZERO; n];
-            for dp in &plan.devices {
-                let run = machine.run_kernel_varied(dp.device, &durations[which][dp.device], batch_start);
-                k_end[dp.device] = run.interval.end;
-            }
-            let k_max = machine.barrier(&k_end);
-
-            // --- Phase 2: all_to_all_single(async_op=True). ---
-            let work = all_to_all_timed(machine, &self.collectives, &byte_matrices[which], &k_end);
-            let c_end: Vec<SimTime> = (0..n).map(|d| work.done_at(d)).collect();
-            let c_max = machine.barrier(&c_end).max(k_max);
-
-            // --- Phase 3: wait() + unpack kernel. ---
-            let mut end = vec![SimTime::ZERO; n];
-            for d in 0..n {
-                let waited = work.wait(machine, d, k_end[d]);
-                // Rearrangement touches every *received* byte twice (read
-                // source-major, write [mb, S, dim]); the local chunk was
-                // already written in place by the lookup kernel.
-                let remote_features = plan.n_features - plan.devices[d].features.len();
-                let unpack_bytes = 2 * (plan.mb_sizes[d] * remote_features) as u64 * row_bytes;
-                let dur = Dur::from_secs_f64(unpack_bytes as f64 / UNPACK_BW);
-                let run = machine.run_kernel_varied(d, &[dur], waited);
-                end[d] = machine.stream_sync(d, run.interval.end);
-            }
-            let batch_end = machine.barrier(&end);
-
-            breakdown.accumulate(&TimeBreakdown {
-                compute: k_max - batch_start,
-                communication: c_max - k_max,
-                sync_unpack: batch_end - c_max,
-            });
-            batch_start = batch_end;
+            let which = batch_idx % planned.len();
+            let run = baseline_batch(machine, &self.collectives, &planned[which], batch_start);
+            breakdown.accumulate(&run.breakdown);
+            batch_start = run.end;
         }
 
         // --- Functional outputs (small-scale verification runs). ---
@@ -125,7 +74,13 @@ impl RetrievalBackend for BaselineBackend {
                     .devices
                     .iter()
                     .map(|dp| {
-                        functional::compute_pooled_rows(dp, plan, batch, &shards[dp.device], cfg.seed)
+                        functional::compute_pooled_rows(
+                            dp,
+                            plan,
+                            batch,
+                            &shards[dp.device],
+                            cfg.seed,
+                        )
                     })
                     .collect();
                 Some(functional::exchange_and_unpack(plan, &pooled))
@@ -199,10 +154,14 @@ mod tests {
         cfg.distinct_batches = 1;
         let mut m1 = Machine::new(MachineConfig::dgx_v100(2));
         cfg.n_batches = 2;
-        let r2 = BaselineBackend::new().run(&mut m1, &cfg, ExecMode::Timing).report;
+        let r2 = BaselineBackend::new()
+            .run(&mut m1, &cfg, ExecMode::Timing)
+            .report;
         let mut m2 = Machine::new(MachineConfig::dgx_v100(2));
         cfg.n_batches = 4;
-        let r4 = BaselineBackend::new().run(&mut m2, &cfg, ExecMode::Timing).report;
+        let r4 = BaselineBackend::new()
+            .run(&mut m2, &cfg, ExecMode::Timing)
+            .report;
         let ratio = r4.total.as_secs_f64() / r2.total.as_secs_f64();
         assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
     }

@@ -68,10 +68,7 @@ pub(crate) fn compute_pooled_rows(
 /// * **unpack**: rearrange each device's received source-major buffer into
 ///   the `[mb, S, dim]` layout the next layer needs — the step the PGAS
 ///   backend eliminates.
-pub(crate) fn exchange_and_unpack(
-    plan: &ForwardPlan,
-    pooled: &[Vec<f32>],
-) -> Vec<Tensor> {
+pub(crate) fn exchange_and_unpack(plan: &ForwardPlan, pooled: &[Vec<f32>]) -> Vec<Tensor> {
     let n = plan.n_devices;
     let dim = plan.dim;
 
@@ -134,10 +131,7 @@ pub(crate) fn exchange_and_unpack(
 /// The PGAS backend's functional path: each pooled row is written one-sided
 /// straight into the owning device's output segment on the symmetric heap —
 /// no pack, no unpack.
-pub(crate) fn scatter_via_symmetric_heap(
-    plan: &ForwardPlan,
-    pooled: &[Vec<f32>],
-) -> Vec<Tensor> {
+pub(crate) fn scatter_via_symmetric_heap(plan: &ForwardPlan, pooled: &[Vec<f32>]) -> Vec<Tensor> {
     let dim = plan.dim;
     let mut heap = pgas_rt::SymmetricHeap::new(plan.n_devices);
     let out_seg = heap.alloc(plan.output_elems());
@@ -145,7 +139,12 @@ pub(crate) fn scatter_via_symmetric_heap(
         for bag in 0..dp.n_bags {
             let (f, s) = dp.bag_coords(bag, plan.batch_size);
             let (dst, idx) = plan.output_index(f, s);
-            heap.put(out_seg, idx, &pooled[dp.device][bag * dim..(bag + 1) * dim], dst);
+            heap.put(
+                out_seg,
+                idx,
+                &pooled[dp.device][bag * dim..(bag + 1) * dim],
+                dst,
+            );
         }
     }
     (0..plan.n_devices)

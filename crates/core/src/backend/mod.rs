@@ -9,12 +9,14 @@ mod baseline;
 mod functional;
 mod pgas;
 mod resilient;
+mod single;
 
 pub use baseline::BaselineBackend;
 pub use pgas::PgasFusedBackend;
 pub use resilient::{
     DegradedFill, ResiliencePolicy, ResilienceReport, ResilientBackend, ResilientResult,
 };
+pub use single::{baseline_batch, pgas_batch, BatchRun, PlannedBatch};
 
 use desim::Dur;
 use gpusim::{GpuSpec, KernelShape};
@@ -104,13 +106,40 @@ pub(crate) struct PreparedBatches {
     pub plans: Vec<ForwardPlan>,
 }
 
+/// Expected fraction of this workload's row reads served from `gpu`'s L2 —
+/// what [`ForwardPlan::cache_hit`] gets stamped with. Derived from the
+/// config's index distribution and the cache's row capacity (scaled by
+/// `cfg.cache_rows_scale` so scaled-down runs keep the paper-scale ratio).
+pub fn cache_hit_for(cfg: &EmbLayerConfig, gpu: &GpuSpec) -> f64 {
+    let cache_rows = ((gpu.l2_bytes / cfg.table_spec().row_bytes() as u64) as f64
+        * cfg.cache_rows_scale)
+        .round() as u64;
+    cfg.distribution
+        .cache_hit_fraction(cfg.index_space, cfg.table_rows as u64, cache_rows)
+}
+
+/// Build the forward plan for one assembled `batch` under `cfg`'s layout,
+/// stamped with the cache-hit fraction — the per-batch analogue of the
+/// closed-loop batch preparation, used by the serving path where batches
+/// are composed from queued requests rather than drawn from a seed.
+pub fn plan_for_batch(cfg: &EmbLayerConfig, batch: &SparseBatch, gpu: &GpuSpec) -> ForwardPlan {
+    let mut p = ForwardPlan::build(
+        batch,
+        &cfg.sharding(),
+        cfg.dim,
+        cfg.pooling,
+        cfg.bags_per_block,
+    );
+    p.cache_hit = cache_hit_for(cfg, gpu);
+    p
+}
+
 pub(crate) fn prepare_batches(
     cfg: &EmbLayerConfig,
     mode: ExecMode,
     gpu: &GpuSpec,
 ) -> PreparedBatches {
     let spec = cfg.batch_spec();
-    let sharding = cfg.sharding();
     let distinct = cfg.distinct_batches.max(1).min(cfg.n_batches.max(1));
     let batches: Vec<SparseBatch> = (0..distinct)
         .map(|i| match mode {
@@ -118,21 +147,9 @@ pub(crate) fn prepare_batches(
             ExecMode::Functional => SparseBatch::generate(&spec, cfg.batch_seed(i)),
         })
         .collect();
-    let cache_rows = ((gpu.l2_bytes / cfg.table_spec().row_bytes() as u64) as f64
-        * cfg.cache_rows_scale)
-        .round() as u64;
-    let cache_hit = cfg.distribution.cache_hit_fraction(
-        cfg.index_space,
-        cfg.table_rows as u64,
-        cache_rows,
-    );
     let plans = batches
         .iter()
-        .map(|b| {
-            let mut p = ForwardPlan::build(b, &sharding, cfg.dim, cfg.pooling, cfg.bags_per_block);
-            p.cache_hit = cache_hit;
-            p
-        })
+        .map(|b| plan_for_batch(cfg, b, gpu))
         .collect();
     PreparedBatches { batches, plans }
 }

@@ -9,12 +9,10 @@
 
 use desim::{Dur, SimTime};
 use gpusim::Machine;
-use pgas_rt::{OneSided, PgasConfig};
+use pgas_rt::PgasConfig;
 
-use crate::backend::{
-    functional, lookup_block_durations, prepare_batches, BackendResult, ExecMode,
-    RetrievalBackend,
-};
+use crate::backend::single::{pgas_batch, PlannedBatch};
+use crate::backend::{functional, prepare_batches, BackendResult, ExecMode, RetrievalBackend};
 use crate::{EmbLayerConfig, RunReport, TimeBreakdown};
 
 /// PGAS fused retrieval.
@@ -80,59 +78,20 @@ impl RetrievalBackend for PgasFusedBackend {
         let n = machine.n_gpus();
         assert_eq!(n, cfg.n_gpus, "machine/config GPU count mismatch");
         let prepared = prepare_batches(cfg, mode, &machine.spec(0).clone());
-        let row_bytes = (cfg.dim * 4) as u32;
 
-        let durations: Vec<Vec<Vec<Dur>>> = prepared
+        let planned: Vec<PlannedBatch> = prepared
             .plans
             .iter()
-            .map(|plan| {
-                plan.devices
-                    .iter()
-                    .map(|dp| lookup_block_durations(dp, plan, machine.spec(dp.device)))
-                    .collect()
-            })
+            .map(|plan| PlannedBatch::new(machine, plan.clone()))
             .collect();
 
         let mut breakdown = TimeBreakdown::default();
         let mut batch_start = SimTime::ZERO;
         for batch_idx in 0..cfg.n_batches {
-            let which = batch_idx % prepared.plans.len();
-            let plan = &prepared.plans[which];
-
-            // --- Fused kernel per device; every thread's one-sided store
-            // issues *while the block executes* (paper Listing 2), so a
-            // block's remote rows are streamed across its execution
-            // interval rather than released in a burst at retirement. ---
-            let mut k_end = vec![SimTime::ZERO; n];
-            let mut quiet = vec![SimTime::ZERO; n];
-            for dp in &plan.devices {
-                let durs = &durations[which][dp.device];
-                let run = machine.run_kernel_varied(dp.device, durs, batch_start);
-                k_end[dp.device] = run.interval.end;
-                let releases = stream_releases(dp, durs, &run);
-                let mut os = OneSided::with_config(machine, self.pgas);
-                for ((ready, dst), rows) in releases {
-                    os.put_rows_nbi(dp.device, dst, rows, row_bytes, ready);
-                }
-                quiet[dp.device] = os.quiet(dp.device, run.interval.end);
-            }
-            let k_max = machine.barrier(&k_end);
-
-            // --- Completion: barrier over per-PE quiets, then one host
-            // stream synchronization (PGAS_EMB_forward's final sync). ---
-            let mut os = OneSided::with_config(machine, self.pgas);
-            let bar = os.barrier_all(&quiet);
-            let end: Vec<SimTime> = (0..n).map(|d| machine.stream_sync(d, bar)).collect();
-            let batch_end = machine.barrier(&end);
-
-            breakdown.accumulate(&TimeBreakdown {
-                compute: k_max - batch_start,
-                // Communication is fused into the kernel: anything left is
-                // the drain/quiet/barrier tail, reported as sync time.
-                communication: Dur::ZERO,
-                sync_unpack: batch_end - k_max,
-            });
-            batch_start = batch_end;
+            let which = batch_idx % planned.len();
+            let run = pgas_batch(machine, self.pgas, &planned[which], batch_start);
+            breakdown.accumulate(&run.breakdown);
+            batch_start = run.end;
         }
 
         let outputs = match mode {
@@ -146,7 +105,13 @@ impl RetrievalBackend for PgasFusedBackend {
                     .devices
                     .iter()
                     .map(|dp| {
-                        functional::compute_pooled_rows(dp, plan, batch, &shards[dp.device], cfg.seed)
+                        functional::compute_pooled_rows(
+                            dp,
+                            plan,
+                            batch,
+                            &shards[dp.device],
+                            cfg.seed,
+                        )
                     })
                     .collect();
                 Some(functional::scatter_via_symmetric_heap(plan, &pooled))
@@ -201,7 +166,10 @@ mod tests {
         let mut mb = Machine::new(MachineConfig::dgx_v100(2));
         let b = BaselineBackend::new().run(&mut mb, &cfg, ExecMode::Timing);
         // Same payload moved (both convert the same layout)…
-        assert_eq!(p.report.traffic.payload_bytes, b.report.traffic.payload_bytes);
+        assert_eq!(
+            p.report.traffic.payload_bytes,
+            b.report.traffic.payload_bytes
+        );
         // …but PGAS uses vastly more, vastly smaller messages.
         assert!(p.report.traffic.messages > 10 * b.report.traffic.messages);
         assert!(p.report.traffic.header_overhead() > b.report.traffic.header_overhead());

@@ -28,10 +28,8 @@ use simccl::{try_all_to_all_timed, CollectiveConfig};
 use simtensor::Tensor;
 
 use crate::backend::pgas::stream_releases;
-use crate::backend::{
-    functional, lookup_block_durations, prepare_batches, BackendResult, ExecMode,
-    RetrievalBackend,
-};
+use crate::backend::single::{BatchRun, PlannedBatch};
+use crate::backend::{functional, prepare_batches, BackendResult, ExecMode, RetrievalBackend};
 use crate::{EmbLayerConfig, ForwardPlan, RunReport, TimeBreakdown};
 
 /// What to serve in place of a pooled row that missed its deadline or whose
@@ -168,27 +166,11 @@ impl ResilientBackend {
         let n = machine.n_gpus();
         assert_eq!(n, cfg.n_gpus, "machine/config GPU count mismatch");
         let prepared = prepare_batches(cfg, mode, &machine.spec(0).clone());
-        let row_bytes = (cfg.dim * 4) as u64;
 
-        let durations: Vec<Vec<Vec<Dur>>> = prepared
+        let planned: Vec<PlannedBatch> = prepared
             .plans
             .iter()
-            .map(|plan| {
-                plan.devices
-                    .iter()
-                    .map(|dp| lookup_block_durations(dp, plan, machine.spec(dp.device)))
-                    .collect()
-            })
-            .collect();
-        let byte_matrices: Vec<Vec<Vec<u64>>> = prepared
-            .plans
-            .iter()
-            .map(|plan| {
-                plan.devices
-                    .iter()
-                    .map(|dp| (0..n).map(|g| dp.rows_to(g) * row_bytes).collect())
-                    .collect()
-            })
+            .map(|plan| PlannedBatch::new(machine, plan.clone()))
             .collect();
 
         let mut rep = ResilienceReport::default();
@@ -199,38 +181,26 @@ impl ResilientBackend {
         // the functional fill applies to.
         let mut final_degraded = vec![0u64; n];
         for batch_idx in 0..cfg.n_batches {
-            let which = batch_idx % prepared.plans.len();
-            let plan = &prepared.plans[which];
+            let which = batch_idx % planned.len();
+            let pb = &planned[which];
             final_degraded.iter_mut().for_each(|d| *d = 0);
 
-            if !failed_over && self.policy.failover_flaps > 0 {
-                if let Some(fp) = machine.faults() {
-                    let tripped = (0..n).any(|s| {
-                        (0..n).any(|d| {
-                            s != d && fp.flap_count(s, d, batch_start) >= self.policy.failover_flaps
-                        })
-                    });
-                    if tripped {
-                        failed_over = true;
-                        rep.failover_at = Some(batch_idx);
-                    }
-                }
+            if !failed_over && self.policy.failover_flaps > 0 && self.tripped(machine, batch_start)
+            {
+                failed_over = true;
+                rep.failover_at = Some(batch_idx);
             }
 
             let deadline = self.policy.batch_deadline.map(|d| batch_start + d);
-            rep.total_rows += plan
-                .mb_sizes
-                .iter()
-                .map(|&m| (m * plan.n_features) as u64)
-                .sum::<u64>();
+            rep.total_rows += pb.total_rows();
 
             let batch_end = if failed_over {
                 rep.baseline_batches += 1;
                 self.baseline_batch(
                     machine,
-                    plan,
-                    &durations[which],
-                    &byte_matrices[which],
+                    pb.plan(),
+                    pb.durations(),
+                    pb.byte_matrix(),
                     batch_start,
                     deadline,
                     &mut rep,
@@ -241,8 +211,8 @@ impl ResilientBackend {
                 rep.pgas_batches += 1;
                 self.pgas_batch(
                     machine,
-                    plan,
-                    &durations[which],
+                    pb.plan(),
+                    pb.durations(),
                     batch_start,
                     deadline,
                     &mut rep,
@@ -265,7 +235,13 @@ impl ResilientBackend {
                     .devices
                     .iter()
                     .map(|dp| {
-                        functional::compute_pooled_rows(dp, plan, batch, &shards[dp.device], cfg.seed)
+                        functional::compute_pooled_rows(
+                            dp,
+                            plan,
+                            batch,
+                            &shards[dp.device],
+                            cfg.seed,
+                        )
                     })
                     .collect();
                 let mut outs = if failed_over {
@@ -292,6 +268,72 @@ impl ResilientBackend {
                 outputs,
             },
             resilience: rep,
+        }
+    }
+
+    /// True if any directed link has completed at least
+    /// `policy.failover_flaps` down/up flaps by instant `at`.
+    fn tripped(&self, machine: &Machine, at: SimTime) -> bool {
+        let n = machine.n_gpus();
+        machine.faults().is_some_and(|fp| {
+            (0..n).any(|s| {
+                (0..n).any(|d| s != d && fp.flap_count(s, d, at) >= self.policy.failover_flaps)
+            })
+        })
+    }
+
+    /// Execute **one** batch at `start` with the full degradation policy —
+    /// the per-batch entry point the online serving layer (`emb-serve`)
+    /// drives. Failover is evaluated against the fabric's flap history at
+    /// `start` (each served batch decides independently; `baseline_only`
+    /// forces the collective path), the batch deadline is `start +
+    /// policy.batch_deadline`, and `rep` accumulates degradation statistics
+    /// across calls exactly as a closed-loop run would.
+    pub fn serve_batch(
+        &self,
+        machine: &mut Machine,
+        pb: &PlannedBatch,
+        start: SimTime,
+        rep: &mut ResilienceReport,
+    ) -> BatchRun {
+        let n = machine.n_gpus();
+        let mut final_degraded = vec![0u64; n];
+        let mut breakdown = TimeBreakdown::default();
+        let deadline = self.policy.batch_deadline.map(|d| start + d);
+        rep.total_rows += pb.total_rows();
+        let use_baseline = self.policy.baseline_only
+            || (self.policy.failover_flaps > 0 && self.tripped(machine, start));
+        let end = if use_baseline {
+            rep.baseline_batches += 1;
+            self.baseline_batch(
+                machine,
+                pb.plan(),
+                pb.durations(),
+                pb.byte_matrix(),
+                start,
+                deadline,
+                rep,
+                &mut breakdown,
+                &mut final_degraded,
+            )
+        } else {
+            rep.pgas_batches += 1;
+            self.pgas_batch(
+                machine,
+                pb.plan(),
+                pb.durations(),
+                start,
+                deadline,
+                rep,
+                &mut breakdown,
+                &mut final_degraded,
+            )
+        };
+        rep.batch_latencies.push(end - start);
+        BatchRun {
+            start,
+            end,
+            breakdown,
         }
     }
 
@@ -426,8 +468,7 @@ impl ResilientBackend {
                         None => work.wait(machine, d, k_end[d]),
                     };
                     let remote_features = plan.n_features - plan.devices[d].features.len();
-                    let unpack_bytes =
-                        2 * (plan.mb_sizes[d] * remote_features) as u64 * row_bytes;
+                    let unpack_bytes = 2 * (plan.mb_sizes[d] * remote_features) as u64 * row_bytes;
                     let dur = Dur::from_secs_f64(unpack_bytes as f64 / super::baseline::UNPACK_BW);
                     let run = machine.run_kernel_varied(d, &[dur], waited);
                     end[d] = machine.stream_sync(d, run.interval.end);
@@ -568,7 +609,10 @@ mod tests {
         let mut mr = Machine::new(MachineConfig::dgx_v100(2));
         let r = ResilientBackend::new().run_resilient(&mut mr, &cfg, ExecMode::Functional);
         for (a, b) in r.result.outputs.unwrap().iter().zip(&p.outputs.unwrap()) {
-            assert!(a.allclose(b, 0.0), "clean resilient run must not alter outputs");
+            assert!(
+                a.allclose(b, 0.0),
+                "clean resilient run must not alter outputs"
+            );
         }
     }
 
@@ -583,9 +627,11 @@ mod tests {
             baseline_only: true,
             ..ResiliencePolicy::default()
         };
-        let r = ResilientBackend::new()
-            .with_policy(policy)
-            .run_resilient(&mut mr, &cfg, ExecMode::Timing);
+        let r = ResilientBackend::new().with_policy(policy).run_resilient(
+            &mut mr,
+            &cfg,
+            ExecMode::Timing,
+        );
         assert_eq!(r.result.report.total, b.report.total);
         assert_eq!(r.result.report.breakdown, b.report.breakdown);
         assert_eq!(r.resilience.baseline_batches, cfg.n_batches);
@@ -601,9 +647,11 @@ mod tests {
             batch_deadline: Some(Dur::from_ns(1)),
             ..ResiliencePolicy::default()
         };
-        let r = ResilientBackend::new()
-            .with_policy(policy)
-            .run_resilient(&mut m, &cfg, ExecMode::Functional);
+        let r = ResilientBackend::new().with_policy(policy).run_resilient(
+            &mut m,
+            &cfg,
+            ExecMode::Functional,
+        );
         let res = &r.resilience;
         assert_eq!(res.deadline_missed_batches, cfg.n_batches);
         assert!(res.degraded_rows > 0, "late rows must be counted");
@@ -614,7 +662,10 @@ mod tests {
         let out0 = &outs[0];
         let rows = out0.data().len() / dim;
         let tail = &out0.data()[(rows - 1) * dim..];
-        assert!(tail.iter().all(|&v| v == 0.0), "degraded tail must be filled");
+        assert!(
+            tail.iter().all(|&v| v == 0.0),
+            "degraded tail must be filled"
+        );
     }
 
     #[test]
@@ -636,9 +687,11 @@ mod tests {
         for seed in 0..64u64 {
             let mut m = Machine::new(MachineConfig::dgx_v100(2));
             m.install_faults(FaultPlan::generate(seed, 2, spec));
-            let r = ResilientBackend::new()
-                .with_policy(policy)
-                .run_resilient(&mut m, &cfg, ExecMode::Timing);
+            let r = ResilientBackend::new().with_policy(policy).run_resilient(
+                &mut m,
+                &cfg,
+                ExecMode::Timing,
+            );
             if r.resilience.failover_at.is_some() {
                 found = Some(r);
                 break;
@@ -646,7 +699,10 @@ mod tests {
         }
         let r = found.expect("some seed must flap before the run ends");
         let res = &r.resilience;
-        assert!(res.baseline_batches > 0, "failover must hand batches to baseline");
+        assert!(
+            res.baseline_batches > 0,
+            "failover must hand batches to baseline"
+        );
         assert_eq!(
             res.pgas_batches + res.baseline_batches,
             cfg.n_batches,
@@ -665,9 +721,11 @@ mod tests {
                 batch_deadline: Some(Dur::from_ms(5)),
                 ..ResiliencePolicy::default()
             };
-            let r = ResilientBackend::new()
-                .with_policy(policy)
-                .run_resilient(&mut m, &cfg, ExecMode::Timing);
+            let r = ResilientBackend::new().with_policy(policy).run_resilient(
+                &mut m,
+                &cfg,
+                ExecMode::Timing,
+            );
             let res = &r.resilience;
             assert_eq!(res.batch_latencies.len(), cfg.n_batches);
             assert!(res.total_rows > 0);

@@ -1,0 +1,295 @@
+//! Per-batch execution surface: run *one* batch of either backend at an
+//! arbitrary start instant.
+//!
+//! The closed-loop backends ([`crate::backend::BaselineBackend`],
+//! [`crate::backend::PgasFusedBackend`]) chain these per-batch functions
+//! back-to-back; the online serving layer (`emb-serve`) invokes them at the
+//! instants its micro-batcher closes batches. Because both paths share the
+//! same functions, a batch of identical composition costs identical
+//! simulated time whether it was replayed in a closed loop or assembled
+//! from queued requests — which is what lets serving latencies be compared
+//! against the paper's Table I timings directly.
+
+use desim::{Dur, SimTime};
+use gpusim::Machine;
+use pgas_rt::{OneSided, PgasConfig};
+use simccl::{all_to_all_timed, CollectiveConfig};
+
+use crate::backend::baseline::UNPACK_BW;
+use crate::backend::lookup_block_durations;
+use crate::backend::pgas::stream_releases;
+use crate::{ForwardPlan, TimeBreakdown};
+
+/// A batch plus everything precomputed for executing it on a machine:
+/// per-device block durations and the all-to-all byte matrix. Build once,
+/// execute many times (the closed loop cycles a small pool of these).
+#[derive(Clone, Debug)]
+pub struct PlannedBatch {
+    plan: ForwardPlan,
+    /// Per-device lookup-kernel block durations, indexed `[device][block]`.
+    durations: Vec<Vec<Dur>>,
+    /// All-to-all payload bytes, indexed `[src][dst]`.
+    byte_matrix: Vec<Vec<u64>>,
+}
+
+impl PlannedBatch {
+    /// Precompute execution state for `plan` on `machine`'s GPUs.
+    pub fn new(machine: &Machine, plan: ForwardPlan) -> Self {
+        let n = plan.n_devices;
+        let row_bytes = plan.row_bytes() as u64;
+        let durations = plan
+            .devices
+            .iter()
+            .map(|dp| lookup_block_durations(dp, &plan, machine.spec(dp.device)))
+            .collect();
+        let byte_matrix = plan
+            .devices
+            .iter()
+            .map(|dp| (0..n).map(|g| dp.rows_to(g) * row_bytes).collect())
+            .collect();
+        PlannedBatch {
+            plan,
+            durations,
+            byte_matrix,
+        }
+    }
+
+    /// The underlying forward plan.
+    pub fn plan(&self) -> &ForwardPlan {
+        &self.plan
+    }
+
+    /// Per-device lookup-kernel block durations (`[device][block]`).
+    pub fn durations(&self) -> &[Vec<Dur>] {
+        &self.durations
+    }
+
+    /// All-to-all payload byte matrix (`[src][dst]`).
+    pub fn byte_matrix(&self) -> &[Vec<u64>] {
+        &self.byte_matrix
+    }
+
+    /// Pooled output rows this batch serves (over all devices and features).
+    pub fn total_rows(&self) -> u64 {
+        self.plan
+            .mb_sizes
+            .iter()
+            .map(|&m| (m * self.plan.n_features) as u64)
+            .sum()
+    }
+}
+
+/// Timing of one executed batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchRun {
+    /// Instant execution began (the batch's admission to the machine).
+    pub start: SimTime,
+    /// Instant every device finished (barrier-synchronized).
+    pub end: SimTime,
+    /// This batch's compute / communication / sync+unpack split.
+    pub breakdown: TimeBreakdown,
+}
+
+impl BatchRun {
+    /// Wall time the batch occupied the machine.
+    pub fn service(&self) -> Dur {
+        self.end - self.start
+    }
+}
+
+/// Execute one batch on the baseline collective path: lookup kernels →
+/// `all_to_all_single` → per-device wait + unpack kernel → barrier.
+pub fn baseline_batch(
+    machine: &mut Machine,
+    collectives: &CollectiveConfig,
+    pb: &PlannedBatch,
+    start: SimTime,
+) -> BatchRun {
+    let plan = pb.plan();
+    let n = plan.n_devices;
+    let row_bytes = plan.row_bytes() as u64;
+
+    // --- Phase 1: lookup kernels, one per device, concurrent. ---
+    let mut k_end = vec![SimTime::ZERO; n];
+    for dp in &plan.devices {
+        let run = machine.run_kernel_varied(dp.device, &pb.durations()[dp.device], start);
+        k_end[dp.device] = run.interval.end;
+    }
+    let k_max = machine.barrier(&k_end);
+
+    // --- Phase 2: all_to_all_single(async_op=True). ---
+    let work = all_to_all_timed(machine, collectives, pb.byte_matrix(), &k_end);
+    let c_end: Vec<SimTime> = (0..n).map(|d| work.done_at(d)).collect();
+    let c_max = machine.barrier(&c_end).max(k_max);
+
+    // --- Phase 3: wait() + unpack kernel. ---
+    let mut end = vec![SimTime::ZERO; n];
+    for d in 0..n {
+        let waited = work.wait(machine, d, k_end[d]);
+        // Rearrangement touches every *received* byte twice (read
+        // source-major, write [mb, S, dim]); the local chunk was already
+        // written in place by the lookup kernel.
+        let remote_features = plan.n_features - plan.devices[d].features.len();
+        let unpack_bytes = 2 * (plan.mb_sizes[d] * remote_features) as u64 * row_bytes;
+        let dur = Dur::from_secs_f64(unpack_bytes as f64 / UNPACK_BW);
+        let run = machine.run_kernel_varied(d, &[dur], waited);
+        end[d] = machine.stream_sync(d, run.interval.end);
+    }
+    let batch_end = machine.barrier(&end);
+
+    BatchRun {
+        start,
+        end: batch_end,
+        breakdown: TimeBreakdown {
+            compute: k_max - start,
+            communication: c_max - k_max,
+            sync_unpack: batch_end - c_max,
+        },
+    }
+}
+
+/// Execute one batch on the PGAS fused path: per-device fused kernels whose
+/// one-sided stores stream onto the wire as blocks retire, a `quiet` per
+/// PE, a barrier over quiets, one stream sync.
+pub fn pgas_batch(
+    machine: &mut Machine,
+    pgas: PgasConfig,
+    pb: &PlannedBatch,
+    start: SimTime,
+) -> BatchRun {
+    let plan = pb.plan();
+    let n = plan.n_devices;
+    let row_bytes = plan.row_bytes();
+
+    // --- Fused kernel per device; every thread's one-sided store issues
+    // *while the block executes* (paper Listing 2), so a block's remote
+    // rows are streamed across its execution interval rather than
+    // released in a burst at retirement. ---
+    let mut k_end = vec![SimTime::ZERO; n];
+    let mut quiet = vec![SimTime::ZERO; n];
+    for dp in &plan.devices {
+        let durs = &pb.durations()[dp.device];
+        let run = machine.run_kernel_varied(dp.device, durs, start);
+        k_end[dp.device] = run.interval.end;
+        let releases = stream_releases(dp, durs, &run);
+        let mut os = OneSided::with_config(machine, pgas);
+        for ((ready, dst), rows) in releases {
+            os.put_rows_nbi(dp.device, dst, rows, row_bytes, ready);
+        }
+        quiet[dp.device] = os.quiet(dp.device, run.interval.end);
+    }
+    let k_max = machine.barrier(&k_end);
+
+    // --- Completion: barrier over per-PE quiets, then one host stream
+    // synchronization (PGAS_EMB_forward's final sync). ---
+    let mut os = OneSided::with_config(machine, pgas);
+    let bar = os.barrier_all(&quiet);
+    let end: Vec<SimTime> = (0..n).map(|d| machine.stream_sync(d, bar)).collect();
+    let batch_end = machine.barrier(&end);
+
+    BatchRun {
+        start,
+        end: batch_end,
+        breakdown: TimeBreakdown {
+            compute: k_max - start,
+            // Communication is fused into the kernel: anything left is the
+            // drain/quiet/barrier tail, reported as sync time.
+            communication: Dur::ZERO,
+            sync_unpack: batch_end - k_max,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{plan_for_batch, ExecMode};
+    use crate::{EmbLayerConfig, SparseBatch};
+    use gpusim::MachineConfig;
+
+    fn tiny_cfg(g: usize) -> EmbLayerConfig {
+        let mut c = EmbLayerConfig::paper_weak_scaling(g).scaled_down(512);
+        c.n_batches = 3;
+        c.distinct_batches = 2;
+        c
+    }
+
+    fn planned(machine: &Machine, cfg: &EmbLayerConfig, seed_idx: usize) -> PlannedBatch {
+        let b = SparseBatch::generate_counts_only(&cfg.batch_spec(), cfg.batch_seed(seed_idx));
+        let plan = plan_for_batch(cfg, &b, machine.spec(0));
+        PlannedBatch::new(machine, plan)
+    }
+
+    #[test]
+    fn per_batch_runs_are_time_shift_invariant() {
+        // The serving layer relies on this: a batch's service time must not
+        // depend on when the machine starts it (clean fabric, drained
+        // links), only on its composition.
+        let cfg = tiny_cfg(2);
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let pb = planned(&m, &cfg, 0);
+        let a = pgas_batch(&mut m, PgasConfig::default(), &pb, SimTime::ZERO);
+        let late = a.end + Dur::from_us(37);
+        let b = pgas_batch(&mut m, PgasConfig::default(), &pb, late);
+        assert_eq!(a.service(), b.service());
+        assert_eq!(a.breakdown, b.breakdown);
+
+        let mut m2 = Machine::new(MachineConfig::dgx_v100(2));
+        let cc = CollectiveConfig::default();
+        let a = baseline_batch(&mut m2, &cc, &pb, SimTime::ZERO);
+        let late = a.end + Dur::from_us(101);
+        let b = baseline_batch(&mut m2, &cc, &pb, late);
+        assert_eq!(a.service(), b.service());
+        assert_eq!(a.breakdown, b.breakdown);
+    }
+
+    #[test]
+    fn planned_batch_surfaces_consistent_state() {
+        let cfg = tiny_cfg(2);
+        let m = Machine::new(MachineConfig::dgx_v100(2));
+        let pb = planned(&m, &cfg, 0);
+        assert_eq!(pb.durations().len(), 2);
+        assert_eq!(pb.byte_matrix().len(), 2);
+        for (dp, durs) in pb.plan().devices.iter().zip(pb.durations()) {
+            assert_eq!(durs.len(), dp.blocks.len());
+        }
+        assert_eq!(
+            pb.total_rows(),
+            (cfg.batch_size * cfg.n_features) as u64,
+            "every (sample, feature) pair yields one pooled row"
+        );
+        // Diagonal traffic never crosses the wire but is still accounted
+        // (the backends skip dst == src when putting).
+        assert!(pb.byte_matrix()[0][1] > 0);
+    }
+
+    #[test]
+    fn pgas_batch_is_faster_than_baseline_batch() {
+        let cfg = tiny_cfg(2);
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let pb = planned(&m, &cfg, 0);
+        let p = pgas_batch(&mut m, PgasConfig::default(), &pb, SimTime::ZERO);
+        let mut m2 = Machine::new(MachineConfig::dgx_v100(2));
+        let b = baseline_batch(&mut m2, &CollectiveConfig::default(), &pb, SimTime::ZERO);
+        assert!(
+            p.service() < b.service(),
+            "pgas {} vs {}",
+            p.service(),
+            b.service()
+        );
+    }
+
+    #[test]
+    fn prepare_batches_and_plan_for_batch_agree() {
+        let cfg = tiny_cfg(2);
+        let m = Machine::new(MachineConfig::dgx_v100(2));
+        let prepared = crate::backend::prepare_batches(&cfg, ExecMode::Timing, m.spec(0));
+        let direct = plan_for_batch(&cfg, &prepared.batches[0], m.spec(0));
+        assert_eq!(direct.cache_hit, prepared.plans[0].cache_hit);
+        assert_eq!(direct.batch_size, prepared.plans[0].batch_size);
+        assert_eq!(
+            direct.devices[0].total_lookups,
+            prepared.plans[0].devices[0].total_lookups
+        );
+    }
+}

@@ -104,7 +104,11 @@ fn scatter_add_shape(lookups: u64, staged_rows: u64, row_bytes: u64) -> KernelSh
 
 /// Functionally route bag gradients to owners and scatter-add, producing
 /// per-device per-local-table gradients. Identical math for both schemes.
-fn functional_grads(plan: &ForwardPlan, batch: &SparseBatch, cfg: &EmbLayerConfig) -> Vec<Vec<Tensor>> {
+fn functional_grads(
+    plan: &ForwardPlan,
+    batch: &SparseBatch,
+    cfg: &EmbLayerConfig,
+) -> Vec<Vec<Tensor>> {
     let spec = cfg.table_spec();
     plan.devices
         .iter()
@@ -356,11 +360,21 @@ mod tests {
     fn functional_grads_match_reference() {
         let cfg = tiny_cfg(2);
         let mut m = Machine::new(MachineConfig::dgx_v100(2));
-        let res = baseline_backward(&mut m, &cfg, &CollectiveConfig::default(), ExecMode::Functional);
+        let res = baseline_backward(
+            &mut m,
+            &cfg,
+            &CollectiveConfig::default(),
+            ExecMode::Functional,
+        );
         let grads = res.grads.unwrap();
         let batch = SparseBatch::generate(&cfg.batch_spec(), cfg.batch_seed(cfg.n_batches - 1));
         let reference = reference_backward(&batch, cfg.table_spec(), cfg.pooling, cfg.seed);
-        for dp_grads in grads.iter().zip(cfg.sharding().features_on(0, cfg.n_features).iter().map(|_| ())) {
+        for dp_grads in grads.iter().zip(
+            cfg.sharding()
+                .features_on(0, cfg.n_features)
+                .iter()
+                .map(|_| ()),
+        ) {
             let _ = dp_grads;
         }
         // Flatten device grads back to global feature order and compare.
@@ -379,7 +393,12 @@ mod tests {
     fn pgas_and_baseline_grads_agree() {
         let cfg = tiny_cfg(2);
         let mut m1 = Machine::new(MachineConfig::dgx_v100(2));
-        let b = baseline_backward(&mut m1, &cfg, &CollectiveConfig::default(), ExecMode::Functional);
+        let b = baseline_backward(
+            &mut m1,
+            &cfg,
+            &CollectiveConfig::default(),
+            ExecMode::Functional,
+        );
         let mut m2 = Machine::new(MachineConfig::dgx_v100(2));
         let p = pgas_backward(&mut m2, &cfg, PgasConfig::default(), ExecMode::Functional);
         for (bg, pg) in b.grads.unwrap().iter().zip(p.grads.unwrap().iter()) {
@@ -393,7 +412,12 @@ mod tests {
     fn pgas_backward_is_faster() {
         let cfg = tiny_cfg(2);
         let mut m1 = Machine::new(MachineConfig::dgx_v100(2));
-        let b = baseline_backward(&mut m1, &cfg, &CollectiveConfig::default(), ExecMode::Timing);
+        let b = baseline_backward(
+            &mut m1,
+            &cfg,
+            &CollectiveConfig::default(),
+            ExecMode::Timing,
+        );
         let mut m2 = Machine::new(MachineConfig::dgx_v100(2));
         let p = pgas_backward(&mut m2, &cfg, PgasConfig::default(), ExecMode::Timing);
         assert!(

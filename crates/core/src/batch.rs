@@ -77,6 +77,42 @@ impl SparseBatchSpec {
     }
 }
 
+/// Why assembling a batch from per-request bag sizes failed. The serving
+/// path turns these into shed/counted requests instead of aborting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchAssemblyError {
+    /// No requests were supplied.
+    Empty,
+    /// Request `request` carried `got` per-feature bag sizes where the
+    /// workload expects `expected`.
+    FeatureCountMismatch {
+        /// Index of the offending request within the slice.
+        request: usize,
+        /// Bag-size entries the workload's feature count requires.
+        expected: usize,
+        /// Bag-size entries the request actually carried.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for BatchAssemblyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BatchAssemblyError::Empty => write!(f, "no requests to assemble"),
+            BatchAssemblyError::FeatureCountMismatch {
+                request,
+                expected,
+                got,
+            } => write!(
+                f,
+                "request {request} has {got} bag sizes, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BatchAssemblyError {}
+
 /// A generated batch of sparse inputs in CSR layout.
 #[derive(Clone, Debug)]
 pub struct SparseBatch {
@@ -101,7 +137,10 @@ impl SparseBatch {
     }
 
     fn generate_inner(spec: &SparseBatchSpec, seed: u64, with_indices: bool) -> Self {
-        assert!(spec.batch_size > 0 && spec.n_features > 0, "empty batch spec");
+        assert!(
+            spec.batch_size > 0 && spec.n_features > 0,
+            "empty batch spec"
+        );
         assert!(
             spec.pooling_min <= spec.pooling_max,
             "pooling_min > pooling_max"
@@ -141,6 +180,47 @@ impl SparseBatch {
             indices,
             has_indices: with_indices,
         }
+    }
+
+    /// Assemble a counts-only batch from per-request bag-size rows:
+    /// `requests[s][f]` is the pooling factor of feature `f` in request
+    /// `s`. This is the serving path's entry point, where a batch is
+    /// composed from queued requests (in admission order) rather than drawn
+    /// from a seed — a batch assembled from the columns of a generated
+    /// batch, in order, is bit-identical to that batch.
+    pub fn from_bag_sizes(
+        n_features: usize,
+        requests: &[Vec<u32>],
+    ) -> Result<Self, BatchAssemblyError> {
+        if requests.is_empty() || n_features == 0 {
+            return Err(BatchAssemblyError::Empty);
+        }
+        for (s, r) in requests.iter().enumerate() {
+            if r.len() != n_features {
+                return Err(BatchAssemblyError::FeatureCountMismatch {
+                    request: s,
+                    expected: n_features,
+                    got: r.len(),
+                });
+            }
+        }
+        let n = requests.len();
+        let mut offsets = Vec::with_capacity(n_features * n + 1);
+        offsets.push(0usize);
+        let mut total = 0usize;
+        for f in 0..n_features {
+            for r in requests {
+                total += r[f] as usize;
+                offsets.push(total);
+            }
+        }
+        Ok(SparseBatch {
+            batch_size: n,
+            n_features,
+            offsets,
+            indices: Vec::new(),
+            has_indices: false,
+        })
     }
 
     /// Global batch size `N`.
@@ -260,6 +340,45 @@ mod tests {
     fn counts_only_bag_access_panics() {
         let b = SparseBatch::generate_counts_only(&spec(), 0);
         let _ = b.bag(0, 0);
+    }
+
+    #[test]
+    fn from_bag_sizes_round_trips_generated_columns() {
+        let b = SparseBatch::generate_counts_only(&spec(), 9);
+        // Deal the batch out as per-request rows, then reassemble.
+        let rows: Vec<Vec<u32>> = (0..b.batch_size())
+            .map(|s| {
+                (0..b.n_features())
+                    .map(|f| b.pooling_factor(f, s) as u32)
+                    .collect()
+            })
+            .collect();
+        let re = SparseBatch::from_bag_sizes(b.n_features(), &rows).unwrap();
+        assert_eq!(re.offsets, b.offsets, "reassembly must be bit-identical");
+        assert!(!re.has_indices());
+    }
+
+    #[test]
+    fn from_bag_sizes_rejects_malformed_requests() {
+        assert_eq!(
+            SparseBatch::from_bag_sizes(4, &[]).unwrap_err(),
+            BatchAssemblyError::Empty
+        );
+        let rows = vec![vec![1, 2, 3, 4], vec![1, 2]];
+        assert_eq!(
+            SparseBatch::from_bag_sizes(4, &rows).unwrap_err(),
+            BatchAssemblyError::FeatureCountMismatch {
+                request: 1,
+                expected: 4,
+                got: 2
+            }
+        );
+        let e = BatchAssemblyError::FeatureCountMismatch {
+            request: 1,
+            expected: 4,
+            got: 2,
+        };
+        assert!(e.to_string().contains("expected 4"));
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! Workload configuration, with the paper's two experimental presets.
 
-use crate::{
-    EmbeddingTableSpec, IndexDistribution, PoolingOp, Sharding, SparseBatchSpec,
-};
+use crate::{EmbeddingTableSpec, IndexDistribution, PoolingOp, Sharding, SparseBatchSpec};
 
 /// Everything that defines an EMB-layer workload and its execution layout.
 #[derive(Clone, Debug)]

@@ -44,11 +44,11 @@ mod sharding;
 mod table;
 mod timing;
 
-pub use batch::{IndexDistribution, SparseBatch, SparseBatchSpec};
+pub use batch::{BatchAssemblyError, IndexDistribution, SparseBatch, SparseBatchSpec};
 pub use config::EmbLayerConfig;
 pub use hash::{hash_to_row, IndexHasher};
 pub use plan::{BlockPlan, DevicePlan, ForwardPlan};
 pub use pooling::PoolingOp;
 pub use sharding::{InputPartition, Sharding};
-pub use table::{EmbeddingShard, EmbeddingTableSpec};
+pub use table::{EmbeddingShard, EmbeddingTableSpec, NotResident};
 pub use timing::{RunReport, TimeBreakdown};

@@ -252,13 +252,7 @@ mod tests {
     #[test]
     fn lookups_match_batch_pooling() {
         let b = batch(16, 4);
-        let p = ForwardPlan::build(
-            &b,
-            &Sharding::table_wise_block(4, 2),
-            8,
-            PoolingOp::Sum,
-            7,
-        );
+        let p = ForwardPlan::build(&b, &Sharding::table_wise_block(4, 2), 8, PoolingOp::Sum, 7);
         let expect: u64 = b.total_indices() as u64;
         let got: u64 = p.devices.iter().map(|d| d.total_lookups).sum();
         assert_eq!(got, expect);
@@ -341,7 +335,10 @@ mod tests {
         assert_eq!(p.output_elems_on(1), 7 * 4 * 8);
         // Every sample has exactly one owner and rows balance.
         for dp in &p.devices {
-            assert_eq!(dp.rows_to(0) + dp.rows_to(1), (dp.features.len() * 15) as u64);
+            assert_eq!(
+                dp.rows_to(0) + dp.rows_to(1),
+                (dp.features.len() * 15) as u64
+            );
         }
     }
 

@@ -94,7 +94,10 @@ mod tests {
 
     #[test]
     fn sum_pools_elementwise() {
-        let out = pool(PoolingOp::Sum, &[&[1.0, 2.0], &[10.0, 20.0], &[100.0, 200.0]]);
+        let out = pool(
+            PoolingOp::Sum,
+            &[&[1.0, 2.0], &[10.0, 20.0], &[100.0, 200.0]],
+        );
         assert_eq!(out, vec![111.0, 222.0]);
     }
 

@@ -38,7 +38,10 @@ pub fn reference_forward(
         let hasher = IndexHasher::new(f, spec.rows, seed);
         for sample in 0..n {
             let bag = batch.bag(f, sample);
-            let rows: Vec<&[f32]> = bag.iter().map(|&raw| weights.row(hasher.row(raw))).collect();
+            let rows: Vec<&[f32]> = bag
+                .iter()
+                .map(|&raw| weights.row(hasher.row(raw)))
+                .collect();
             pooling.pool(&rows, &mut pooled);
             let dev = sample / mb;
             let local_s = sample % mb;
@@ -105,10 +108,7 @@ mod tests {
         let batch = small_batch();
         let one = reference_forward(&batch, SPEC, PoolingOp::Sum, 1, 7);
         let two = reference_forward(&batch, SPEC, PoolingOp::Sum, 2, 7);
-        let reassembled: Vec<f32> = two
-            .iter()
-            .flat_map(|t| t.data().iter().copied())
-            .collect();
+        let reassembled: Vec<f32> = two.iter().flat_map(|t| t.data().iter().copied()).collect();
         assert_eq!(one[0].data(), &reassembled[..]);
     }
 

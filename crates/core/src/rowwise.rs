@@ -175,7 +175,10 @@ pub fn rowwise_baseline_forward(
     for _ in 0..cfg.n_batches {
         let mut k_end = vec![SimTime::ZERO; n];
         for (d, ke) in k_end.iter_mut().enumerate() {
-            *ke = machine.run_kernel_varied(d, &durs, batch_start).interval.end;
+            *ke = machine
+                .run_kernel_varied(d, &durs, batch_start)
+                .interval
+                .end;
         }
         let k_max = machine.barrier(&k_end);
 
@@ -203,10 +206,8 @@ pub fn rowwise_baseline_forward(
             let d_mb = cfg.batch_size.saturating_sub(d * mb).min(mb);
             let reduce_bytes = (n * d_mb * cfg.n_features) as u64 * row_bytes
                 + (d_mb * cfg.n_features) as u64 * row_bytes;
-            let shape = KernelShape::memory_bound(
-                reduce_bytes.div_ceil(128 << 10).max(1),
-                128 << 10,
-            );
+            let shape =
+                KernelShape::memory_bound(reduce_bytes.div_ceil(128 << 10).max(1), 128 << 10);
             let r = machine.run_kernel(d, shape, waited);
             *e = machine.stream_sync(d, r.interval.end);
         }
@@ -359,15 +360,8 @@ mod tests {
                 cfg.pooling = op;
                 cfg.pooling_min = 0; // exercise NULL bags too
                 let batch = SparseBatch::generate(&cfg.batch_spec(), 7);
-                let got = rowwise_functional_forward(
-                    &batch,
-                    cfg.table_spec(),
-                    op,
-                    gpus,
-                    cfg.seed,
-                );
-                let expect =
-                    reference_forward(&batch, cfg.table_spec(), op, gpus, cfg.seed);
+                let got = rowwise_functional_forward(&batch, cfg.table_spec(), op, gpus, cfg.seed);
+                let expect = reference_forward(&batch, cfg.table_spec(), op, gpus, cfg.seed);
                 for (a, b) in got.iter().zip(&expect) {
                     assert!(
                         a.allclose(b, 1e-4),
@@ -382,7 +376,12 @@ mod tests {
     fn timed_backends_run_and_pgas_wins() {
         let cfg = tiny(2);
         let mut mb = Machine::new(MachineConfig::dgx_v100(2));
-        let b = rowwise_baseline_forward(&mut mb, &cfg, &CollectiveConfig::default(), ExecMode::Timing);
+        let b = rowwise_baseline_forward(
+            &mut mb,
+            &cfg,
+            &CollectiveConfig::default(),
+            ExecMode::Timing,
+        );
         let mut mp = Machine::new(MachineConfig::dgx_v100(2));
         let p = rowwise_pgas_forward(&mut mp, &cfg, PgasConfig::default(), ExecMode::Timing);
         assert!(!b.report.breakdown.compute.is_zero());
@@ -399,7 +398,12 @@ mod tests {
         use crate::backend::{BaselineBackend, RetrievalBackend};
         let cfg = tiny(2);
         let mut mrw = Machine::new(MachineConfig::dgx_v100(2));
-        let rw = rowwise_baseline_forward(&mut mrw, &cfg, &CollectiveConfig::default(), ExecMode::Timing);
+        let rw = rowwise_baseline_forward(
+            &mut mrw,
+            &cfg,
+            &CollectiveConfig::default(),
+            ExecMode::Timing,
+        );
         let mut mtw = Machine::new(MachineConfig::dgx_v100(2));
         let tw = BaselineBackend::new().run(&mut mtw, &cfg, ExecMode::Timing);
         // Partial rows for remote minibatches == pooled rows for remote

@@ -75,7 +75,9 @@ impl Sharding {
         match self {
             Sharding::TableWise { assignment } => {
                 assert_eq!(assignment.len(), n_features);
-                (0..n_features).filter(|&f| assignment[f] == device).collect()
+                (0..n_features)
+                    .filter(|&f| assignment[f] == device)
+                    .collect()
             }
             Sharding::RowWise { .. } => (0..n_features).collect(),
         }
@@ -223,7 +225,10 @@ mod tests {
         let s = Sharding::table_wise_block(6, 2);
         let p = InputPartition::compute(&b, &s);
         assert_eq!(p.bags_per_device.iter().sum::<usize>(), 6 * 8);
-        assert_eq!(p.indices_per_device.iter().sum::<usize>(), b.total_indices());
+        assert_eq!(
+            p.indices_per_device.iter().sum::<usize>(),
+            b.total_indices()
+        );
         assert!(!p.cpu_time.is_zero());
         assert!(!p.h2d_time.is_zero());
     }

@@ -2,6 +2,24 @@
 
 use simtensor::Tensor;
 
+/// A lookup named a feature whose table is not resident in this shard —
+/// e.g. a malformed serving request addressing a table the device does not
+/// own. The serving path sheds such requests; the panicking accessors (for
+/// trusted closed-loop plans) delegate to the fallible ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotResident {
+    /// The global feature id that was requested.
+    pub feature: usize,
+}
+
+impl std::fmt::Display for NotResident {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "feature {} not resident in this shard", self.feature)
+    }
+}
+
+impl std::error::Error for NotResident {}
+
 /// Size of one embedding table: `rows` (the hash size `M`) by `dim` (the
 /// embedding dimension `d`). In the paper's workloads every feature uses the
 /// same spec (1 M rows × 64), but nothing here requires that.
@@ -72,25 +90,40 @@ impl EmbeddingShard {
         self.tables.len()
     }
 
-    /// Weights of the local table holding global feature `feature`.
-    /// Panics if the feature is not resident.
-    pub fn weights(&self, feature: usize) -> &Tensor {
-        &self
-            .tables
+    /// Weights of the local table holding global feature `feature`, or
+    /// [`NotResident`] if this shard does not own it.
+    pub fn try_weights(&self, feature: usize) -> Result<&Tensor, NotResident> {
+        self.tables
             .iter()
             .find(|&&(f, _)| f == feature)
-            .unwrap_or_else(|| panic!("feature {feature} not resident in this shard"))
-            .1
+            .map(|(_, t)| t)
+            .ok_or(NotResident { feature })
+    }
+
+    /// Mutable weights (for the backward-pass update), or [`NotResident`].
+    pub fn try_weights_mut(&mut self, feature: usize) -> Result<&mut Tensor, NotResident> {
+        self.tables
+            .iter_mut()
+            .find(|&&mut (f, _)| f == feature)
+            .map(|(_, t)| t)
+            .ok_or(NotResident { feature })
+    }
+
+    /// Weights of the local table holding global feature `feature`.
+    /// Panics if the feature is not resident — for closed-loop plans whose
+    /// placement is trusted; serving code uses
+    /// [`EmbeddingShard::try_weights`].
+    pub fn weights(&self, feature: usize) -> &Tensor {
+        self.try_weights(feature).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Mutable weights (for the backward-pass update).
+    /// Panics if the feature is not resident.
     pub fn weights_mut(&mut self, feature: usize) -> &mut Tensor {
-        &mut self
-            .tables
-            .iter_mut()
-            .find(|&&mut (f, _)| f == feature)
-            .unwrap_or_else(|| panic!("feature {feature} not resident in this shard"))
-            .1
+        match self.try_weights_mut(feature) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Row `row` of `feature`'s table.
@@ -155,5 +188,17 @@ mod tests {
     fn missing_feature_panics() {
         let s = EmbeddingShard::materialize(&[0], SPEC, 0);
         let _ = s.weights(1);
+    }
+
+    #[test]
+    fn try_accessors_return_typed_errors() {
+        let mut s = EmbeddingShard::materialize(&[0, 2], SPEC, 0);
+        assert!(s.try_weights(2).is_ok());
+        assert_eq!(s.try_weights(1), Err(NotResident { feature: 1 }));
+        assert!(s.try_weights_mut(0).is_ok());
+        assert_eq!(
+            s.try_weights_mut(9).unwrap_err().to_string(),
+            "feature 9 not resident in this shard"
+        );
     }
 }

@@ -3,15 +3,22 @@
 use desim::Dur;
 use emb_retrieval::backend::{ExecMode, ResiliencePolicy, ResilientBackend};
 use emb_retrieval::{
-    hash_to_row, EmbLayerConfig, ForwardPlan, IndexDistribution, IndexHasher, PoolingOp,
-    Sharding, SparseBatch, SparseBatchSpec,
+    hash_to_row, EmbLayerConfig, ForwardPlan, IndexDistribution, IndexHasher, PoolingOp, Sharding,
+    SparseBatch, SparseBatchSpec,
 };
 use gpusim::{FaultPlan, FaultSpec, Machine, MachineConfig};
 use proptest::prelude::*;
 
 fn batch_strategy() -> impl Strategy<Value = (SparseBatch, usize)> {
-    (1usize..5, 1usize..4, 2usize..20, 0u32..3, 1u32..6, any::<u16>()).prop_map(
-        |(gpus, fpg, batch, pmin, pspan, seed)| {
+    (
+        1usize..5,
+        1usize..4,
+        2usize..20,
+        0u32..3,
+        1u32..6,
+        any::<u16>(),
+    )
+        .prop_map(|(gpus, fpg, batch, pmin, pspan, seed)| {
             let spec = SparseBatchSpec {
                 batch_size: batch.max(gpus),
                 n_features: fpg * gpus,
@@ -21,8 +28,7 @@ fn batch_strategy() -> impl Strategy<Value = (SparseBatch, usize)> {
                 distribution: IndexDistribution::Uniform,
             };
             (SparseBatch::generate(&spec, seed as u64), gpus)
-        },
-    )
+        })
 }
 
 proptest! {

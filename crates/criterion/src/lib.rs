@@ -50,7 +50,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run one bench in the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
         run_one(&format!("{}/{id}", self.name), &mut f);
         self
     }
@@ -72,10 +76,17 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
-    let mut b = Bencher { elapsed_ns: 0, iters: 0 };
+    let mut b = Bencher {
+        elapsed_ns: 0,
+        iters: 0,
+    };
     f(&mut b);
     if b.iters > 0 {
-        println!("bench {label}: {:.3} ms/iter ({} iters)", b.elapsed_ns as f64 / b.iters as f64 / 1e6, b.iters);
+        println!(
+            "bench {label}: {:.3} ms/iter ({} iters)",
+            b.elapsed_ns as f64 / b.iters as f64 / 1e6,
+            b.iters
+        );
     }
 }
 
@@ -108,12 +119,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Identifier `"{name}/{param}"`.
     pub fn new(name: impl Display, param: impl Display) -> Self {
-        BenchmarkId { text: format!("{name}/{param}") }
+        BenchmarkId {
+            text: format!("{name}/{param}"),
+        }
     }
 
     /// Identifier from the parameter alone.
     pub fn from_parameter(param: impl Display) -> Self {
-        BenchmarkId { text: format!("{param}") }
+        BenchmarkId {
+            text: format!("{param}"),
+        }
     }
 }
 

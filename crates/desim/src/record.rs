@@ -167,10 +167,14 @@ impl Histogram {
 
     /// `(bucket_upper_bound, count)` for each non-empty power-of-two bucket.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.counts.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(i, &c)| {
-            let ub = if i == 0 { 0 } else { (1u64 << i) - 1 };
-            (ub, c)
-        })
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let ub = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                (ub, c)
+            })
     }
 }
 

@@ -151,7 +151,10 @@ impl Sub<SimTime> for SimTime {
 impl Sub<Dur> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: Dur) -> SimTime {
-        assert!(self.0 >= rhs.0, "SimTime - Dur underflow: {self:?} - {rhs:?}");
+        assert!(
+            self.0 >= rhs.0,
+            "SimTime - Dur underflow: {self:?} - {rhs:?}"
+        );
         SimTime(self.0 - rhs.0)
     }
 }

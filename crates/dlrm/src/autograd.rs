@@ -62,7 +62,11 @@ impl Mlp {
             layer_inputs.push(h.clone());
             let pre = layer.forward(&h);
             pre_activations.push(pre.clone());
-            h = if i + 1 < self.n_layers() { pre.relu() } else { pre };
+            h = if i + 1 < self.n_layers() {
+                pre.relu()
+            } else {
+                pre
+            };
         }
         (
             h,
@@ -81,13 +85,16 @@ impl Mlp {
         for i in (0..self.n_layers()).rev() {
             if i + 1 < self.n_layers() {
                 // Undo the hidden ReLU: zero where pre-activation <= 0.
-                g = g.zip_with(&cache.pre_activations[i], |gv, pre| {
-                    if pre > 0.0 {
-                        gv
-                    } else {
-                        0.0
-                    }
-                });
+                g = g.zip_with(
+                    &cache.pre_activations[i],
+                    |gv, pre| {
+                        if pre > 0.0 {
+                            gv
+                        } else {
+                            0.0
+                        }
+                    },
+                );
             }
             let (gx, gw, gb) = self.layers_ref()[i].backward(&cache.layer_inputs[i], &g);
             grads[i] = Some((gw, gb));
@@ -285,6 +292,9 @@ mod tests {
         let (_, grads) = m.backward(&cache, &Tensor::ones(&[8, 2]));
         m.sgd_step(&grads, 0.05);
         let after = m.forward(&x).sum();
-        assert!(after < before, "objective must decrease: {before} -> {after}");
+        assert!(
+            after < before,
+            "objective must decrease: {before} -> {after}"
+        );
     }
 }

@@ -35,7 +35,8 @@ impl DenseBatch {
         let cols = self.values.dims()[1];
         let mut out = Tensor::zeros(&[mb, cols]);
         for r in 0..mb {
-            out.row_mut(r).copy_from_slice(self.values.row(dev * mb + r));
+            out.row_mut(r)
+                .copy_from_slice(self.values.row(dev * mb + r));
         }
         out
     }

@@ -14,11 +14,7 @@ use simtensor::Tensor;
 pub fn interact(dense: &Tensor, emb: &Tensor, n_features: usize, dim: usize) -> Tensor {
     let mb = dense.dims()[0];
     assert_eq!(dense.dims(), &[mb, dim], "dense must be [mb, d]");
-    assert_eq!(
-        emb.dims(),
-        &[mb, n_features * dim],
-        "emb must be [mb, S*d]"
-    );
+    assert_eq!(emb.dims(), &[mb, n_features * dim], "emb must be [mb, S*d]");
     let s1 = n_features + 1;
     let tri = s1 * (s1 - 1) / 2;
     let mut out = Tensor::zeros(&[mb, dim + tri]);

@@ -29,5 +29,5 @@ pub use data::DenseBatch;
 pub use interaction::interact;
 pub use mlp::{Linear, Mlp};
 pub use model::{Dlrm, DlrmConfig};
-pub use pipeline::{InferencePipeline, PipelineReport};
+pub use pipeline::{BatchCosts, InferencePipeline, PipelineReport};
 pub use training::{HeadGrads, TrainingPipeline, TrainingReport};

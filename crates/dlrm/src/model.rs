@@ -94,7 +94,12 @@ impl Dlrm {
     /// `[mb, S·d]` embedding-layer output. Returns `[mb, 1]` probabilities.
     pub fn head_forward(&self, dense_mb: &Tensor, emb_out: &Tensor) -> Tensor {
         let dense_emb = self.top.forward(dense_mb);
-        let fused = interact(&dense_emb, emb_out, self.cfg.emb.n_features, self.cfg.emb.dim);
+        let fused = interact(
+            &dense_emb,
+            emb_out,
+            self.cfg.emb.n_features,
+            self.cfg.emb.dim,
+        );
         self.bottom.forward(&fused).sigmoid()
     }
 
@@ -120,10 +125,7 @@ mod tests {
         assert_eq!(*w.first().unwrap(), 4);
         assert_eq!(*w.last().unwrap(), cfg.emb.dim);
         let b = cfg.bottom_widths();
-        assert_eq!(
-            b[0],
-            interact_width(cfg.emb.n_features, cfg.emb.dim)
-        );
+        assert_eq!(b[0], interact_width(cfg.emb.n_features, cfg.emb.dim));
         assert_eq!(*b.last().unwrap(), 1);
     }
 
@@ -162,6 +164,9 @@ mod tests {
             1.0,
             3,
         );
-        assert_eq!(a.head_forward(&dense.minibatch(0, 1), &emb), b.head_forward(&dense.minibatch(0, 1), &emb));
+        assert_eq!(
+            a.head_forward(&dense.minibatch(0, 1), &emb),
+            b.head_forward(&dense.minibatch(0, 1), &emb)
+        );
     }
 }

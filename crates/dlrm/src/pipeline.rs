@@ -45,6 +45,26 @@ impl PipelineReport {
     }
 }
 
+/// Per-batch MLP costs of one closed batch — the batch-from-requests entry
+/// point the online serving layer uses to extend a retrieved batch into a
+/// full inference pass. The top MLP overlaps the EMB stage; interaction +
+/// bottom MLP follow serially.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchCosts {
+    /// Top-MLP time for the batch (overlapped with the EMB stage).
+    pub top_mlp: Dur,
+    /// Interaction + bottom-MLP time for the batch.
+    pub head: Dur,
+}
+
+impl BatchCosts {
+    /// End-to-end time of a batch whose EMB stage took `emb`:
+    /// `max(emb, top_mlp) + head`.
+    pub fn completion(&self, emb: Dur) -> Dur {
+        self.top_mlp.max(emb) + self.head
+    }
+}
+
 /// Drives a [`Dlrm`] over a stream of batches with a chosen retrieval
 /// backend.
 pub struct InferencePipeline<'a> {
@@ -86,22 +106,20 @@ impl<'a> InferencePipeline<'a> {
         (self.assemble(machine, report, outputs), r.resilience)
     }
 
-    /// Fold an EMB-stage result into the end-to-end pipeline report.
-    fn assemble(
-        &self,
-        machine: &Machine,
-        report: RunReport,
-        outputs: Option<Vec<Tensor>>,
-    ) -> PipelineReport {
+    /// Per-batch MLP costs for a closed batch of `batch_size` total
+    /// samples, split `⌈batch_size / n_gpus⌉` per device. This is the
+    /// serving path's per-batch entry point: the micro-batcher closes a
+    /// batch of requests, the EMB backend retrieves it, and these costs
+    /// extend the retrieval into a full inference pass.
+    pub fn batch_costs(&self, machine: &Machine, batch_size: usize) -> BatchCosts {
         let cfg = &self.model.cfg;
-        let mb = cfg.emb.mb_size();
+        let mb = batch_size.div_ceil(cfg.emb.n_gpus).max(1);
         let spec = machine.spec(0).clone();
 
-        // Per-batch MLP costs (identical every batch: same shapes).
         let top_shape = self.model.top.kernel_shape(mb, &spec);
-        let top_per_batch = spec.kernel_launch + top_shape.duration(&spec);
-        let head_flops = interact_flops(mb, cfg.emb.n_features, cfg.emb.dim)
-            + self.model.bottom.flops(mb);
+        let top_mlp = spec.kernel_launch + top_shape.duration(&spec);
+        let head_flops =
+            interact_flops(mb, cfg.emb.n_features, cfg.emb.dim) + self.model.bottom.flops(mb);
         let head_blocks = (mb as u64).div_ceil(32).max(1);
         let head_shape = KernelShape {
             blocks: head_blocks,
@@ -110,10 +128,26 @@ impl<'a> InferencePipeline<'a> {
             flops_per_block: head_flops.div_ceil(head_blocks),
             dependent_accesses: 4,
         };
-        let head_per_batch = spec.kernel_launch + head_shape.duration(&spec);
+        let head = spec.kernel_launch + head_shape.duration(&spec);
+        BatchCosts { top_mlp, head }
+    }
+
+    /// Fold an EMB-stage result into the end-to-end pipeline report.
+    fn assemble(
+        &self,
+        machine: &Machine,
+        report: RunReport,
+        outputs: Option<Vec<Tensor>>,
+    ) -> PipelineReport {
+        let cfg = &self.model.cfg;
+
+        // Per-batch MLP costs (identical every batch: same shapes).
+        let costs = self.batch_costs(machine, cfg.emb.batch_size);
+        let top_per_batch = costs.top_mlp;
+        let head_per_batch = costs.head;
 
         let emb_per_batch = report.per_batch();
-        let per_batch = emb_per_batch.max(top_per_batch) + head_per_batch;
+        let per_batch = costs.completion(emb_per_batch);
         let total = per_batch * report.batches as u64;
 
         let predictions = outputs.map(|emb_out| {
@@ -210,12 +244,11 @@ mod tests {
         for seed in 0..8u64 {
             let mut m = Machine::new(MachineConfig::dgx_v100(2));
             m.install_faults(FaultPlan::generate(seed, 2, FaultSpec::chaos(0.9)));
-            let backend = ResilientBackend::new().with_policy(
-                emb_retrieval::backend::ResiliencePolicy {
+            let backend =
+                ResilientBackend::new().with_policy(emb_retrieval::backend::ResiliencePolicy {
                     batch_deadline: Some(Dur::from_ms(2)),
                     ..Default::default()
-                },
-            );
+                });
             let (r, res) = pipeline.run_resilient(&mut m, &backend, ExecMode::Functional);
             let preds = r.predictions.expect("inference must always return");
             assert_eq!(preds.len(), 2);
@@ -225,6 +258,29 @@ mod tests {
             );
             assert_eq!(res.batch_latencies.len(), r.batches);
         }
+    }
+
+    #[test]
+    fn batch_costs_scale_with_batch_size_and_match_assemble() {
+        let cfg = DlrmConfig::tiny(2);
+        let model = Dlrm::new(cfg);
+        let m = Machine::new(MachineConfig::dgx_v100(2));
+        let pipeline = InferencePipeline::new(&model);
+        let full = pipeline.batch_costs(&m, model.cfg.emb.batch_size);
+        // The closed-loop report's per-batch MLP costs come from the same
+        // entry point.
+        let mut m2 = Machine::new(MachineConfig::dgx_v100(2));
+        let r = pipeline.run(&mut m2, &BaselineBackend::new(), ExecMode::Timing);
+        assert_eq!(r.top_mlp_per_batch, full.top_mlp);
+        assert_eq!(r.head_per_batch, full.head);
+        // A smaller closed batch costs no more than a full one.
+        let small = pipeline.batch_costs(&m, model.cfg.emb.batch_size / 2);
+        assert!(small.top_mlp <= full.top_mlp);
+        assert!(small.head <= full.head);
+        // Completion semantics: overlap with EMB, then the serial head.
+        let emb = Dur::from_us(10_000);
+        assert_eq!(full.completion(emb), emb.max(full.top_mlp) + full.head);
+        assert_eq!(full.completion(Dur::ZERO), full.top_mlp + full.head);
     }
 
     #[test]

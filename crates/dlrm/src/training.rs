@@ -128,7 +128,9 @@ impl<'a> TrainingPipeline<'a> {
         let spec = machine.spec(0).clone();
 
         // EMB forward (accumulated over n_batches).
-        let fwd = forward_backend.run(machine, &cfg.emb, ExecMode::Timing).report;
+        let fwd = forward_backend
+            .run(machine, &cfg.emb, ExecMode::Timing)
+            .report;
         // EMB backward.
         let bwd = if pgas_backward_path {
             pgas_backward(machine, &cfg.emb, self.pgas, ExecMode::Timing).report

@@ -78,14 +78,25 @@ pub enum FabricError {
 impl fmt::Display for FabricError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FabricError::LinkDown { src, dst, at, up_at } => {
+            FabricError::LinkDown {
+                src,
+                dst,
+                at,
+                up_at,
+            } => {
                 write!(f, "link {src}->{dst} down at {at:?} (up at {up_at:?})")
             }
             FabricError::MessageDropped { src, dst, at } => {
                 write!(f, "message {src}->{dst} dropped at {at:?}")
             }
-            FabricError::Timeout { deadline, completes_at } => {
-                write!(f, "deadline {deadline:?} missed (completes at {completes_at:?})")
+            FabricError::Timeout {
+                deadline,
+                completes_at,
+            } => {
+                write!(
+                    f,
+                    "deadline {deadline:?} missed (completes at {completes_at:?})"
+                )
             }
             FabricError::RetryExhausted { attempts, last } => {
                 write!(f, "retries exhausted after {attempts} attempts: {last}")
@@ -565,7 +576,12 @@ impl FaultPlan {
             MessageFault::Drop
         } else if u < self.spec.drop_prob + self.spec.delay_prob {
             let jitter = s.uniform_dur(self.spec.delay.0, self.spec.delay.1);
-            self.events.push(FaultEvent::Delayed { src, dst, seq, jitter });
+            self.events.push(FaultEvent::Delayed {
+                src,
+                dst,
+                seq,
+                jitter,
+            });
             self.mix(2, pair as u64 ^ jitter.as_ns(), seq);
             MessageFault::Delay(jitter)
         } else {
@@ -758,7 +774,10 @@ mod tests {
             let f = p.fault_fraction(src, dst, SimTime::ZERO, SimTime::from_ms(200));
             assert!((0.0..=1.0).contains(&f), "fraction {f} out of bounds");
         }
-        assert_eq!(p.fault_fraction(0, 1, SimTime::from_us(5), SimTime::from_us(5)), 0.0);
+        assert_eq!(
+            p.fault_fraction(0, 1, SimTime::from_us(5), SimTime::from_us(5)),
+            0.0
+        );
     }
 
     #[test]
@@ -817,7 +836,11 @@ mod tests {
         };
         assert_eq!(r.observed_at(), SimTime::from_us(5));
         assert!(format!("{r}").contains("3 attempts"));
-        let d = FabricError::MessageDropped { src: 1, dst: 0, at: SimTime::from_us(2) };
+        let d = FabricError::MessageDropped {
+            src: 1,
+            dst: 0,
+            at: SimTime::from_us(2),
+        };
         assert!(d.is_retryable());
     }
 

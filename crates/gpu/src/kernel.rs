@@ -193,7 +193,10 @@ mod tests {
         let small = KernelShape::memory_bound(64, 4096);
         let smaller = KernelShape::memory_bound(32, 4096);
         let ratio = small.duration(&s).as_secs_f64() / smaller.duration(&s).as_secs_f64();
-        assert!(ratio < 1.2, "latency-limited kernels should not scale, got {ratio}");
+        assert!(
+            ratio < 1.2,
+            "latency-limited kernels should not scale, got {ratio}"
+        );
 
         // Whereas in the saturated regime halving work halves time.
         let big = KernelShape::memory_bound(100_000, 64 * 1024);

@@ -47,5 +47,5 @@ pub use fault::{
 pub use kernel::{KernelRun, KernelShape};
 pub use machine::{Machine, MachineConfig, TrafficStats};
 pub use spec::GpuSpec;
-pub use topology::{LinkSpec, Topology};
+pub use topology::{LinkSpec, NoLink, Topology};
 pub use trace::{TraceEvent, TraceLog};

@@ -186,7 +186,10 @@ impl Machine {
                     t.record(
                         format!("fault{src}->{dst}"),
                         name,
-                        Interval { start: w.start, end: w.end },
+                        Interval {
+                            start: w.start,
+                            end: w.end,
+                        },
                     );
                 }
             }
@@ -234,7 +237,11 @@ impl Machine {
         self.streams[dev] = run.interval.end;
         self.bump(run.interval.end);
         if let Some(t) = &mut self.trace {
-            t.record(format!("gpu{dev}"), format!("kernel({} blk)", shape.blocks), run.interval);
+            t.record(
+                format!("gpu{dev}"),
+                format!("kernel({} blk)", shape.blocks),
+                run.interval,
+            );
         }
         run
     }
@@ -400,24 +407,40 @@ impl Machine {
             };
             match plan.link_state(src, dst, attempt_at) {
                 LinkState::Down { up_at } => {
-                    return Err(FabricError::LinkDown { src, dst, at: attempt_at, up_at });
+                    return Err(FabricError::LinkDown {
+                        src,
+                        dst,
+                        at: attempt_at,
+                        up_at,
+                    });
                 }
                 LinkState::Up { bw_factor } => (bw_factor, plan.sample_message(src, dst)),
             }
         };
-        let eff = if bw_factor < 1.0 { efficiency * bw_factor } else { efficiency };
+        let eff = if bw_factor < 1.0 {
+            efficiency * bw_factor
+        } else {
+            efficiency
+        };
         let iv = self.send_throttled(src, dst, payload, n_messages, ready, eff);
         match fate {
             MessageFault::None => Ok(iv),
             MessageFault::Delay(jitter) => {
-                let iv = Interval { start: iv.start, end: iv.end + jitter };
+                let iv = Interval {
+                    start: iv.start,
+                    end: iv.end + jitter,
+                };
                 self.sent_upto[src] = self.sent_upto[src].max(iv.end);
                 self.bump(iv.end);
                 Ok(iv)
             }
             // The dropped message already consumed its wire interval (it was
             // transmitted, then lost); the caller retries from `iv.end`.
-            MessageFault::Drop => Err(FabricError::MessageDropped { src, dst, at: iv.end }),
+            MessageFault::Drop => Err(FabricError::MessageDropped {
+                src,
+                dst,
+                at: iv.end,
+            }),
         }
     }
 
@@ -717,7 +740,9 @@ mod tests {
         let mut m1 = machine(2);
         let a = m1.send(0, 1, 1 << 20, 4, SimTime::ZERO);
         let mut m2 = machine(2);
-        let b = m2.try_send(0, 1, 1 << 20, 4, SimTime::ZERO).expect("no faults");
+        let b = m2
+            .try_send(0, 1, 1 << 20, 4, SimTime::ZERO)
+            .expect("no faults");
         assert_eq!(a, b);
         assert_eq!(m1.traffic_stats(), m2.traffic_stats());
     }
@@ -735,10 +760,15 @@ mod tests {
             assert_eq!(a.block_ends, b.block_ends);
         }
         let a = m1.try_send(0, 1, 1 << 20, 8, SimTime::ZERO).expect("clean");
-        let b = m2.try_send(0, 1, 1 << 20, 8, SimTime::ZERO).expect("trivial plan");
+        let b = m2
+            .try_send(0, 1, 1 << 20, 8, SimTime::ZERO)
+            .expect("trivial plan");
         assert_eq!(a, b);
         assert_eq!(m2.straggler_factor(0), 1.0);
-        assert_eq!(m2.fault_fraction(0, 1, SimTime::ZERO, SimTime::from_ms(1)), 0.0);
+        assert_eq!(
+            m2.fault_fraction(0, 1, SimTime::ZERO, SimTime::from_ms(1)),
+            0.0
+        );
     }
 
     #[test]
@@ -760,7 +790,12 @@ mod tests {
         };
         m.install_faults(plan);
         match m.try_send(0, 1, 4096, 1, SimTime::from_us(50)) {
-            Err(crate::FabricError::LinkDown { src: 0, dst: 1, at, up_at }) => {
+            Err(crate::FabricError::LinkDown {
+                src: 0,
+                dst: 1,
+                at,
+                up_at,
+            }) => {
                 assert!(up_at > at);
             }
             other => panic!("expected LinkDown, got {other:?}"),
@@ -787,7 +822,10 @@ mod tests {
                 }
             }
             seed += 1;
-            assert!(seed < 10_000, "no degradation found covering the probe instant");
+            assert!(
+                seed < 10_000,
+                "no degradation found covering the probe instant"
+            );
         };
         let mut m = machine(2);
         m.install_faults(plan);
@@ -833,21 +871,31 @@ mod tests {
         let base = clean.run_kernel(0, shape, SimTime::ZERO);
         assert_eq!(healthy.interval, base.interval, "non-straggler unaffected");
         let ratio = slow.interval.duration().as_secs_f64() / base.interval.duration().as_secs_f64();
-        assert!((ratio - factor).abs() / factor < 0.05, "ratio {ratio} vs factor {factor}");
+        assert!(
+            (ratio - factor).abs() / factor < 0.05,
+            "ratio {ratio} vs factor {factor}"
+        );
     }
 
     #[test]
     fn fault_windows_show_up_in_trace() {
         let mut m = machine(2);
         m.enable_trace();
-        m.install_faults(crate::FaultPlan::generate(3, 2, crate::FaultSpec::chaos(1.0)));
+        m.install_faults(crate::FaultPlan::generate(
+            3,
+            2,
+            crate::FaultSpec::chaos(1.0),
+        ));
         let has_fault_track = m
             .trace()
             .expect("trace enabled")
             .events()
             .iter()
             .any(|e| e.track.starts_with("fault"));
-        assert!(has_fault_track, "chaos(1.0) must schedule at least one window");
+        assert!(
+            has_fault_track,
+            "chaos(1.0) must schedule at least one window"
+        );
     }
 
     #[test]

@@ -57,6 +57,24 @@ impl LinkSpec {
     }
 }
 
+/// A route between two GPUs that does not exist: indices out of range or a
+/// self-link. Returned by [`Topology::try_link`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NoLink {
+    /// Requested source GPU.
+    pub src: usize,
+    /// Requested destination GPU.
+    pub dst: usize,
+}
+
+impl std::fmt::Display for NoLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no link from GPU {} to GPU {}", self.src, self.dst)
+    }
+}
+
+impl std::error::Error for NoLink {}
+
 /// The set of directed links between `n` GPUs.
 #[derive(Clone, Debug)]
 pub struct Topology {
@@ -96,7 +114,11 @@ impl Topology {
         for s in 0..n {
             for d in 0..n {
                 if s != d {
-                    links[s * n + d] = Some(if node_of[s] == node_of[d] { intra } else { inter });
+                    links[s * n + d] = Some(if node_of[s] == node_of[d] {
+                        intra
+                    } else {
+                        inter
+                    });
                 }
             }
         }
@@ -118,13 +140,25 @@ impl Topology {
         self.node_of[a] == self.node_of[b]
     }
 
-    /// The directed link from `src` to `dst`. Panics on the diagonal or
-    /// out-of-range indices.
-    pub fn link(&self, src: usize, dst: usize) -> &LinkSpec {
-        assert!(src < self.n && dst < self.n, "GPU index out of range");
+    /// The directed link from `src` to `dst`, or [`NoLink`] if the pair is
+    /// out of range or unconnected (the diagonal) — the fallible lookup the
+    /// serving path uses so a malformed route degrades instead of aborting.
+    pub fn try_link(&self, src: usize, dst: usize) -> Result<&LinkSpec, NoLink> {
+        if src >= self.n || dst >= self.n {
+            return Err(NoLink { src, dst });
+        }
         self.links[src * self.n + dst]
             .as_ref()
-            .unwrap_or_else(|| panic!("no link from GPU {src} to GPU {dst}"))
+            .ok_or(NoLink { src, dst })
+    }
+
+    /// The directed link from `src` to `dst`. Panics on the diagonal or
+    /// out-of-range indices — for trusted transfer schedules; serving code
+    /// uses [`Topology::try_link`].
+    pub fn link(&self, src: usize, dst: usize) -> &LinkSpec {
+        assert!(src < self.n && dst < self.n, "GPU index out of range");
+        self.try_link(src, dst)
+            .unwrap_or_else(|e| panic!("no link from GPU {} to GPU {}", e.src, e.dst))
     }
 
     /// Iterate all directed pairs `(src, dst)` with `src != dst`.
@@ -166,6 +200,18 @@ mod tests {
     fn self_link_panics() {
         let t = Topology::crossbar(2, LinkSpec::nvlink_v100());
         let _ = t.link(1, 1);
+    }
+
+    #[test]
+    fn try_link_returns_typed_errors() {
+        let t = Topology::crossbar(2, LinkSpec::nvlink_v100());
+        assert!(t.try_link(0, 1).is_ok());
+        assert_eq!(t.try_link(1, 1).unwrap_err(), NoLink { src: 1, dst: 1 });
+        assert_eq!(t.try_link(0, 7).unwrap_err(), NoLink { src: 0, dst: 7 });
+        assert_eq!(
+            t.try_link(1, 1).unwrap_err().to_string(),
+            "no link from GPU 1 to GPU 1"
+        );
     }
 
     #[test]

@@ -32,7 +32,12 @@ impl TraceLog {
     }
 
     /// Record one span. Zero-length spans are kept (they render as instants).
-    pub fn record(&mut self, track: impl Into<String>, name: impl Into<String>, interval: Interval) {
+    pub fn record(
+        &mut self,
+        track: impl Into<String>,
+        name: impl Into<String>,
+        interval: Interval,
+    ) {
         self.events.push(TraceEvent {
             name: name.into(),
             track: track.into(),

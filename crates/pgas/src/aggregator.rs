@@ -102,7 +102,14 @@ impl Aggregator {
         // buffer left the node without it.
         if entry.rows > 0 && entry.oldest + self.cfg.max_wait <= ready {
             let flush_at = entry.oldest + self.cfg.max_wait;
-            shipped = Some(Self::ship(machine, src, dst, entry, flush_at, &mut self.flushes));
+            shipped = Some(Self::ship(
+                machine,
+                src,
+                dst,
+                entry,
+                flush_at,
+                &mut self.flushes,
+            ));
         }
         if entry.rows == 0 {
             entry.oldest = ready;
@@ -112,7 +119,14 @@ impl Aggregator {
         entry.newest = ready;
         // Size flush: threshold reached including this row.
         if entry.payload >= self.cfg.flush_bytes {
-            shipped = Some(Self::ship(machine, src, dst, entry, ready, &mut self.flushes));
+            shipped = Some(Self::ship(
+                machine,
+                src,
+                dst,
+                entry,
+                ready,
+                &mut self.flushes,
+            ));
         }
         if shipped.is_some() && self.pending[&(src, dst)].rows == 0 {
             self.pending.remove(&(src, dst));
@@ -135,7 +149,14 @@ impl Aggregator {
                 continue;
             }
             let flush_at = entry.newest.max(at);
-            out.push(Self::ship(machine, src, dst, &mut entry, flush_at, &mut self.flushes));
+            out.push(Self::ship(
+                machine,
+                src,
+                dst,
+                &mut entry,
+                flush_at,
+                &mut self.flushes,
+            ));
         }
         out
     }
@@ -391,9 +412,15 @@ mod tests {
             agg.store(&mut agg_m, 0, 1, 256, SimTime::from_ns(i * 100));
         }
         agg.flush_all(&mut agg_m, SimTime::from_us(200));
-        assert_eq!(naive.traffic_stats().payload_bytes, agg_m.traffic_stats().payload_bytes);
+        assert_eq!(
+            naive.traffic_stats().payload_bytes,
+            agg_m.traffic_stats().payload_bytes
+        );
         assert!(agg_m.traffic_stats().messages < 10);
-        assert!(agg_m.traffic_stats().header_overhead() < naive.traffic_stats().header_overhead() / 10.0);
+        assert!(
+            agg_m.traffic_stats().header_overhead()
+                < naive.traffic_stats().header_overhead() / 10.0
+        );
     }
 
     #[test]

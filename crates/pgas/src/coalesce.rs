@@ -56,7 +56,13 @@ mod tests {
     fn one_row_one_message() {
         // d=64 floats => 256 B row, NVLink max payload 256 B: one message.
         let b = coalesce_rows(1, 256, 256);
-        assert_eq!(b, CoalescedBatch { payload: 256, messages: 1 });
+        assert_eq!(
+            b,
+            CoalescedBatch {
+                payload: 256,
+                messages: 1
+            }
+        );
     }
 
     #[test]

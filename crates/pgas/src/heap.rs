@@ -82,9 +82,15 @@ impl SymmetricHeap {
     /// One-sided atomic accumulate: `seg[index..] += values` on PE `pe`
     /// (the backward-pass gradient-scatter primitive).
     pub fn atomic_add(&mut self, seg: SegmentId, index: usize, values: &[f32], pe: usize) {
-        assert!(index + values.len() <= seg.len, "atomic_add overflows segment");
+        assert!(
+            index + values.len() <= seg.len,
+            "atomic_add overflows segment"
+        );
         let start = seg.offset + index;
-        for (dst, &v) in self.buffers[pe][start..start + values.len()].iter_mut().zip(values) {
+        for (dst, &v) in self.buffers[pe][start..start + values.len()]
+            .iter_mut()
+            .zip(values)
+        {
             *dst += v;
         }
     }

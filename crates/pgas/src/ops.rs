@@ -128,7 +128,8 @@ impl<'m> OneSided<'m> {
         }
         // Issue cost rides on the sender's timeline before the wire sees it.
         let on_wire = ready + self.cfg.issue_overhead * batch.messages;
-        self.machine.send(src, dst, batch.payload, batch.messages, on_wire)
+        self.machine
+            .send(src, dst, batch.payload, batch.messages, on_wire)
     }
 
     /// One-sided remote atomic accumulation traffic: gradients in the
@@ -178,16 +179,24 @@ impl<'m> OneSided<'m> {
     ) -> Result<Delivery, FabricError> {
         if batch.messages == 0 {
             return Ok(Delivery {
-                interval: Interval { start: ready, end: ready },
+                interval: Interval {
+                    start: ready,
+                    end: ready,
+                },
                 attempts: 1,
             });
         }
         let on_wire = ready + self.cfg.issue_overhead * batch.messages;
         let policy = self.cfg.retry;
-        match self
-            .machine
-            .try_send_retry(src, dst, batch.payload, batch.messages, on_wire, 1.0, policy)
-        {
+        match self.machine.try_send_retry(
+            src,
+            dst,
+            batch.payload,
+            batch.messages,
+            on_wire,
+            1.0,
+            policy,
+        ) {
             Ok((interval, attempts)) => {
                 if attempts > 1 {
                     self.stats.retried_puts += 1;
@@ -224,7 +233,10 @@ impl<'m> OneSided<'m> {
     ) -> Result<SimTime, FabricError> {
         let t = self.quiet(src, at);
         if t > deadline {
-            return Err(FabricError::Timeout { deadline, completes_at: t });
+            return Err(FabricError::Timeout {
+                deadline,
+                completes_at: t,
+            });
         }
         Ok(t)
     }
@@ -243,7 +255,10 @@ impl<'m> OneSided<'m> {
     ) -> Result<SimTime, FabricError> {
         let t = self.barrier_all(times);
         if t > deadline {
-            return Err(FabricError::Timeout { deadline, completes_at: t });
+            return Err(FabricError::Timeout {
+                deadline,
+                completes_at: t,
+            });
         }
         Ok(t)
     }
@@ -311,7 +326,10 @@ mod tests {
         let mut m = machine(2);
         let mut os = OneSided::new(&mut m);
         let t = os.barrier_all(&[SimTime::from_us(1), SimTime::from_us(4)]);
-        assert_eq!(t, SimTime::from_us(4) + PgasConfig::default().barrier_overhead);
+        assert_eq!(
+            t,
+            SimTime::from_us(4) + PgasConfig::default().barrier_overhead
+        );
     }
 
     #[test]
@@ -353,7 +371,9 @@ mod tests {
         let a = OneSided::new(&mut m1).put_rows_nbi(0, 1, 100, 256, SimTime::ZERO);
         let mut m2 = machine(2);
         let mut os = OneSided::new(&mut m2);
-        let d = os.try_put_rows_nbi(0, 1, 100, 256, SimTime::ZERO).expect("clean fabric");
+        let d = os
+            .try_put_rows_nbi(0, 1, 100, 256, SimTime::ZERO)
+            .expect("clean fabric");
         assert_eq!(d.interval, a);
         assert_eq!(d.attempts, 1);
         assert_eq!(os.retry_stats(), RetryStats::default());
@@ -418,7 +438,9 @@ mod tests {
         // chaos plan has links flapping — quiet observes, it does not send.
         let at = SimTime::from_us(40);
         let overhead = PgasConfig::default().quiet_overhead;
-        let t = os.try_quiet(0, at, at + overhead).expect("nothing outstanding");
+        let t = os
+            .try_quiet(0, at, at + overhead)
+            .expect("nothing outstanding");
         assert_eq!(t, at + overhead);
     }
 

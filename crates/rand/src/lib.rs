@@ -168,12 +168,20 @@ pub mod distributions {
     impl<T: Copy> Uniform<T> {
         /// Uniform over `[lo, hi)`.
         pub fn new(lo: T, hi: T) -> Self {
-            Uniform { lo, hi, inclusive: false }
+            Uniform {
+                lo,
+                hi,
+                inclusive: false,
+            }
         }
 
         /// Uniform over `[lo, hi]`.
         pub fn new_inclusive(lo: T, hi: T) -> Self {
-            Uniform { lo, hi, inclusive: true }
+            Uniform {
+                lo,
+                hi,
+                inclusive: true,
+            }
         }
     }
 

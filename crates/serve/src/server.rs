@@ -1,0 +1,465 @@
+//! The serving loop: drive a retrieval backend (and optionally the full
+//! DLRM pipeline) one closed batch at a time on the simulated clock.
+
+use std::fmt;
+
+use desim::{Dur, SimTime};
+use dlrm_model::{Dlrm, DlrmConfig, InferencePipeline};
+use emb_retrieval::backend::{
+    baseline_batch, pgas_batch, plan_for_batch, BatchRun, PlannedBatch, ResiliencePolicy,
+    ResilienceReport, ResilientBackend,
+};
+use emb_retrieval::{BatchAssemblyError, EmbLayerConfig, SparseBatch};
+use gpusim::{Machine, NoLink};
+use pgas_rt::PgasConfig;
+use simccl::CollectiveConfig;
+
+use crate::batcher::{BatcherConfig, ClosedBatch, MicroBatcher};
+use crate::request::{ArrivalProcess, RequestGenerator};
+use crate::slo::LatencyStats;
+
+/// Which retrieval backend serves the embedding layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeBackendKind {
+    /// The collective (NCCL-style `all_to_all_single`) path.
+    Baseline,
+    /// The paper's PGAS fused-kernel path.
+    PgasFused,
+    /// The PGAS path under a graceful-degradation policy.
+    Resilient,
+}
+
+impl ServeBackendKind {
+    /// Short name for CSV/report columns.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServeBackendKind::Baseline => "baseline",
+            ServeBackendKind::PgasFused => "pgas",
+            ServeBackendKind::Resilient => "resilient",
+        }
+    }
+}
+
+/// Everything a serving run needs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// The embedding workload (table shapes, key skew, batch seeds).
+    pub emb: EmbLayerConfig,
+    /// Backend serving the retrieval.
+    pub backend: ServeBackendKind,
+    /// Micro-batcher tunables.
+    pub batcher: BatcherConfig,
+    /// Arrival process driving the open loop.
+    pub process: ArrivalProcess,
+    /// Requests to generate.
+    pub n_requests: usize,
+    /// Arrival-time seed (sparse content comes from `emb`'s batch seeds).
+    pub seed: u64,
+    /// Extend every closed batch into a full DLRM inference pass (top MLP
+    /// overlapped with retrieval, then interaction + bottom MLP).
+    pub with_pipeline: bool,
+    /// Collective tuning for the baseline path.
+    pub collectives: CollectiveConfig,
+    /// One-sided tuning for the PGAS path.
+    pub pgas: PgasConfig,
+    /// Degradation policy for the resilient path.
+    pub policy: ResiliencePolicy,
+}
+
+impl ServeConfig {
+    /// A serving run over `emb` with everything else defaulted: Poisson
+    /// arrivals at `rate_qps`, full-batch micro-batching with a deadline of
+    /// `close_deadline`, a queue bound of four batches, and a request
+    /// timeout of eight deadlines.
+    pub fn new(
+        emb: EmbLayerConfig,
+        backend: ServeBackendKind,
+        rate_qps: f64,
+        close_deadline: Dur,
+        n_requests: usize,
+        seed: u64,
+    ) -> Self {
+        let max_batch = emb.batch_size.max(1);
+        ServeConfig {
+            emb,
+            backend,
+            batcher: BatcherConfig {
+                max_batch,
+                close_deadline,
+                queue_bound: 4 * max_batch,
+                request_timeout: close_deadline * 8,
+            },
+            process: ArrivalProcess::Poisson { rate_qps },
+            n_requests,
+            seed,
+            with_pipeline: false,
+            collectives: CollectiveConfig::default(),
+            pgas: PgasConfig::default(),
+            policy: ResiliencePolicy::default(),
+        }
+    }
+}
+
+/// Why a serving run could not start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The machine has a different GPU count than the workload expects.
+    GpuCountMismatch {
+        /// GPUs the workload was configured for.
+        expected: usize,
+        /// GPUs the machine has.
+        got: usize,
+    },
+    /// The machine's topology is missing a route the all-to-all exchange
+    /// needs.
+    NoRoute(NoLink),
+    /// A closed batch could not be assembled into a sparse batch.
+    Assembly(BatchAssemblyError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::GpuCountMismatch { expected, got } => {
+                write!(f, "workload expects {expected} GPUs, machine has {got}")
+            }
+            ServeError::NoRoute(e) => write!(f, "serving preflight failed: {e}"),
+            ServeError::Assembly(e) => write!(f, "batch assembly failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<NoLink> for ServeError {
+    fn from(e: NoLink) -> Self {
+        ServeError::NoRoute(e)
+    }
+}
+
+impl From<BatchAssemblyError> for ServeError {
+    fn from(e: BatchAssemblyError) -> Self {
+        ServeError::Assembly(e)
+    }
+}
+
+/// Outcome of a serving run.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Requests generated.
+    pub generated: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Arrivals shed at admission (queue at bound).
+    pub shed: u64,
+    /// Requests dropped for exceeding the request timeout.
+    pub timed_out: u64,
+    /// Arrivals rejected as malformed.
+    pub malformed: u64,
+    /// Closed batches executed.
+    pub batches: usize,
+    /// Per-request end-to-end latency (queue + batch + compute + comms).
+    pub latency: LatencyStats,
+    /// Per-batch machine service time (retrieval only).
+    pub batch_service: LatencyStats,
+    /// Mean closed-batch occupancy in `[0, 1]` of `max_batch`.
+    pub mean_batch_fill: f64,
+    /// Instant the last batch completed.
+    pub end: SimTime,
+    /// Degradation accounting (resilient backend only).
+    pub resilience: Option<ResilienceReport>,
+}
+
+impl ServeReport {
+    /// Served fraction of generated requests.
+    pub fn goodput(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.generated as f64
+        }
+    }
+
+    /// Whether the run met `slo` at p99 without shedding or timing out
+    /// anything — the sweep's "sustained" criterion.
+    pub fn sustains(&self, slo: Dur) -> bool {
+        self.served > 0 && self.shed == 0 && self.timed_out == 0 && self.latency.p99() <= slo
+    }
+}
+
+/// Deterministic online server: open-loop arrivals → admission queue →
+/// micro-batches → per-batch backend execution, all on the simulated clock.
+pub struct EmbServer {
+    cfg: ServeConfig,
+}
+
+impl EmbServer {
+    /// Wrap a serving configuration.
+    pub fn new(cfg: ServeConfig) -> Self {
+        EmbServer { cfg }
+    }
+
+    /// The configuration being served.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Serve `cfg.n_requests` requests on `machine` and account the run.
+    ///
+    /// Batches whose composition matches a canonical closed-loop batch (a
+    /// full, aligned run of consecutive requests) reuse a cached plan, so
+    /// they cost exactly the closed-loop per-batch time; partial or
+    /// misaligned batches are planned from their actual bag sizes.
+    pub fn run(&self, machine: &mut Machine) -> Result<ServeReport, ServeError> {
+        let cfg = &self.cfg;
+        let n = cfg.emb.n_gpus;
+        if machine.n_gpus() != n {
+            return Err(ServeError::GpuCountMismatch {
+                expected: n,
+                got: machine.n_gpus(),
+            });
+        }
+        // Preflight every route the all-to-all exchange will use; a typed
+        // error beats a panic deep inside a batch.
+        for src in 0..n {
+            for dst in 0..n {
+                if src != dst {
+                    machine.topology().try_link(src, dst)?;
+                }
+            }
+        }
+
+        let generator = RequestGenerator::new(&cfg.emb, cfg.process, cfg.seed);
+        let requests = generator.generate(cfg.n_requests);
+        let mut batcher = MicroBatcher::new(cfg.batcher, cfg.emb.n_features, requests);
+
+        // Canonical plans, built lazily the first time each distinct batch
+        // is served in full.
+        let distinct = cfg.emb.distinct_batches.max(1);
+        let mut canonical: Vec<Option<PlannedBatch>> = vec![None; distinct];
+
+        let resilient = ResilientBackend::new().with_policy(cfg.policy);
+        let mut resilience = ResilienceReport::default();
+        let pipeline_model = cfg.with_pipeline.then(|| {
+            Dlrm::new(DlrmConfig {
+                n_dense: 13,
+                top_hidden: vec![512, 256],
+                bottom_hidden: vec![512, 256],
+                emb: cfg.emb.clone(),
+                seed: 0xD12A,
+            })
+        });
+
+        let mut latency = LatencyStats::new();
+        let mut batch_service = LatencyStats::new();
+        let mut batches = 0usize;
+        let mut fill_sum = 0.0f64;
+        let mut t_free = SimTime::ZERO;
+        let mut end = SimTime::ZERO;
+
+        while let Some(closed) = batcher.next_batch(t_free) {
+            let pb = self.planned_for(machine, &closed, &generator, &mut canonical)?;
+            let run: BatchRun = match cfg.backend {
+                ServeBackendKind::Baseline => {
+                    baseline_batch(machine, &cfg.collectives, &pb, closed.close_at)
+                }
+                ServeBackendKind::PgasFused => pgas_batch(machine, cfg.pgas, &pb, closed.close_at),
+                ServeBackendKind::Resilient => {
+                    resilient.serve_batch(machine, &pb, closed.close_at, &mut resilience)
+                }
+            };
+            // The retrieval occupies the machine; the MLP head (if any)
+            // runs on separate streams and only extends request latency.
+            t_free = run.end;
+            let completion = match &pipeline_model {
+                None => run.end,
+                Some(model) => {
+                    let costs =
+                        InferencePipeline::new(model).batch_costs(machine, closed.requests.len());
+                    closed.close_at + costs.completion(run.service())
+                }
+            };
+            end = end.max(completion);
+            batch_service.record(run.service());
+            fill_sum += closed.requests.len() as f64 / cfg.batcher.max_batch as f64;
+            batches += 1;
+            for r in &closed.requests {
+                latency.record(completion - r.arrival);
+            }
+        }
+
+        Ok(ServeReport {
+            generated: cfg.n_requests as u64,
+            served: batcher.served(),
+            shed: batcher.shed(),
+            timed_out: batcher.timed_out(),
+            malformed: batcher.malformed(),
+            batches,
+            latency,
+            batch_service,
+            mean_batch_fill: if batches == 0 {
+                0.0
+            } else {
+                fill_sum / batches as f64
+            },
+            end,
+            resilience: (cfg.backend == ServeBackendKind::Resilient).then_some(resilience),
+        })
+    }
+
+    /// Plan a closed batch: the canonical fast path when it is a full,
+    /// aligned run of consecutive requests (bit-identical to a closed-loop
+    /// batch), otherwise assembled from the requests' actual bag sizes.
+    fn planned_for(
+        &self,
+        machine: &Machine,
+        closed: &ClosedBatch,
+        generator: &RequestGenerator,
+        canonical: &mut [Option<PlannedBatch>],
+    ) -> Result<PlannedBatch, ServeError> {
+        let cfg = &self.cfg;
+        let n = cfg.emb.batch_size;
+        let reqs = &closed.requests;
+        let aligned = reqs.len() == n
+            && reqs[0].id % n as u64 == 0
+            && reqs.windows(2).all(|w| w[1].id == w[0].id + 1);
+        if aligned {
+            let (which, _) = generator.deal_of(reqs[0].id);
+            if canonical[which].is_none() {
+                let batch = SparseBatch::generate_counts_only(
+                    &cfg.emb.batch_spec(),
+                    cfg.emb.batch_seed(which),
+                );
+                let plan = plan_for_batch(&cfg.emb, &batch, machine.spec(0));
+                canonical[which] = Some(PlannedBatch::new(machine, plan));
+            }
+            return Ok(canonical[which].clone().expect("just built"));
+        }
+
+        // Partial/misaligned batch: assemble from the actual requests,
+        // padded with empty samples up to the GPU count (the plan splits
+        // samples across devices and needs at least one per device).
+        let mut rows: Vec<Vec<u32>> = reqs.iter().map(|r| r.bags.clone()).collect();
+        while rows.len() < cfg.emb.n_gpus {
+            rows.push(vec![0; cfg.emb.n_features]);
+        }
+        let batch = SparseBatch::from_bag_sizes(cfg.emb.n_features, &rows)?;
+        let plan = plan_for_batch(&cfg.emb, &batch, machine.spec(0));
+        Ok(PlannedBatch::new(machine, plan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::MachineConfig;
+
+    fn serve_cfg(backend: ServeBackendKind, rate: f64) -> ServeConfig {
+        let mut emb = EmbLayerConfig::paper_weak_scaling(2).scaled_down(512);
+        emb.distinct_batches = 2;
+        ServeConfig::new(emb, backend, rate, Dur::from_us(200), 600, 42)
+    }
+
+    fn run(cfg: ServeConfig) -> ServeReport {
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        EmbServer::new(cfg).run(&mut m).unwrap()
+    }
+
+    #[test]
+    fn serving_is_deterministic_and_conserves_requests() {
+        let a = run(serve_cfg(ServeBackendKind::PgasFused, 2e5));
+        let b = run(serve_cfg(ServeBackendKind::PgasFused, 2e5));
+        assert_eq!(a.latency.p99(), b.latency.p99());
+        assert_eq!(a.served, b.served);
+        assert_eq!(a.end, b.end);
+        assert_eq!(
+            a.served + a.shed + a.timed_out + a.malformed,
+            a.generated,
+            "every request must be disposed of exactly once"
+        );
+        assert!(a.batches > 0);
+        assert!(a.latency.p50() <= a.latency.p99());
+    }
+
+    #[test]
+    fn pgas_serves_at_least_as_well_as_baseline() {
+        let p = run(serve_cfg(ServeBackendKind::PgasFused, 2e5));
+        let b = run(serve_cfg(ServeBackendKind::Baseline, 2e5));
+        assert!(
+            p.latency.p99() <= b.latency.p99(),
+            "pgas p99 {} vs baseline {}",
+            p.latency.p99(),
+            b.latency.p99()
+        );
+    }
+
+    #[test]
+    fn resilient_on_clean_fabric_matches_pgas() {
+        let p = run(serve_cfg(ServeBackendKind::PgasFused, 2e5));
+        let r = run(serve_cfg(ServeBackendKind::Resilient, 2e5));
+        assert_eq!(r.latency.p99(), p.latency.p99());
+        assert_eq!(r.end, p.end);
+        let res = r.resilience.unwrap();
+        assert_eq!(res.degraded_rows, 0);
+        assert_eq!(res.baseline_batches, 0);
+    }
+
+    #[test]
+    fn gpu_count_mismatch_is_a_typed_error() {
+        let cfg = serve_cfg(ServeBackendKind::Baseline, 1e5);
+        let mut m = Machine::new(MachineConfig::dgx_v100(4));
+        let err = EmbServer::new(cfg).run(&mut m).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::GpuCountMismatch {
+                expected: 2,
+                got: 4
+            }
+        ));
+        assert!(err.to_string().contains("2 GPUs"));
+    }
+
+    #[test]
+    fn pipeline_extension_only_lengthens_latency() {
+        let emb_only = run(serve_cfg(ServeBackendKind::PgasFused, 2e5));
+        let mut cfg = serve_cfg(ServeBackendKind::PgasFused, 2e5);
+        cfg.with_pipeline = true;
+        let full = run(cfg);
+        assert_eq!(full.served, emb_only.served, "batching must not change");
+        assert!(full.latency.p50() > emb_only.latency.p50());
+        // Retrieval service time itself is untouched by the MLP extension.
+        assert_eq!(full.batch_service.p50(), emb_only.batch_service.p50());
+    }
+
+    #[test]
+    fn bursty_arrivals_fatten_the_tail() {
+        // Probe the machine's serving capacity, then offer the same mean
+        // rate two ways: steady Poisson at half capacity (keeps up) vs
+        // ON/OFF bursts at twice capacity during ON windows (falls behind,
+        // building queue waits the Poisson run never sees).
+        let probe = run(serve_cfg(ServeBackendKind::PgasFused, 2e5));
+        let svc = probe.batch_service.p50().as_secs_f64();
+        assert!(svc > 0.0);
+        let cap_qps = serve_cfg(ServeBackendKind::PgasFused, 1.0)
+            .batcher
+            .max_batch as f64
+            / svc;
+
+        let mut poisson = serve_cfg(ServeBackendKind::PgasFused, 0.5 * cap_qps);
+        poisson.n_requests = 2000;
+        let mut bursty = poisson.clone();
+        bursty.process = ArrivalProcess::OnOff {
+            rate_qps: 2.0 * cap_qps,
+            on: Dur::from_secs_f64(20.0 * svc),
+            off: Dur::from_secs_f64(60.0 * svc),
+        };
+        let p = run(poisson);
+        let b = run(bursty);
+        assert!(
+            b.latency.p99() > p.latency.p99(),
+            "bursty p99 {} vs poisson {}",
+            b.latency.p99(),
+            p.latency.p99()
+        );
+    }
+}

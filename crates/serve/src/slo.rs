@@ -1,0 +1,120 @@
+//! SLO accounting: streaming latency statistics with nearest-rank
+//! quantiles.
+
+use desim::Dur;
+
+/// A bag of latency samples with quantile accounting.
+///
+/// Quantiles use the nearest-rank method on the sorted samples, which is
+/// exact (no interpolation) and well-defined for any sample count; every
+/// accessor returns [`Dur::ZERO`] on an empty stream instead of panicking,
+/// so degenerate sweeps (zero served requests at overload) stay total.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    samples: Vec<Dur>,
+}
+
+impl LatencyStats {
+    /// An empty stream.
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, d: Dur) {
+        self.samples.push(d);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, [`Dur::ZERO`] if empty.
+    pub fn mean(&self) -> Dur {
+        if self.samples.is_empty() {
+            return Dur::ZERO;
+        }
+        let total: u64 = self.samples.iter().map(|d| d.as_ns()).sum();
+        Dur::from_ns(total / self.samples.len() as u64)
+    }
+
+    /// Largest sample, [`Dur::ZERO`] if empty.
+    pub fn max(&self) -> Dur {
+        self.samples.iter().copied().max().unwrap_or(Dur::ZERO)
+    }
+
+    /// Nearest-rank quantile for `q` in `[0, 1]`; [`Dur::ZERO`] if empty.
+    pub fn quantile(&self, q: f64) -> Dur {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0, 1]");
+        if self.samples.is_empty() {
+            return Dur::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Dur {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency — the sweep's SLO metric.
+    pub fn p99(&self) -> Dur {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile latency.
+    pub fn p999(&self) -> Dur {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream_is_all_zero() {
+        let s = LatencyStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.mean(), Dur::ZERO);
+        assert_eq!(s.max(), Dur::ZERO);
+        assert_eq!(s.p50(), Dur::ZERO);
+        assert_eq!(s.p99(), Dur::ZERO);
+        assert_eq!(s.p999(), Dur::ZERO);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut s = LatencyStats::new();
+        s.record(Dur::from_us(42));
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(s.quantile(q), Dur::from_us(42));
+        }
+        assert_eq!(s.mean(), Dur::from_us(42));
+        assert_eq!(s.max(), Dur::from_us(42));
+    }
+
+    #[test]
+    fn quantiles_are_order_invariant_and_monotone() {
+        let mut s = LatencyStats::new();
+        for ns in [5u64, 1, 9, 3, 7, 2, 8, 4, 6, 10] {
+            s.record(Dur::from_ns(ns));
+        }
+        assert_eq!(s.quantile(0.0), Dur::from_ns(1));
+        assert_eq!(s.quantile(1.0), Dur::from_ns(10));
+        assert_eq!(s.p50(), Dur::from_ns(6)); // nearest rank: idx round(9*0.5)=5
+        assert!(s.p50() <= s.p99());
+        assert!(s.p99() <= s.p999());
+        assert!(s.p999() <= s.max());
+    }
+}

@@ -18,7 +18,9 @@ impl XavierUniform {
         let mut rng = StdRng::seed_from_u64(seed);
         let dist = Uniform::new_inclusive(-bound, bound);
         Tensor::from_vec(
-            (0..fan_in * fan_out).map(|_| dist.sample(&mut rng)).collect(),
+            (0..fan_in * fan_out)
+                .map(|_| dist.sample(&mut rng))
+                .collect(),
             &[fan_in, fan_out],
         )
     }

@@ -24,7 +24,12 @@ fn main() {
 
     // --- Timed comparison. ---
     let mut mb = Machine::new(MachineConfig::dgx_v100(gpus));
-    let base = baseline_backward(&mut mb, &cfg, &CollectiveConfig::default(), ExecMode::Timing);
+    let base = baseline_backward(
+        &mut mb,
+        &cfg,
+        &CollectiveConfig::default(),
+        ExecMode::Timing,
+    );
     let mut mp = Machine::new(MachineConfig::dgx_v100(gpus));
     let pgas = pgas_backward(&mut mp, &cfg, PgasConfig::default(), ExecMode::Timing);
     println!(
@@ -59,9 +64,7 @@ fn main() {
         sgd_update(&mut shard, dev_grads, lr);
         let after = shard.weights(features[0]);
         let moved = before.max_abs_diff(after);
-        println!(
-            "device {dev}: gradients verified, SGD step moved weights by up to {moved:.5}"
-        );
+        println!("device {dev}: gradients verified, SGD step moved weights by up to {moved:.5}");
         assert!(moved > 0.0, "update must change weights");
     }
     println!("backward pass verified against the serial reference ✓");

@@ -58,5 +58,8 @@ fn main() {
         (naive_end - SimTime::ZERO).as_secs_f64() / (agg_end - SimTime::ZERO).as_secs_f64(),
         ns.messages as f64 / ags.messages as f64
     );
-    assert_eq!(ns.payload_bytes, ags.payload_bytes, "same payload delivered");
+    assert_eq!(
+        ns.payload_bytes, ags.payload_bytes,
+        "same payload delivered"
+    );
 }

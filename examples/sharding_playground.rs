@@ -47,7 +47,9 @@ fn main() {
 
     println!("\n== does placement change retrieval time? (uniform inputs: no) ==");
     let mut m = Machine::new(MachineConfig::dgx_v100(gpus));
-    let r = PgasFusedBackend::new().run(&mut m, &cfg, ExecMode::Timing).report;
+    let r = PgasFusedBackend::new()
+        .run(&mut m, &cfg, ExecMode::Timing)
+        .report;
     println!(
         "  table-wise block: EMB stage {} over {} batches ({} per batch)",
         r.total,

@@ -29,8 +29,13 @@ fn main() {
     let mb = cfg.emb.mb_size();
     let labels: Vec<Tensor> = (0..gpus)
         .map(|d| {
-            Tensor::rand_uniform(&[mb, 1], 0.0, 1.0, 100 + d as u64)
-                .map(|x| if x > 0.5 { 1.0 } else { 0.0 })
+            Tensor::rand_uniform(&[mb, 1], 0.0, 1.0, 100 + d as u64).map(|x| {
+                if x > 0.5 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
         })
         .collect();
 

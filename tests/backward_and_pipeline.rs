@@ -44,7 +44,12 @@ fn backward_mean_pooling_grads() {
     let mut cfg = tiny(2);
     cfg.pooling = PoolingOp::Mean;
     let mut m = Machine::new(MachineConfig::dgx_v100(2));
-    let res = baseline_backward(&mut m, &cfg, &CollectiveConfig::default(), ExecMode::Functional);
+    let res = baseline_backward(
+        &mut m,
+        &cfg,
+        &CollectiveConfig::default(),
+        ExecMode::Functional,
+    );
     let grads = res.grads.unwrap();
     let batch = SparseBatch::generate(&cfg.batch_spec(), cfg.batch_seed(cfg.n_batches - 1));
     let reference = reference_backward(&batch, cfg.table_spec(), cfg.pooling, cfg.seed);
@@ -61,7 +66,12 @@ fn pgas_backward_beats_baseline_across_gpu_counts() {
     for gpus in 2..=4 {
         let cfg = tiny(gpus);
         let mut mb = Machine::new(MachineConfig::dgx_v100(gpus));
-        let b = baseline_backward(&mut mb, &cfg, &CollectiveConfig::default(), ExecMode::Timing);
+        let b = baseline_backward(
+            &mut mb,
+            &cfg,
+            &CollectiveConfig::default(),
+            ExecMode::Timing,
+        );
         let mut mp = Machine::new(MachineConfig::dgx_v100(gpus));
         let p = pgas_backward(&mut mp, &cfg, PgasConfig::default(), ExecMode::Timing);
         assert!(

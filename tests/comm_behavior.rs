@@ -20,9 +20,13 @@ fn both_backends_move_identical_payload() {
     for gpus in 2..=4 {
         let cfg = tiny(gpus);
         let mut mb = Machine::new(MachineConfig::dgx_v100(gpus));
-        let b = BaselineBackend::new().run(&mut mb, &cfg, ExecMode::Timing).report;
+        let b = BaselineBackend::new()
+            .run(&mut mb, &cfg, ExecMode::Timing)
+            .report;
         let mut mp = Machine::new(MachineConfig::dgx_v100(gpus));
-        let p = PgasFusedBackend::new().run(&mut mp, &cfg, ExecMode::Timing).report;
+        let p = PgasFusedBackend::new()
+            .run(&mut mp, &cfg, ExecMode::Timing)
+            .report;
         assert_eq!(
             b.traffic.payload_bytes, p.traffic.payload_bytes,
             "same layout conversion, same bytes (g={gpus})"
@@ -60,9 +64,13 @@ fn baseline_messages_are_chunk_sized() {
 fn pgas_pays_more_header_overhead_but_less_time() {
     let cfg = tiny(2);
     let mut mb = Machine::new(MachineConfig::dgx_v100(2));
-    let b = BaselineBackend::new().run(&mut mb, &cfg, ExecMode::Timing).report;
+    let b = BaselineBackend::new()
+        .run(&mut mb, &cfg, ExecMode::Timing)
+        .report;
     let mut mp = Machine::new(MachineConfig::dgx_v100(2));
-    let p = PgasFusedBackend::new().run(&mut mp, &cfg, ExecMode::Timing).report;
+    let p = PgasFusedBackend::new()
+        .run(&mut mp, &cfg, ExecMode::Timing)
+        .report;
     assert!(p.traffic.header_overhead() > 5.0 * b.traffic.header_overhead());
     assert!(p.total < b.total);
 }
@@ -97,9 +105,13 @@ fn single_gpu_is_silent() {
     for backend in [true, false] {
         let mut m = Machine::new(MachineConfig::dgx_v100(1));
         let r = if backend {
-            PgasFusedBackend::new().run(&mut m, &cfg, ExecMode::Timing).report
+            PgasFusedBackend::new()
+                .run(&mut m, &cfg, ExecMode::Timing)
+                .report
         } else {
-            BaselineBackend::new().run(&mut m, &cfg, ExecMode::Timing).report
+            BaselineBackend::new()
+                .run(&mut m, &cfg, ExecMode::Timing)
+                .report
         };
         assert_eq!(r.traffic.messages, 0);
         assert_eq!(r.comm_series.total(), 0.0);

@@ -23,8 +23,7 @@ fn check(cfg: &EmbLayerConfig) {
         .outputs
         .unwrap();
     let batch = SparseBatch::generate(&cfg.batch_spec(), cfg.batch_seed(cfg.n_batches - 1));
-    let reference =
-        reference_forward(&batch, cfg.table_spec(), cfg.pooling, cfg.n_gpus, cfg.seed);
+    let reference = reference_forward(&batch, cfg.table_spec(), cfg.pooling, cfg.n_gpus, cfg.seed);
     for dev in 0..cfg.n_gpus {
         assert!(
             base[dev].allclose(&reference[dev], 1e-5),

@@ -19,7 +19,10 @@ fn backward_speedup_grows_with_gpus() {
         let p = backward_comparison(g, SCALE, BATCHES);
         let s = p.speedup();
         assert!(s > 1.0, "pgas backward must win at {g} GPUs (got {s})");
-        assert!(s > last * 0.95, "speedup should grow with G: {s} after {last}");
+        assert!(
+            s > last * 0.95,
+            "speedup should grow with G: {s} after {last}"
+        );
         last = s;
     }
 }
@@ -52,7 +55,10 @@ fn smaller_payloads_cost_more_headers() {
 #[test]
 fn row_wise_sharding_costs_more_everywhere_but_pgas_still_wins() {
     let a = sharding_ablation(2, SCALE, BATCHES);
-    assert!(a.row_wise_cpu > a.table_wise_cpu, "per-index routing is dearer");
+    assert!(
+        a.row_wise_cpu > a.table_wise_cpu,
+        "per-index routing is dearer"
+    );
     assert!(
         a.row_wise.baseline.total > a.table_wise.baseline.total,
         "partial-row exchange moves more data"

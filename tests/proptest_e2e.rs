@@ -13,12 +13,12 @@ use proptest::prelude::*;
 
 fn cfg_strategy() -> impl Strategy<Value = EmbLayerConfig> {
     (
-        1usize..=4,                       // gpus
-        1usize..=3,                       // features per gpu
-        1usize..=64,                      // table rows
+        1usize..=4,                                   // gpus
+        1usize..=3,                                   // features per gpu
+        1usize..=64,                                  // table rows
         prop_oneof![Just(4usize), Just(8), Just(16)], // dim
-        1usize..=4,                       // minibatch size
-        (0u32..=2, 1u32..=6),             // pooling bounds (min extra, span)
+        1usize..=4,                                   // minibatch size
+        (0u32..=2, 1u32..=6),                         // pooling bounds (min extra, span)
         prop_oneof![
             Just(PoolingOp::Sum),
             Just(PoolingOp::Mean),
@@ -32,24 +32,22 @@ fn cfg_strategy() -> impl Strategy<Value = EmbLayerConfig> {
         any::<u16>(),
     )
         .prop_map(
-            |(gpus, fpg, rows, dim, mb, (pmin, pspan), pooling, dist, bpb, seed)| {
-                EmbLayerConfig {
-                    n_gpus: gpus,
-                    n_features: fpg * gpus,
-                    table_rows: rows,
-                    dim,
-                    batch_size: mb * gpus,
-                    pooling_min: pmin,
-                    pooling_max: pmin + pspan,
-                    index_space: 1000,
-                    distribution: dist,
-                    pooling,
-                    bags_per_block: bpb,
-                    n_batches: 1,
-                    distinct_batches: 1,
-                    seed: seed as u64,
-                    cache_rows_scale: 1.0,
-                }
+            |(gpus, fpg, rows, dim, mb, (pmin, pspan), pooling, dist, bpb, seed)| EmbLayerConfig {
+                n_gpus: gpus,
+                n_features: fpg * gpus,
+                table_rows: rows,
+                dim,
+                batch_size: mb * gpus,
+                pooling_min: pmin,
+                pooling_max: pmin + pspan,
+                index_space: 1000,
+                distribution: dist,
+                pooling,
+                bags_per_block: bpb,
+                n_batches: 1,
+                distinct_batches: 1,
+                seed: seed as u64,
+                cache_rows_scale: 1.0,
             },
         )
 }

@@ -39,7 +39,8 @@ fn weak_scaling_breakdown_trends() {
     let c2 = r.at(2).baseline.breakdown;
     let c3 = r.at(3).baseline.breakdown;
     let c4 = r.at(4).baseline.breakdown;
-    let rel = |a: desim::Dur, b: desim::Dur| (a.as_secs_f64() - b.as_secs_f64()).abs() / b.as_secs_f64();
+    let rel =
+        |a: desim::Dur, b: desim::Dur| (a.as_secs_f64() - b.as_secs_f64()).abs() / b.as_secs_f64();
     assert!(rel(c4.compute, c2.compute) < 0.1, "compute ~constant");
     assert!(c3.communication < c2.communication, "comm decreasing");
     assert!(c4.communication < c3.communication, "comm decreasing");

@@ -1,0 +1,77 @@
+//! End-to-end serving acceptance: the open-loop server's per-batch
+//! timings must agree with the closed-loop experiments (the Table I
+//! bridge), and the serving sweep must show PGAS sustaining at least the
+//! baseline's load.
+
+use bench_harness::{run_pair, scaled, serve_load_sweep};
+use desim::Dur;
+use emb_retrieval::EmbLayerConfig;
+use emb_serve::{EmbServer, ServeBackendKind, ServeConfig};
+use gpusim::{Machine, MachineConfig};
+
+/// The 4-GPU weak-scaling workload, scaled for test speed, with a single
+/// distinct batch so every closed-loop batch has identical composition.
+fn workload() -> EmbLayerConfig {
+    let mut cfg = scaled(EmbLayerConfig::paper_weak_scaling(4), 256, 4);
+    cfg.distinct_batches = 1;
+    cfg
+}
+
+/// Serve at a saturation-free load tuned so every batch fills to the
+/// canonical size before its deadline: offered load is 80% of the
+/// backend-agnostic capacity and the close deadline is generous.
+fn serve(cfg: &EmbLayerConfig, backend: ServeBackendKind, base_svc: Dur) -> emb_serve::ServeReport {
+    let rate = 0.8 * cfg.batch_size as f64 / base_svc.as_secs_f64();
+    let mut scfg = ServeConfig::new(
+        cfg.clone(),
+        backend,
+        rate,
+        base_svc * 4u64, // deadline >> fill time: batches close by size
+        6 * cfg.batch_size,
+        7,
+    );
+    scfg.batcher.request_timeout = base_svc * 64u64;
+    let mut m = Machine::new(MachineConfig::dgx_v100(cfg.n_gpus));
+    EmbServer::new(scfg)
+        .run(&mut m)
+        .expect("clean machine serves")
+}
+
+#[test]
+fn serving_batches_cost_exactly_the_closed_loop_per_batch_time() {
+    let cfg = workload();
+    let pair = run_pair(&cfg);
+
+    let base = serve(&cfg, ServeBackendKind::Baseline, pair.baseline.per_batch());
+    assert_eq!(
+        base.served, base.generated,
+        "saturation-free load must serve everything"
+    );
+    assert_eq!(base.shed + base.timed_out, 0);
+    // Every batch filled to canonical composition, so each one's machine
+    // service equals the closed loop's per-batch time exactly.
+    assert_eq!(base.batch_service.quantile(0.0), pair.baseline.per_batch());
+    assert_eq!(base.batch_service.quantile(1.0), pair.baseline.per_batch());
+
+    let pgas = serve(&cfg, ServeBackendKind::PgasFused, pair.baseline.per_batch());
+    assert_eq!(pgas.batch_service.quantile(0.0), pair.pgas.per_batch());
+    assert_eq!(pgas.batch_service.quantile(1.0), pair.pgas.per_batch());
+
+    // Resilient on a clean fabric is bit-identical to PGAS fused.
+    let res = serve(&cfg, ServeBackendKind::Resilient, pair.baseline.per_batch());
+    assert_eq!(res.batch_service.quantile(1.0), pair.pgas.per_batch());
+    assert_eq!(res.latency.p99(), pgas.latency.p99());
+}
+
+#[test]
+fn sweep_reports_pgas_capacity_at_least_baseline_on_4_gpus() {
+    let sweep = serve_load_sweep(4, 256, 2, 42, &[0.5, 1.0, 1.5]);
+    assert!(sweep.max_sustained_qps("baseline") > 0.0);
+    assert!(
+        sweep.max_sustained_qps("pgas") >= sweep.max_sustained_qps("baseline"),
+        "pgas {} qps vs baseline {} qps",
+        sweep.max_sustained_qps("pgas"),
+        sweep.max_sustained_qps("baseline")
+    );
+    assert!(sweep.capacity_ratio() >= 1.0);
+}
