@@ -1,11 +1,27 @@
 #!/usr/bin/env sh
-# Repo CI gate: formatting, release build, full test suite, lint-clean under
-# clippy, and a fast end-to-end serving smoke (EXT-8). Run from the repo
-# root. Fails fast on the first broken step.
+# Repo CI gate: formatting, release build, full test suite (under a 1-thread
+# and a 4-thread worker pool, to exercise the parallel engine's determinism
+# contract), lint-clean under clippy, a fast end-to-end serving smoke
+# (EXT-8), and the wall-clock benchmark smoke (asserts BENCH_wallclock.json
+# is produced and well-formed). Run from the repo root. Fails fast on the
+# first broken step.
 set -eu
 
 cargo fmt --all -- --check
 cargo build --release --workspace --offline
-cargo test -q --workspace --offline
+RAYON_NUM_THREADS=1 cargo test -q --workspace --offline
+RAYON_NUM_THREADS=4 cargo test -q --workspace --offline
 cargo clippy --all-targets --workspace --offline -- -D warnings
 cargo run --release -p bench-harness --offline -- serve --smoke
+
+wc_dir=$(mktemp -d)
+trap 'rm -rf "$wc_dir"' EXIT
+# The binary itself validates the JSON (validate_wallclock_json) and panics
+# on a malformed document; the shell checks the artifact landed non-empty
+# with the expected top-level keys.
+cargo run --release -p bench-harness --offline -- wallclock --smoke --out-dir "$wc_dir" > /dev/null
+test -s "$wc_dir/BENCH_wallclock.json"
+grep -q '"threads"' "$wc_dir/BENCH_wallclock.json"
+grep -q '"benchmarks"' "$wc_dir/BENCH_wallclock.json"
+grep -q '"bit_identical": true' "$wc_dir/BENCH_wallclock.json"
+echo "ci: all gates passed"

@@ -9,6 +9,7 @@ use emb_retrieval::backward::{baseline_backward, pgas_backward};
 use emb_retrieval::{EmbLayerConfig, InputPartition, RunReport, Sharding, SparseBatch};
 use gpusim::{FaultPlan, FaultSpec, Machine, MachineConfig};
 use pgas_rt::{Aggregator, AggregatorConfig, PgasConfig};
+use rayon::prelude::*;
 use simccl::CollectiveConfig;
 
 /// One (baseline, PGAS) pair of runs at a given GPU count.
@@ -104,13 +105,16 @@ pub fn scaled(cfg: EmbLayerConfig, scale: usize, batches: usize) -> EmbLayerConf
     c
 }
 
-/// **Table I / Fig. 5 / Fig. 6** — weak scaling on 1..=max_gpus.
+/// **Table I / Fig. 5 / Fig. 6** — weak scaling on 1..=max_gpus. Each GPU
+/// count runs on its own fresh machines, so the sweep points run in
+/// parallel (ordered collect keeps runs[g-1] = g GPUs).
 pub fn weak_scaling(max_gpus: usize, scale: usize, batches: usize) -> ScalingResult {
     ScalingResult {
-        runs: (1..=max_gpus)
-            .map(|g| {
+        runs: (0..max_gpus)
+            .into_par_iter()
+            .map(|i| {
                 run_pair(&scaled(
-                    EmbLayerConfig::paper_weak_scaling(g),
+                    EmbLayerConfig::paper_weak_scaling(i + 1),
                     scale,
                     batches,
                 ))
@@ -122,10 +126,11 @@ pub fn weak_scaling(max_gpus: usize, scale: usize, batches: usize) -> ScalingRes
 /// **Table II / Fig. 8 / Fig. 9** — strong scaling on 1..=max_gpus.
 pub fn strong_scaling(max_gpus: usize, scale: usize, batches: usize) -> ScalingResult {
     ScalingResult {
-        runs: (1..=max_gpus)
-            .map(|g| {
+        runs: (0..max_gpus)
+            .into_par_iter()
+            .map(|i| {
                 run_pair(&scaled(
-                    EmbLayerConfig::paper_strong_scaling(g),
+                    EmbLayerConfig::paper_strong_scaling(i + 1),
                     scale,
                     batches,
                 ))
@@ -445,9 +450,11 @@ pub struct MsgSizePoint {
 /// **EXT-3** — how the coalescing granularity changes PGAS cost.
 pub fn message_size_ablation(gpus: usize, scale: usize, batches: usize) -> Vec<MsgSizePoint> {
     let cfg = scaled(EmbLayerConfig::paper_weak_scaling(gpus), scale, batches);
-    [64u32, 128, 256, 512, 1024]
-        .into_iter()
-        .map(|max_payload| {
+    let payloads = [64u32, 128, 256, 512, 1024];
+    (0..payloads.len())
+        .into_par_iter()
+        .map(|i| {
+            let max_payload = payloads[i];
             let backend = PgasFusedBackend {
                 pgas: PgasConfig {
                     max_payload,
@@ -690,9 +697,31 @@ pub fn serve_load_sweep(
         ServeBackendKind::PgasFused,
         ServeBackendKind::Resilient,
     ];
-    let mut points = Vec::new();
-    let mut measure =
-        |backend: ServeBackendKind, arrival: &'static str, mult: f64, process: ArrivalProcess| {
+    // Every load point runs on its own fresh machine and seeded generator,
+    // so the whole grid is embarrassingly parallel; the ordered collect
+    // keeps the exact (backend-major, multiplier-minor, then one ON/OFF
+    // point per backend) row order the serial loop produced.
+    let mut work: Vec<(ServeBackendKind, &'static str, f64, ArrivalProcess)> = Vec::new();
+    for backend in backends {
+        for &mult in multipliers {
+            let process = ArrivalProcess::Poisson {
+                rate_qps: mult * capacity_qps,
+            };
+            work.push((backend, "poisson", mult, process));
+        }
+        // One bursty point: same 0.75× mean load, delivered as 3×-capacity
+        // bursts at 25% duty — the tail-latency stressor.
+        let burst = ArrivalProcess::OnOff {
+            rate_qps: 3.0 * capacity_qps,
+            on: baseline_service * 4u64,
+            off: baseline_service * 12u64,
+        };
+        work.push((backend, "onoff", 0.75, burst));
+    }
+    let points: Vec<ServePoint> = (0..work.len())
+        .into_par_iter()
+        .map(|i| {
+            let (backend, arrival, mult, process) = work[i];
             let mut scfg = ServeConfig::new(
                 cfg.clone(),
                 backend,
@@ -707,7 +736,7 @@ pub fn serve_load_sweep(
             let rep = EmbServer::new(scfg)
                 .run(&mut machine)
                 .expect("a clean dgx machine must pass serving preflight");
-            points.push(ServePoint {
+            ServePoint {
                 backend: backend.label(),
                 arrival,
                 offered_x: mult,
@@ -720,24 +749,9 @@ pub fn serve_load_sweep(
                 shed: rep.shed,
                 timed_out: rep.timed_out,
                 sustained: rep.sustains(slo),
-            });
-        };
-    for backend in backends {
-        for &mult in multipliers {
-            let process = ArrivalProcess::Poisson {
-                rate_qps: mult * capacity_qps,
-            };
-            measure(backend, "poisson", mult, process);
-        }
-        // One bursty point: same 0.75× mean load, delivered as 3×-capacity
-        // bursts at 25% duty — the tail-latency stressor.
-        let burst = ArrivalProcess::OnOff {
-            rate_qps: 3.0 * capacity_qps,
-            on: baseline_service * 4u64,
-            off: baseline_service * 12u64,
-        };
-        measure(backend, "onoff", 0.75, burst);
-    }
+            }
+        })
+        .collect();
 
     ServeSweep {
         gpus,

@@ -26,6 +26,8 @@
 
 mod experiments;
 mod format;
+mod wallclock;
 
 pub use experiments::*;
 pub use format::*;
+pub use wallclock::*;

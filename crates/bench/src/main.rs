@@ -17,7 +17,11 @@
 //!                             vs baseline; intensity 0 reproduces Table I)
 //!   serve                     EXT-8 online-serving load sweep (max QPS per
 //!                             backend under a p99 SLO)
-//!   all                       everything above
+//!   wallclock                 host-time self-speedup of the real kernels at
+//!                             1/2/4 threads (BENCH_wallclock.json; not part
+//!                             of `all` — it measures the harness, not the
+//!                             paper)
+//!   all                       everything above except wallclock
 //!
 //! --scale K    shrink every workload axis by K (default 1 = paper scale)
 //! --batches N  batches per run (default 100, the paper's count)
@@ -28,9 +32,37 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::time::Instant;
 
 use bench_harness::*;
 use desim::Dur;
+
+/// Prints an experiment's host (wall-clock) time to stderr on drop. Stderr,
+/// not stdout: the CSV bodies on stdout must stay byte-identical run to run,
+/// and host time is the one thing that never is.
+struct HostTimer {
+    name: &'static str,
+    start: Instant,
+}
+
+impl HostTimer {
+    fn new(name: &'static str) -> Self {
+        HostTimer {
+            name,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for HostTimer {
+    fn drop(&mut self) {
+        eprintln!(
+            "host-time {}: {:.3}s",
+            self.name,
+            self.start.elapsed().as_secs_f64()
+        );
+    }
+}
 
 struct Args {
     experiment: String,
@@ -90,6 +122,7 @@ fn main() {
     let fig_batches = args.batches.min(4); // volume plots show a few batches
 
     if matches!(e, "table1" | "fig5" | "fig6" | "all") {
+        let _t = HostTimer::new("weak-scaling-family");
         let r = weak_scaling(args.gpus, args.scale, args.batches);
         if matches!(e, "table1" | "all") {
             emit(
@@ -114,6 +147,7 @@ fn main() {
         }
     }
     if matches!(e, "table2" | "fig8" | "fig9" | "all") {
+        let _t = HostTimer::new("strong-scaling-family");
         let r = strong_scaling(args.gpus, args.scale, args.batches);
         if matches!(e, "table2" | "all") {
             emit(
@@ -138,6 +172,7 @@ fn main() {
         }
     }
     if matches!(e, "fig7" | "all") {
+        let _t = HostTimer::new("fig7");
         let r = comm_volume_weak_2gpu(args.scale, fig_batches);
         emit(
             &args,
@@ -146,6 +181,7 @@ fn main() {
         );
     }
     if matches!(e, "fig10" | "all") {
+        let _t = HostTimer::new("fig10");
         let r = comm_volume_strong_4gpu(args.scale, fig_batches);
         emit(
             &args,
@@ -154,6 +190,7 @@ fn main() {
         );
     }
     if matches!(e, "backward" | "all") {
+        let _t = HostTimer::new("backward");
         let mut s = String::from("== EXT-1: EMB backward pass (gradient exchange) ==\n");
         s.push_str("gpus,baseline_ms,pgas_ms,speedup\n");
         for g in 2..=args.gpus {
@@ -168,6 +205,7 @@ fn main() {
         emit(&args, "backward", &s);
     }
     if matches!(e, "multinode" | "all") {
+        let _t = HostTimer::new("multinode");
         let mut s = String::from("== EXT-2: multi-node aggregator (IB link) ==\n");
         s.push_str("rows,span_us,naive_us,aggregated_us,naive_msgs,agg_msgs\n");
         for (rows, span_us) in [(10_000u64, 50u64), (10_000, 500), (100_000, 500)] {
@@ -183,6 +221,7 @@ fn main() {
         emit(&args, "multinode", &s);
     }
     if matches!(e, "ablation-msgsize" | "all") {
+        let _t = HostTimer::new("ablation-msgsize");
         let mut s = String::from("== EXT-3: coalesced-payload ablation (PGAS, 2 GPUs) ==\n");
         s.push_str("max_payload_bytes,total_ms,header_overhead\n");
         for p in message_size_ablation(2, args.scale, args.batches) {
@@ -196,6 +235,7 @@ fn main() {
         emit(&args, "ablation-msgsize", &s);
     }
     if matches!(e, "ablation-sharding" | "all") {
+        let _t = HostTimer::new("ablation-sharding");
         let a = sharding_ablation(args.gpus.max(2), args.scale, args.batches);
         let s = format!(
             "== EXT-4: table-wise vs row-wise sharding ==\n\
@@ -216,6 +256,7 @@ fn main() {
         emit(&args, "ablation-sharding", &s);
     }
     if matches!(e, "whatif" | "all") {
+        let _t = HostTimer::new("whatif");
         let mut s = String::from("== EXT-6: beyond the testbed (weak scaling) ==\n");
         s.push_str("machine,baseline_ms,pgas_ms,speedup\n");
         for (name, p) in whatif_projection(8, args.scale, args.batches) {
@@ -229,6 +270,7 @@ fn main() {
         emit(&args, "whatif", &s);
     }
     if matches!(e, "chaos" | "all") {
+        let _t = HostTimer::new("chaos");
         let pts = chaos_sweep(
             args.gpus.max(2),
             args.scale,
@@ -250,6 +292,7 @@ fn main() {
         );
     }
     if matches!(e, "serve" | "all") {
+        let _t = HostTimer::new("serve");
         let gpus = args.gpus.max(2);
         let sweep = if args.smoke {
             serve_load_sweep(gpus, args.scale.max(128), 2, args.seed, &[0.5, 1.5])
@@ -275,6 +318,7 @@ fn main() {
         );
     }
     if matches!(e, "ablation-zipf" | "all") {
+        let _t = HostTimer::new("ablation-zipf");
         let (u, z) = zipf_ablation(args.gpus.max(2), args.scale, args.batches);
         let s = format!(
             "== EXT-5: index-skew ablation (2 GPUs) ==\ndistribution,baseline_ms,pgas_ms,speedup\nuniform,{:.3},{:.3},{:.2}\nzipf(1.1),{:.3},{:.3},{:.2}\n",
@@ -286,5 +330,19 @@ fn main() {
             z.speedup()
         );
         emit(&args, "ablation-zipf", &s);
+    }
+    if e == "wallclock" {
+        let _t = HostTimer::new("wallclock");
+        let r = run_wallclock(args.smoke);
+        let json = wallclock_json(&r);
+        validate_wallclock_json(&json).expect("wallclock JSON must be well-formed");
+        if let Some(ratio) = r.speedup_at_4("lookup_pool") {
+            eprintln!("wallclock lookup_pool 4-thread self-speedup: {ratio:.2}x");
+        }
+        print!("{json}");
+        if let Some(dir) = &args.csv {
+            fs::create_dir_all(dir).expect("create out dir");
+            fs::write(dir.join("BENCH_wallclock.json"), &json).expect("write wallclock json");
+        }
     }
 }

@@ -8,6 +8,7 @@
 
 use desim::SimTime;
 use gpusim::Machine;
+use rayon::prelude::*;
 use simccl::CollectiveConfig;
 
 use crate::backend::single::{baseline_batch, PlannedBatch};
@@ -47,10 +48,9 @@ impl RetrievalBackend for BaselineBackend {
 
         // Per distinct batch, precompute block durations and the all-to-all
         // byte matrix — they do not change across repetitions.
-        let planned: Vec<PlannedBatch> = prepared
-            .plans
-            .iter()
-            .map(|plan| PlannedBatch::new(machine, plan.clone()))
+        let planned: Vec<PlannedBatch> = (0..prepared.plans.len())
+            .into_par_iter()
+            .map(|i| PlannedBatch::new(machine, prepared.plans[i].clone()))
             .collect();
 
         let mut breakdown = TimeBreakdown::default();
@@ -70,10 +70,10 @@ impl RetrievalBackend for BaselineBackend {
                 let plan = &prepared.plans[which];
                 let batch = &prepared.batches[which];
                 let shards = functional::materialize_shards(plan, cfg.table_spec(), cfg.seed);
-                let pooled: Vec<Vec<f32>> = plan
-                    .devices
-                    .iter()
-                    .map(|dp| {
+                let pooled: Vec<Vec<f32>> = (0..plan.devices.len())
+                    .into_par_iter()
+                    .map(|i| {
+                        let dp = &plan.devices[i];
                         functional::compute_pooled_rows(
                             dp,
                             plan,

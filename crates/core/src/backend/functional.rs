@@ -11,21 +11,21 @@ use simtensor::Tensor;
 use crate::{DevicePlan, EmbeddingShard, ForwardPlan, IndexHasher, SparseBatch};
 
 /// Materialize each device's resident tables.
-pub(crate) fn materialize_shards(
+pub fn materialize_shards(
     plan: &ForwardPlan,
     spec: crate::EmbeddingTableSpec,
     seed: u64,
 ) -> Vec<EmbeddingShard> {
-    plan.devices
-        .iter()
-        .map(|dp| EmbeddingShard::materialize(&dp.features, spec, seed))
+    (0..plan.devices.len())
+        .into_par_iter()
+        .map(|i| EmbeddingShard::materialize(&plan.devices[i].features, spec, seed))
         .collect()
 }
 
 /// Execute one device's lookup + pooling: returns the pooled rows in local
 /// bag order (`[n_bags × dim]` flat). This is the computation both backends
 /// share; they differ only in where the rows go next.
-pub(crate) fn compute_pooled_rows(
+pub fn compute_pooled_rows(
     dp: &DevicePlan,
     plan: &ForwardPlan,
     batch: &SparseBatch,
@@ -68,16 +68,16 @@ pub(crate) fn compute_pooled_rows(
 /// * **unpack**: rearrange each device's received source-major buffer into
 ///   the `[mb, S, dim]` layout the next layer needs — the step the PGAS
 ///   backend eliminates.
-pub(crate) fn exchange_and_unpack(plan: &ForwardPlan, pooled: &[Vec<f32>]) -> Vec<Tensor> {
+pub fn exchange_and_unpack(plan: &ForwardPlan, pooled: &[Vec<f32>]) -> Vec<Tensor> {
     let n = plan.n_devices;
     let dim = plan.dim;
 
     // pack: send_buf[src] ordered by (dst, local feature, local sample);
     // per-destination segment sizes follow the (possibly uneven) ceil split.
-    let send_bufs: Vec<Vec<f32>> = plan
-        .devices
-        .iter()
-        .map(|dp| {
+    let send_bufs: Vec<Vec<f32>> = (0..plan.devices.len())
+        .into_par_iter()
+        .map(|src| {
+            let dp = &plan.devices[src];
             let mut buf = Vec::with_capacity(dp.n_bags * dim);
             for dst in 0..n {
                 for lf in 0..dp.features.len() {
@@ -95,6 +95,7 @@ pub(crate) fn exchange_and_unpack(plan: &ForwardPlan, pooled: &[Vec<f32>]) -> Ve
     // exchange: chunk `dst` of `send_bufs[src]` lands at slot `src` of
     // device `dst`'s receive buffer.
     let recv_bufs: Vec<Vec<f32>> = (0..n)
+        .into_par_iter()
         .map(|dst| {
             let mut buf = Vec::new();
             for (src, dp) in plan.devices.iter().enumerate() {
@@ -110,6 +111,7 @@ pub(crate) fn exchange_and_unpack(plan: &ForwardPlan, pooled: &[Vec<f32>]) -> Ve
 
     // unpack: source-major → [mb, S, dim].
     (0..n)
+        .into_par_iter()
         .map(|dev| {
             let mb = plan.mb_sizes[dev];
             let mut out = Tensor::zeros(&[mb, plan.n_features * dim]);
@@ -131,23 +133,29 @@ pub(crate) fn exchange_and_unpack(plan: &ForwardPlan, pooled: &[Vec<f32>]) -> Ve
 /// The PGAS backend's functional path: each pooled row is written one-sided
 /// straight into the owning device's output segment on the symmetric heap —
 /// no pack, no unpack.
-pub(crate) fn scatter_via_symmetric_heap(plan: &ForwardPlan, pooled: &[Vec<f32>]) -> Vec<Tensor> {
+pub fn scatter_via_symmetric_heap(plan: &ForwardPlan, pooled: &[Vec<f32>]) -> Vec<Tensor> {
     let dim = plan.dim;
     let mut heap = pgas_rt::SymmetricHeap::new(plan.n_devices);
     let out_seg = heap.alloc(plan.output_elems());
-    for dp in &plan.devices {
-        for bag in 0..dp.n_bags {
-            let (f, s) = dp.bag_coords(bag, plan.batch_size);
-            let (dst, idx) = plan.output_index(f, s);
-            heap.put(
-                out_seg,
-                idx,
-                &pooled[dp.device][bag * dim..(bag + 1) * dim],
-                dst,
-            );
+    // Parallel over destination PEs: each PE's segment is a disjoint buffer,
+    // and `output_index` assigns every (feature, sample) a unique slot on
+    // exactly one PE, so each destination can scan all sources and copy its
+    // own rows with no cross-PE writes — the values land exactly where the
+    // serial one-sided `put` loop would place them.
+    heap.for_each_segment_mut(out_seg, |pe, seg| {
+        for dp in &plan.devices {
+            for bag in 0..dp.n_bags {
+                let (f, s) = dp.bag_coords(bag, plan.batch_size);
+                let (dst, idx) = plan.output_index(f, s);
+                if dst == pe {
+                    seg[idx..idx + dim]
+                        .copy_from_slice(&pooled[dp.device][bag * dim..(bag + 1) * dim]);
+                }
+            }
         }
-    }
+    });
     (0..plan.n_devices)
+        .into_par_iter()
         .map(|dev| {
             // Symmetric segments are stride-sized; only the device's actual
             // mini-batch portion is meaningful.

@@ -12,6 +12,9 @@ mod resilient;
 mod single;
 
 pub use baseline::BaselineBackend;
+pub use functional::{
+    compute_pooled_rows, exchange_and_unpack, materialize_shards, scatter_via_symmetric_heap,
+};
 pub use pgas::PgasFusedBackend;
 pub use resilient::{
     DegradedFill, ResiliencePolicy, ResilienceReport, ResilientBackend, ResilientResult,
@@ -20,6 +23,7 @@ pub use single::{baseline_batch, pgas_batch, BatchRun, PlannedBatch};
 
 use desim::Dur;
 use gpusim::{GpuSpec, KernelShape};
+use rayon::prelude::*;
 use simtensor::Tensor;
 
 use crate::{DevicePlan, EmbLayerConfig, ForwardPlan, RunReport, SparseBatch};
@@ -141,15 +145,18 @@ pub(crate) fn prepare_batches(
 ) -> PreparedBatches {
     let spec = cfg.batch_spec();
     let distinct = cfg.distinct_batches.max(1).min(cfg.n_batches.max(1));
+    // Each batch is seeded independently and each plan depends only on its
+    // batch, so both stages fan out; ordered collects keep seed-index order.
     let batches: Vec<SparseBatch> = (0..distinct)
+        .into_par_iter()
         .map(|i| match mode {
             ExecMode::Timing => SparseBatch::generate_counts_only(&spec, cfg.batch_seed(i)),
             ExecMode::Functional => SparseBatch::generate(&spec, cfg.batch_seed(i)),
         })
         .collect();
-    let plans = batches
-        .iter()
-        .map(|b| plan_for_batch(cfg, b, gpu))
+    let plans = (0..batches.len())
+        .into_par_iter()
+        .map(|i| plan_for_batch(cfg, &batches[i], gpu))
         .collect();
     PreparedBatches { batches, plans }
 }

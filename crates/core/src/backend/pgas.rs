@@ -10,6 +10,7 @@
 use desim::{Dur, SimTime};
 use gpusim::Machine;
 use pgas_rt::PgasConfig;
+use rayon::prelude::*;
 
 use crate::backend::single::{pgas_batch, PlannedBatch};
 use crate::backend::{functional, prepare_batches, BackendResult, ExecMode, RetrievalBackend};
@@ -79,10 +80,9 @@ impl RetrievalBackend for PgasFusedBackend {
         assert_eq!(n, cfg.n_gpus, "machine/config GPU count mismatch");
         let prepared = prepare_batches(cfg, mode, &machine.spec(0).clone());
 
-        let planned: Vec<PlannedBatch> = prepared
-            .plans
-            .iter()
-            .map(|plan| PlannedBatch::new(machine, plan.clone()))
+        let planned: Vec<PlannedBatch> = (0..prepared.plans.len())
+            .into_par_iter()
+            .map(|i| PlannedBatch::new(machine, prepared.plans[i].clone()))
             .collect();
 
         let mut breakdown = TimeBreakdown::default();
@@ -101,10 +101,10 @@ impl RetrievalBackend for PgasFusedBackend {
                 let plan = &prepared.plans[which];
                 let batch = &prepared.batches[which];
                 let shards = functional::materialize_shards(plan, cfg.table_spec(), cfg.seed);
-                let pooled: Vec<Vec<f32>> = plan
-                    .devices
-                    .iter()
-                    .map(|dp| {
+                let pooled: Vec<Vec<f32>> = (0..plan.devices.len())
+                    .into_par_iter()
+                    .map(|i| {
+                        let dp = &plan.devices[i];
                         functional::compute_pooled_rows(
                             dp,
                             plan,

@@ -13,6 +13,7 @@
 use desim::{Dur, SimTime};
 use gpusim::Machine;
 use pgas_rt::{OneSided, PgasConfig};
+use rayon::prelude::*;
 use simccl::{all_to_all_timed, CollectiveConfig};
 
 use crate::backend::baseline::UNPACK_BW;
@@ -33,19 +34,27 @@ pub struct PlannedBatch {
 }
 
 impl PlannedBatch {
-    /// Precompute execution state for `plan` on `machine`'s GPUs.
+    /// Precompute execution state for `plan` on `machine`'s GPUs. The
+    /// per-device duration and byte rows are independent, so both tables
+    /// build in parallel (ordered collect keeps `[device]` indexing).
     pub fn new(machine: &Machine, plan: ForwardPlan) -> Self {
         let n = plan.n_devices;
         let row_bytes = plan.row_bytes() as u64;
-        let durations = plan
+        let specs: Vec<_> = plan
             .devices
             .iter()
-            .map(|dp| lookup_block_durations(dp, &plan, machine.spec(dp.device)))
+            .map(|dp| machine.spec(dp.device))
             .collect();
-        let byte_matrix = plan
-            .devices
-            .iter()
-            .map(|dp| (0..n).map(|g| dp.rows_to(g) * row_bytes).collect())
+        let durations = (0..plan.devices.len())
+            .into_par_iter()
+            .map(|i| lookup_block_durations(&plan.devices[i], &plan, specs[i]))
+            .collect();
+        let byte_matrix = (0..plan.devices.len())
+            .into_par_iter()
+            .map(|i| {
+                let dp = &plan.devices[i];
+                (0..n).map(|g| dp.rows_to(g) * row_bytes).collect()
+            })
             .collect();
         PlannedBatch {
             plan,

@@ -18,12 +18,14 @@ impl PoolingOp {
     /// An empty bag yields zeros (the paper's NULL-input case).
     pub fn pool(&self, rows: &[&[f32]], out: &mut [f32]) {
         let dim = out.len();
-        out.fill(0.0);
         if rows.is_empty() {
+            out.fill(0.0);
             return;
         }
+        // Initialize once, per mode: zeros for accumulation, -inf for max.
         match self {
             PoolingOp::Sum | PoolingOp::Mean => {
+                out.fill(0.0);
                 for row in rows {
                     debug_assert_eq!(row.len(), dim);
                     for (o, &x) in out.iter_mut().zip(*row) {

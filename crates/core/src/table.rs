@@ -1,5 +1,6 @@
 //! Embedding tables and per-device shards.
 
+use rayon::prelude::*;
 use simtensor::Tensor;
 
 /// A lookup named a feature whose table is not resident in this shard —
@@ -54,11 +55,16 @@ pub struct EmbeddingShard {
 }
 
 impl EmbeddingShard {
-    /// Materialize tables for the given global feature ids.
+    /// Materialize tables for the given global feature ids. Each table's
+    /// init is independent (seeded per feature), so tables fill in parallel;
+    /// the collected order still follows `features`.
     pub fn materialize(features: &[usize], spec: EmbeddingTableSpec, seed: u64) -> Self {
-        let tables = features
-            .iter()
-            .map(|&f| (f, Self::init_table(f, spec, seed)))
+        let tables = (0..features.len())
+            .into_par_iter()
+            .map(|i| {
+                let f = features[i];
+                (f, Self::init_table(f, spec, seed))
+            })
             .collect();
         EmbeddingShard { spec, tables }
     }

@@ -6,6 +6,8 @@
 //! writing one embedding row (d consecutive floats) produces one wire
 //! message of `d × 4` bytes, up to the interconnect's max payload.
 
+use rayon::prelude::*;
+
 /// The wire footprint of a batch of row stores after coalescing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CoalescedBatch {
@@ -46,6 +48,21 @@ pub fn coalesce_rows(rows: u64, row_bytes: u32, max_payload: u32) -> CoalescedBa
         payload: rows * row_bytes as u64,
         messages: rows * msgs_per_row,
     }
+}
+
+/// Coalesce many `(rows, row_bytes)` batches against one interconnect in
+/// parallel and merge their footprints. The merge is a fixed-shape tree
+/// (pairwise over adjacent results), and the fields are integers, so the
+/// total is identical to a left-to-right serial fold at any thread count.
+pub fn coalesce_rows_many(batches: &[(u64, u32)], max_payload: u32) -> CoalescedBatch {
+    assert!(max_payload > 0, "max_payload must be positive");
+    (0..batches.len())
+        .into_par_iter()
+        .map(|i| {
+            let (rows, row_bytes) = batches[i];
+            coalesce_rows(rows, row_bytes, max_payload)
+        })
+        .reduce(|| CoalescedBatch::EMPTY, CoalescedBatch::merge)
 }
 
 #[cfg(test)]
@@ -101,5 +118,17 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_payload_panics() {
         let _ = coalesce_rows(1, 1, 0);
+    }
+
+    #[test]
+    fn many_matches_serial_fold() {
+        let batches: Vec<(u64, u32)> = (0..37).map(|i| (i as u64 * 3, 64 + i * 32)).collect();
+        let serial = batches
+            .iter()
+            .fold(CoalescedBatch::EMPTY, |acc, &(rows, rb)| {
+                acc.merge(coalesce_rows(rows, rb, 256))
+            });
+        assert_eq!(coalesce_rows_many(&batches, 256), serial);
+        assert_eq!(coalesce_rows_many(&[], 256), CoalescedBatch::EMPTY);
     }
 }

@@ -1,5 +1,7 @@
 //! The symmetric heap: same layout on every PE, remotely addressable.
 
+use rayon::prelude::*;
+
 /// Handle to one symmetric allocation (same offset and length on every PE),
 /// the analogue of a pointer returned by `nvshmem_malloc`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -95,6 +97,25 @@ impl SymmetricHeap {
         }
     }
 
+    /// Visit the same segment on every PE, in parallel, handing `f` the
+    /// PE id and a mutable view of that PE's copy. The per-PE buffers are
+    /// disjoint allocations, so this is the natural parallel shape for
+    /// symmetric fills/scatters; `f` sees each PE exactly once.
+    pub fn for_each_segment_mut<F>(&mut self, seg: SegmentId, f: F)
+    where
+        F: Fn(usize, &mut [f32]) + Sync,
+    {
+        let mut views: Vec<&mut [f32]> = self
+            .buffers
+            .iter_mut()
+            .map(|buf| &mut buf[seg.offset..seg.offset + seg.len])
+            .collect();
+        views
+            .par_chunks_mut(1)
+            .enumerate()
+            .for_each(|(pe, view)| f(pe, &mut *view[0]));
+    }
+
     /// Zero a segment on every PE.
     pub fn clear(&mut self, seg: SegmentId) {
         for buf in &mut self.buffers {
@@ -175,6 +196,23 @@ mod tests {
         let seg = h.alloc(2);
         h.segment_mut(seg, 0)[1] = 3.5;
         assert_eq!(h.segment(seg, 0), &[0.0, 3.5]);
+    }
+
+    #[test]
+    fn for_each_segment_mut_visits_every_pe_once() {
+        let mut h = SymmetricHeap::new(4);
+        let _pad = h.alloc(3);
+        let seg = h.alloc(2);
+        h.for_each_segment_mut(seg, |pe, view| {
+            assert_eq!(view.len(), 2);
+            view[0] = pe as f32;
+            view[1] = 10.0 * pe as f32;
+        });
+        for pe in 0..4 {
+            assert_eq!(h.segment(seg, pe), &[pe as f32, 10.0 * pe as f32]);
+            // The padding segment before it is untouched.
+            assert_eq!(h.segment(_pad, pe), &[0.0; 3]);
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ mod heap;
 mod ops;
 
 pub use aggregator::{Aggregator, AggregatorConfig, FlushReport};
-pub use coalesce::{coalesce_rows, CoalescedBatch};
+pub use coalesce::{coalesce_rows, coalesce_rows_many, CoalescedBatch};
 pub use heap::{SegmentId, SymmetricHeap};
 pub use ops::{Delivery, OneSided, PgasConfig, RetryStats};
 

@@ -5,6 +5,7 @@ use desim::{Dur, SimTime};
 use emb_retrieval::{EmbLayerConfig, SparseBatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// When requests arrive.
 #[derive(Clone, Copy, Debug)]
@@ -83,7 +84,10 @@ impl RequestGenerator {
     pub fn new(cfg: &EmbLayerConfig, process: ArrivalProcess, seed: u64) -> Self {
         let spec = cfg.batch_spec();
         let distinct = cfg.distinct_batches.max(1);
+        // Canonical batches are independently seeded: fill the pool in
+        // parallel, ordered by seed index.
         let pool = (0..distinct)
+            .into_par_iter()
             .map(|i| SparseBatch::generate_counts_only(&spec, cfg.batch_seed(i)))
             .collect();
         RequestGenerator {
