@@ -2,9 +2,10 @@
 # Repo CI gate: formatting, release build, full test suite (under a 1-thread
 # and a 4-thread worker pool, to exercise the parallel engine's determinism
 # contract), lint-clean under clippy, a fast end-to-end serving smoke
-# (EXT-8), and the wall-clock benchmark smoke (asserts BENCH_wallclock.json
-# is produced and well-formed). Run from the repo root. Fails fast on the
-# first broken step.
+# (EXT-8), the hot-row-cache skew-sweep smoke (EXT-9, asserts
+# BENCH_skew.json is produced and well-formed), and the wall-clock benchmark
+# smoke (asserts BENCH_wallclock.json is produced and well-formed). Run from
+# the repo root. Fails fast on the first broken step.
 set -eu
 
 cargo fmt --all -- --check
@@ -24,4 +25,12 @@ test -s "$wc_dir/BENCH_wallclock.json"
 grep -q '"threads"' "$wc_dir/BENCH_wallclock.json"
 grep -q '"benchmarks"' "$wc_dir/BENCH_wallclock.json"
 grep -q '"bit_identical": true' "$wc_dir/BENCH_wallclock.json"
+
+# EXT-9 smoke: a tiny cache x skew grid must still emit a well-formed
+# BENCH_skew.json (the binary validates it; the shell re-checks the keys).
+cargo run --release -p bench-harness --offline -- skew --smoke --out-dir "$wc_dir" > /dev/null
+test -s "$wc_dir/BENCH_skew.json"
+grep -q '"cells"' "$wc_dir/BENCH_skew.json"
+grep -q '"measured_hit"' "$wc_dir/BENCH_skew.json"
+grep -q '"headline_pgas_speedup"' "$wc_dir/BENCH_skew.json"
 echo "ci: all gates passed"

@@ -2,8 +2,8 @@
 
 use desim::{Dur, SimTime, TimeSeries};
 use emb_retrieval::backend::{
-    BaselineBackend, ExecMode, PgasFusedBackend, ResiliencePolicy, ResilientBackend,
-    ResilientResult, RetrievalBackend,
+    plan_with_planner, BaselineBackend, ExecMode, HotCachePlanner, PgasFusedBackend,
+    ResiliencePolicy, ResilientBackend, ResilientResult, RetrievalBackend,
 };
 use emb_retrieval::backward::{baseline_backward, pgas_backward};
 use emb_retrieval::{EmbLayerConfig, InputPartition, RunReport, Sharding, SparseBatch};
@@ -535,6 +535,158 @@ pub fn zipf_ablation(gpus: usize, scale: usize, batches: usize) -> (RunPair, Run
     (run_pair(&uniform), run_pair(&skewed))
 }
 
+/// Zipf exponents the EXT-9 skew sweep measures (`0.0` = uniform indices).
+pub const SKEW_ALPHAS: [f64; 4] = [0.0, 0.8, 1.0, 1.2];
+
+/// Hot-row cache sizes the EXT-9 sweep measures, in *pre-scale* rows per
+/// remote table (harness `--scale K` divides them, like every other axis).
+/// `0` is the uncached/undeduped reference column.
+pub const SKEW_CACHE_ROWS: [u64; 3] = [0, 24_576, 98_304];
+
+/// One cell of the EXT-9 skew × cache-size grid.
+#[derive(Clone, Debug)]
+pub struct SkewCell {
+    /// Zipf exponent of the raw indices (`0.0` = uniform).
+    pub alpha: f64,
+    /// Configured hot-row cache size in pre-scale rows (0 = cache and
+    /// dedup both off — the reference column).
+    pub cache_rows: u64,
+    /// Replica rows per remote table actually used, after harness scaling
+    /// and HBM-capacity clamping (what the hit model is evaluated at).
+    pub replica_rows: u64,
+    /// Baseline collective run (with cache + dedup when `cache_rows > 0`).
+    pub baseline: RunReport,
+    /// PGAS fused run (with cache + dedup when `cache_rows > 0`).
+    pub pgas: RunReport,
+    /// Hot-set hit rate measured over every lookup of a canonical batch
+    /// (0 when uncached).
+    pub measured_hit: f64,
+    /// The analytic [`emb_retrieval::IndexDistribution::cache_hit_fraction`]
+    /// model evaluated at `replica_rows` (0 when uncached).
+    pub model_hit: f64,
+}
+
+impl SkewCell {
+    /// Distribution label for tables (`uniform` / `zipf(α)`).
+    pub fn label(&self) -> String {
+        if self.alpha == 0.0 {
+            "uniform".to_string()
+        } else {
+            format!("zipf({})", self.alpha)
+        }
+    }
+}
+
+/// Result of **`reproduce skew`** (EXT-9).
+#[derive(Clone, Debug)]
+pub struct SkewSweep {
+    /// GPUs in the machine.
+    pub gpus: usize,
+    /// Harness scale the grid ran at.
+    pub scale: usize,
+    /// All cells, alpha-major in [`SKEW_ALPHAS`] × [`SKEW_CACHE_ROWS`] order.
+    pub cells: Vec<SkewCell>,
+}
+
+impl SkewSweep {
+    /// The uncached reference cell sharing `cell`'s distribution.
+    pub fn uncached(&self, cell: &SkewCell) -> &SkewCell {
+        self.cells
+            .iter()
+            .find(|c| c.alpha == cell.alpha && c.cache_rows == 0)
+            .expect("every alpha has a cache_rows = 0 reference cell")
+    }
+
+    /// PGAS time of the same-distribution uncached cell over `cell`'s
+    /// PGAS time (>1 = the cache helps).
+    pub fn pgas_speedup(&self, cell: &SkewCell) -> f64 {
+        self.uncached(cell).pgas.total.as_secs_f64() / cell.pgas.total.as_secs_f64()
+    }
+
+    /// Baseline time of the uncached cell over `cell`'s baseline time.
+    pub fn baseline_speedup(&self, cell: &SkewCell) -> f64 {
+        self.uncached(cell).baseline.total.as_secs_f64() / cell.baseline.total.as_secs_f64()
+    }
+
+    /// Fraction of the uncached cell's PGAS wire payload that `cell`'s
+    /// exported bags and collapsed duplicates removed.
+    pub fn remote_bytes_reduction(&self, cell: &SkewCell) -> f64 {
+        let r = self.uncached(cell).pgas.traffic.payload_bytes;
+        if r == 0 {
+            return 0.0;
+        }
+        1.0 - cell.pgas.traffic.payload_bytes as f64 / r as f64
+    }
+
+    /// The headline cell: largest exponent with the largest cache.
+    pub fn headline(&self) -> &SkewCell {
+        self.cells
+            .iter()
+            .filter(|c| c.cache_rows == *SKEW_CACHE_ROWS.last().unwrap())
+            .max_by(|a, b| a.alpha.total_cmp(&b.alpha))
+            .expect("grid includes the largest cache size")
+    }
+}
+
+/// **`reproduce skew`** — EXT-9: hot-row replication cache × index skew.
+/// Sweeps [`SKEW_ALPHAS`] × [`SKEW_CACHE_ROWS`] on the weak-scaling config,
+/// running both backends per cell. Cached cells also enable batch-prep
+/// dedup; the `cache_rows = 0` column runs completely plain and anchors the
+/// per-distribution speedups. Every cell zeroes `cache_rows_scale` so the
+/// analytic L2 derating never mixes with measured hot-set accounting
+/// (DESIGN.md §10). Cache/dedup profiling is per-index, so this experiment
+/// materializes raw indices and is meant to run at `--scale 16` or smaller
+/// workloads, not paper scale — it is deliberately *not* part of
+/// `reproduce all`.
+pub fn skew_sweep(gpus: usize, scale: usize, batches: usize) -> SkewSweep {
+    let n_cells = SKEW_ALPHAS.len() * SKEW_CACHE_ROWS.len();
+    let cells = (0..n_cells)
+        .into_par_iter()
+        .map(|i| {
+            let alpha = SKEW_ALPHAS[i / SKEW_CACHE_ROWS.len()];
+            let cache_rows = SKEW_CACHE_ROWS[i % SKEW_CACHE_ROWS.len()];
+            let mut cfg = EmbLayerConfig::paper_weak_scaling(gpus);
+            if alpha > 0.0 {
+                cfg.distribution = emb_retrieval::IndexDistribution::Zipf { exponent: alpha };
+            }
+            cfg.hot_cache_rows = cache_rows;
+            cfg.dedup = cache_rows > 0;
+            let mut cfg = scaled(cfg, scale, batches);
+            // Measured hot-set stats replace the analytic L2 derating;
+            // zero it everywhere (including the reference column) so the
+            // two models never mix within the grid.
+            cfg.cache_rows_scale = 0.0;
+
+            let pair = run_pair(&cfg);
+            let (measured_hit, replica_rows) = if cache_rows > 0 {
+                let m = Machine::new(MachineConfig::dgx_v100(gpus));
+                let planner =
+                    HotCachePlanner::new(&cfg, m.spec(0)).expect("cache enabled in this cell");
+                let batch = SparseBatch::generate(&cfg.batch_spec(), cfg.batch_seed(0));
+                let plan = plan_with_planner(&cfg, &batch, m.spec(0), Some(&planner));
+                (plan.measured_hit, plan.cache_rows)
+            } else {
+                (0.0, 0)
+            };
+            let model_hit = cfg.distribution.cache_hit_fraction(
+                cfg.index_space,
+                cfg.table_rows as u64,
+                replica_rows,
+            );
+            SkewCell {
+                alpha,
+                cache_rows,
+                replica_rows,
+                baseline: pair.baseline,
+                pgas: pair.pgas,
+                measured_hit,
+                model_hit,
+            }
+        })
+        .collect();
+    SkewSweep { gpus, scale, cells }
+}
+
 /// **EXT-6** — beyond the paper's testbed: weak scaling projected onto an
 /// 8× A100 NVSwitch-class machine (per-pair links scaled to NVLink3-era
 /// effective rates) and onto larger GPU counts of the V100 crossbar.
@@ -884,6 +1036,39 @@ mod tests {
             assert_eq!(a.served, b.served);
             assert_eq!(a.sustained, b.sustained);
         }
+    }
+
+    #[test]
+    fn skew_sweep_cache_wins_under_heavy_skew() {
+        let s = skew_sweep(2, 512, 3);
+        assert_eq!(s.cells.len(), SKEW_ALPHAS.len() * SKEW_CACHE_ROWS.len());
+        for c in &s.cells {
+            if c.cache_rows == 0 {
+                // The reference column runs completely plain.
+                assert_eq!(c.measured_hit, 0.0);
+                assert_eq!(c.model_hit, 0.0);
+                assert_eq!(c.replica_rows, 0);
+                assert!((s.pgas_speedup(c) - 1.0).abs() < 1e-12);
+            } else {
+                // Cache + dedup never grow the wire volume or message count.
+                assert!(s.remote_bytes_reduction(c) >= 0.0, "{c:?}");
+                assert!(
+                    c.pgas.traffic.messages <= s.uncached(c).pgas.traffic.messages,
+                    "{c:?}"
+                );
+                assert!(c.measured_hit > 0.0 && c.measured_hit <= 1.0);
+            }
+        }
+        let h = s.headline();
+        assert_eq!(h.alpha, 1.2);
+        assert_eq!(h.cache_rows, *SKEW_CACHE_ROWS.last().unwrap());
+        assert!(
+            s.pgas_speedup(h) > 1.0,
+            "heavy skew + big cache must beat uncached: {}",
+            s.pgas_speedup(h)
+        );
+        // The warmup-derived hit rate under heavy skew is substantial.
+        assert!(h.measured_hit > 0.5, "hit {}", h.measured_hit);
     }
 
     #[test]

@@ -4,7 +4,9 @@ use std::fmt::Write as _;
 
 use desim::SimTime;
 
-use crate::{ChaosPoint, CommVolumeResult, ScalingResult, ServeSweep};
+use crate::{
+    validate_json_doc, ChaosPoint, CommVolumeResult, ScalingResult, ServeSweep, SkewSweep,
+};
 
 /// Render the paper's speedup table (Table I / Table II).
 pub fn speedup_table(r: &ScalingResult, title: &str) -> String {
@@ -183,6 +185,174 @@ pub fn serve_table(sweep: &ServeSweep, title: &str) -> String {
     s
 }
 
+/// Render the `reproduce skew` grid (EXT-9) as a CSV plus a headline line.
+pub fn skew_table(sweep: &SkewSweep, title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== {title} ==");
+    let _ = writeln!(
+        s,
+        "distribution,cache_rows,replica_rows,baseline_ms,pgas_ms,pgas_speedup_vs_uncached,baseline_speedup_vs_uncached,pgas_remote_mb,remote_bytes_reduction,pgas_msgs,measured_hit,model_hit"
+    );
+    for c in &sweep.cells {
+        let _ = writeln!(
+            s,
+            "{},{},{},{:.3},{:.3},{:.2},{:.2},{:.2},{:.4},{},{:.4},{:.4}",
+            c.label(),
+            c.cache_rows,
+            c.replica_rows,
+            c.baseline.total.as_millis_f64(),
+            c.pgas.total.as_millis_f64(),
+            sweep.pgas_speedup(c),
+            sweep.baseline_speedup(c),
+            c.pgas.traffic.payload_bytes as f64 / (1 << 20) as f64,
+            sweep.remote_bytes_reduction(c),
+            c.pgas.traffic.messages,
+            c.measured_hit,
+            c.model_hit,
+        );
+    }
+    let h = sweep.headline();
+    let _ = writeln!(
+        s,
+        "headline: pgas speedup at {} with a {}-row cache: {:.2}x (hit measured {:.3} vs model {:.3})",
+        h.label(),
+        h.cache_rows,
+        sweep.pgas_speedup(h),
+        h.measured_hit,
+        h.model_hit,
+    );
+    s
+}
+
+/// Serialize the EXT-9 sweep as the `BENCH_skew.json` artifact.
+pub fn skew_json(sweep: &SkewSweep) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"skew\",\n");
+    s.push_str(&format!("  \"gpus\": {},\n", sweep.gpus));
+    s.push_str(&format!("  \"scale\": {},\n", sweep.scale));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in sweep.cells.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"distribution\": \"{}\",\n", c.label()));
+        s.push_str(&format!("      \"cache_rows\": {},\n", c.cache_rows));
+        s.push_str(&format!("      \"replica_rows\": {},\n", c.replica_rows));
+        s.push_str(&format!(
+            "      \"baseline_ms\": {:.6},\n",
+            c.baseline.total.as_millis_f64()
+        ));
+        s.push_str(&format!(
+            "      \"pgas_ms\": {:.6},\n",
+            c.pgas.total.as_millis_f64()
+        ));
+        s.push_str(&format!(
+            "      \"pgas_speedup_vs_uncached\": {:.4},\n",
+            sweep.pgas_speedup(c)
+        ));
+        s.push_str(&format!(
+            "      \"baseline_speedup_vs_uncached\": {:.4},\n",
+            sweep.baseline_speedup(c)
+        ));
+        s.push_str(&format!(
+            "      \"remote_bytes\": {},\n",
+            c.pgas.traffic.payload_bytes
+        ));
+        s.push_str(&format!(
+            "      \"remote_messages\": {},\n",
+            c.pgas.traffic.messages
+        ));
+        s.push_str(&format!(
+            "      \"remote_bytes_reduction\": {:.6},\n",
+            sweep.remote_bytes_reduction(c)
+        ));
+        s.push_str(&format!("      \"measured_hit\": {:.6},\n", c.measured_hit));
+        s.push_str(&format!("      \"model_hit\": {:.6}\n", c.model_hit));
+        s.push_str(if i + 1 < sweep.cells.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"headline_pgas_speedup\": {:.4}\n",
+        sweep.pgas_speedup(sweep.headline())
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Structural validation of a `BENCH_skew.json` document.
+pub fn validate_skew_json(s: &str) -> Result<(), String> {
+    validate_json_doc(
+        s,
+        &[
+            "\"experiment\"",
+            "\"gpus\"",
+            "\"scale\"",
+            "\"cells\"",
+            "\"distribution\"",
+            "\"cache_rows\"",
+            "\"replica_rows\"",
+            "\"pgas_speedup_vs_uncached\"",
+            "\"remote_bytes_reduction\"",
+            "\"measured_hit\"",
+            "\"model_hit\"",
+            "\"headline_pgas_speedup\"",
+        ],
+    )
+}
+
+/// Serialize a scaling sweep as the `BENCH_table1.json` / `BENCH_table2.json`
+/// artifact (`name` is `table1` or `table2`): per-GPU-count times and
+/// speedups plus the paper's geomean headline.
+pub fn scaling_json(r: &ScalingResult, name: &str) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"experiment\": \"{name}\",\n"));
+    s.push_str("  \"runs\": [\n");
+    for (i, p) in r.runs.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"gpus\": {},\n", p.gpus));
+        s.push_str(&format!(
+            "      \"baseline_ms\": {:.6},\n",
+            p.baseline.total.as_millis_f64()
+        ));
+        s.push_str(&format!(
+            "      \"pgas_ms\": {:.6},\n",
+            p.pgas.total.as_millis_f64()
+        ));
+        s.push_str(&format!("      \"speedup\": {:.4}\n", p.speedup()));
+        s.push_str(if i + 1 < r.runs.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"geomean_speedup\": {:.4}\n",
+        r.geomean_speedup()
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Structural validation of a `BENCH_table1.json`/`BENCH_table2.json`
+/// document.
+pub fn validate_scaling_json(s: &str) -> Result<(), String> {
+    validate_json_doc(
+        s,
+        &[
+            "\"experiment\"",
+            "\"runs\"",
+            "\"gpus\"",
+            "\"baseline_ms\"",
+            "\"pgas_ms\"",
+            "\"speedup\"",
+            "\"geomean_speedup\"",
+        ],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +395,27 @@ mod tests {
         // 3 backends × (1 poisson + 1 onoff) points.
         assert_eq!(t.lines().filter(|l| l.contains(",poisson,")).count(), 3);
         assert_eq!(t.lines().filter(|l| l.contains(",onoff,")).count(), 3);
+    }
+
+    #[test]
+    fn skew_artifacts_render_and_validate() {
+        let sweep = crate::skew_sweep(2, 512, 2);
+        let t = skew_table(&sweep, "EXT-9");
+        assert!(t.contains("distribution,cache_rows,replica_rows"));
+        assert!(t.contains("headline:"));
+        assert!(t.lines().filter(|l| l.starts_with("zipf(")).count() >= 9);
+        let j = skew_json(&sweep);
+        validate_skew_json(&j).expect("valid skew json");
+        assert!(j.contains("\"headline_pgas_speedup\""));
+    }
+
+    #[test]
+    fn scaling_json_renders_and_validates() {
+        let r = weak_scaling(2, 512, 2);
+        let j = scaling_json(&r, "table1");
+        validate_scaling_json(&j).expect("valid scaling json");
+        assert!(j.contains("\"experiment\": \"table1\""));
+        assert!(j.contains("\"geomean_speedup\""));
     }
 
     #[test]

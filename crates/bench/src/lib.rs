@@ -21,6 +21,7 @@
 //! | EXT-5 skew ablation | [`zipf_ablation`] |
 //! | EXT-7 fault-injection sweep | [`chaos_sweep`] |
 //! | EXT-8 online-serving load sweep | [`serve_load_sweep`] |
+//! | EXT-9 hot-row cache × index-skew grid | [`skew_sweep`] |
 
 #![warn(missing_docs)]
 

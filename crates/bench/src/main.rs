@@ -17,6 +17,10 @@
 //!                             vs baseline; intensity 0 reproduces Table I)
 //!   serve                     EXT-8 online-serving load sweep (max QPS per
 //!                             backend under a p99 SLO)
+//!   skew                      EXT-9 hot-row cache × index-skew grid
+//!                             (BENCH_skew.json; materializes raw indices,
+//!                             so run it at --scale 16 or smaller workloads
+//!                             — not part of `all`)
 //!   wallclock                 host-time self-speedup of the real kernels at
 //!                             1/2/4 threads (BENCH_wallclock.json; not part
 //!                             of `all` — it measures the harness, not the
@@ -26,7 +30,7 @@
 //! --scale K    shrink every workload axis by K (default 1 = paper scale)
 //! --batches N  batches per run (default 100, the paper's count)
 //! --seed S     fault-plan/arrival seed for `chaos` and `serve` (default 42)
-//! --smoke      shrink `serve` to a seconds-long CI gate
+//! --smoke      shrink `serve`/`skew`/`wallclock` to a seconds-long CI gate
 //! --out-dir D  write every experiment's CSV into D (alias: --csv)
 //! ```
 
@@ -116,6 +120,16 @@ fn emit(args: &Args, name: &str, body: &str) {
     }
 }
 
+/// Validate and (when `--out-dir` is set) write a `BENCH_*.json` artifact.
+/// The JSON goes only to disk, never stdout — stdout stays the CSV surface.
+fn emit_json(args: &Args, file: &str, json: &str, validate: impl Fn(&str) -> Result<(), String>) {
+    validate(json).unwrap_or_else(|e| panic!("{file} must be well-formed: {e}"));
+    if let Some(dir) = &args.csv {
+        fs::create_dir_all(dir).expect("create out dir");
+        fs::write(dir.join(file), json).expect("write json artifact");
+    }
+}
+
 fn main() {
     let args = parse_args();
     let e = args.experiment.as_str();
@@ -129,6 +143,12 @@ fn main() {
                 &args,
                 "table1",
                 &speedup_table(&r, "Table I: weak-scaling speedup (PGAS over baseline)"),
+            );
+            emit_json(
+                &args,
+                "BENCH_table1.json",
+                &scaling_json(&r, "table1"),
+                validate_scaling_json,
             );
         }
         if matches!(e, "fig5" | "all") {
@@ -154,6 +174,12 @@ fn main() {
                 &args,
                 "table2",
                 &speedup_table(&r, "Table II: strong-scaling speedup (PGAS over baseline)"),
+            );
+            emit_json(
+                &args,
+                "BENCH_table2.json",
+                &scaling_json(&r, "table2"),
+                validate_scaling_json,
             );
         }
         if matches!(e, "fig8" | "all") {
@@ -330,6 +356,27 @@ fn main() {
             z.speedup()
         );
         emit(&args, "ablation-zipf", &s);
+    }
+    if e == "skew" {
+        let _t = HostTimer::new("skew");
+        let gpus = args.gpus.max(2);
+        let (scale, batches) = if args.smoke {
+            (args.scale.max(512), args.batches.min(2))
+        } else {
+            (args.scale, args.batches)
+        };
+        let sweep = skew_sweep(gpus, scale, batches);
+        emit(
+            &args,
+            "skew",
+            &skew_table(
+                &sweep,
+                &format!("EXT-9: hot-row cache x index-skew sweep, {gpus} GPUs (weak config)"),
+            ),
+        );
+        emit_json(&args, "BENCH_skew.json", &skew_json(&sweep), |j| {
+            validate_skew_json(j)
+        });
     }
     if e == "wallclock" {
         let _t = HostTimer::new("wallclock");

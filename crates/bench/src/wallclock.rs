@@ -14,7 +14,8 @@
 use std::time::Instant;
 
 use emb_retrieval::backend::{
-    compute_pooled_rows, materialize_shards, ExecMode, PgasFusedBackend, RetrievalBackend,
+    compute_pooled_rows, materialize_shards, plan_with_planner, ExecMode, HotCachePlanner,
+    PgasFusedBackend, RetrievalBackend,
 };
 use emb_retrieval::{EmbLayerConfig, ForwardPlan, SparseBatch};
 use gpusim::{Machine, MachineConfig};
@@ -26,7 +27,8 @@ use crate::scaled;
 /// One microbenchmark's wall-clock measurements across pool widths.
 #[derive(Clone, Debug)]
 pub struct WallclockBench {
-    /// Benchmark label (`lookup_pool` / `matmul` / `end_to_end_batch`).
+    /// Benchmark label
+    /// (`lookup_pool` / `matmul` / `end_to_end_batch` / `dedup`).
     pub name: &'static str,
     /// Best-of-R wall seconds, one entry per width in the report's
     /// `threads` vector.
@@ -113,8 +115,9 @@ fn sweep(
     }
 }
 
-/// Measure the three hot-path microbenches (embedding lookup+pool, matmul,
-/// end-to-end functional batch) at widths {1, 2, 4}. `smoke` shrinks the
+/// Measure the four hot-path microbenches (embedding lookup+pool, matmul,
+/// end-to-end functional batch, batch-prep dedup) at widths {1, 2, 4}.
+/// `smoke` shrinks the
 /// workloads to a seconds-long CI gate; otherwise they run at the largest
 /// scale-down of the paper config that fits comfortably in host memory.
 pub fn run_wallclock(smoke: bool) -> WallclockReport {
@@ -180,6 +183,33 @@ pub fn run_wallclock(smoke: bool) -> WallclockReport {
         benches.push(sweep("end_to_end_batch", &threads, reps, &mut f));
     }
 
+    // 4. Batch-prep dedup: the sort-free open-addressing index maps on a
+    //    Zipf-skewed batch — the serving hot path with dedup enabled. The
+    //    planner (and its pooled workspaces) is built once; each repetition
+    //    re-annotates a fresh plan, so steady-state cost has no per-batch
+    //    map allocation.
+    {
+        let dedup_scale = if smoke { 256 } else { 16 };
+        let mut cfg = scaled(EmbLayerConfig::paper_weak_scaling(2), dedup_scale, 1);
+        cfg.distribution = emb_retrieval::IndexDistribution::Zipf { exponent: 1.2 };
+        cfg.dedup = true;
+        let m = Machine::new(MachineConfig::dgx_v100(cfg.n_gpus));
+        let batch = SparseBatch::generate(&cfg.batch_spec(), cfg.seed);
+        let planner = HotCachePlanner::new(&cfg, m.spec(0)).expect("dedup enabled");
+        let mut f = || {
+            let plan = plan_with_planner(&cfg, &batch, m.spec(0), Some(&planner));
+            plan.devices
+                .iter()
+                .flat_map(|dp| dp.blocks.iter())
+                .flat_map(|b| {
+                    let s = b.cache.as_ref().expect("dedup annotates every block");
+                    [s.hbm_fetches as f32, s.lookups as f32]
+                })
+                .collect()
+        };
+        benches.push(sweep("dedup", &threads, reps, &mut f));
+    }
+
     WallclockReport {
         threads,
         scale,
@@ -235,9 +265,28 @@ pub fn wallclock_json(r: &WallclockReport) -> String {
 }
 
 /// Minimal structural validation of a `BENCH_wallclock.json` document:
-/// balanced braces/brackets outside strings, the required keys present,
-/// and no NaN/infinite numbers. Returns a description of the first problem.
+/// [`validate_json_doc`] with the wallclock report's required keys.
 pub fn validate_wallclock_json(s: &str) -> Result<(), String> {
+    validate_json_doc(
+        s,
+        &[
+            "\"threads\"",
+            "\"scale\"",
+            "\"host_parallelism\"",
+            "\"benchmarks\"",
+            "\"name\"",
+            "\"best_secs\"",
+            "\"speedup_vs_1\"",
+            "\"bit_identical\"",
+        ],
+    )
+}
+
+/// Minimal structural validation shared by every hand-rolled `BENCH_*.json`
+/// artifact: balanced braces/brackets outside strings, every key in
+/// `required_keys` present, and no NaN/infinite numbers. Returns a
+/// description of the first problem.
+pub fn validate_json_doc(s: &str, required_keys: &[&str]) -> Result<(), String> {
     let mut depth_brace = 0i64;
     let mut depth_bracket = 0i64;
     let mut in_string = false;
@@ -273,16 +322,7 @@ pub fn validate_wallclock_json(s: &str) -> Result<(), String> {
             "unbalanced nesting: braces {depth_brace:+}, brackets {depth_bracket:+}"
         ));
     }
-    for key in [
-        "\"threads\"",
-        "\"scale\"",
-        "\"host_parallelism\"",
-        "\"benchmarks\"",
-        "\"name\"",
-        "\"best_secs\"",
-        "\"speedup_vs_1\"",
-        "\"bit_identical\"",
-    ] {
+    for key in required_keys {
         if !s.contains(key) {
             return Err(format!("missing key {key}"));
         }
@@ -331,7 +371,8 @@ mod tests {
     fn smoke_wallclock_runs_and_validates() {
         let r = run_wallclock(true);
         assert_eq!(r.threads, vec![1, 2, 4]);
-        assert_eq!(r.benches.len(), 3);
+        assert_eq!(r.benches.len(), 4);
+        assert!(r.benches.iter().any(|b| b.name == "dedup"));
         for b in &r.benches {
             assert!(b.bit_identical);
             assert!(b.best_secs.iter().all(|&t| t.is_finite() && t > 0.0));

@@ -83,7 +83,20 @@ impl RetrievalBackend for BaselineBackend {
                         )
                     })
                     .collect();
-                Some(functional::exchange_and_unpack(plan, &pooled))
+                let mut outs = functional::exchange_and_unpack(plan, &pooled);
+                if let Some(cache) = prepared.planner.as_ref().and_then(|p| p.cache()) {
+                    let replicas =
+                        crate::HotReplicas::materialize(cache, cfg.table_spec(), cfg.seed);
+                    functional::apply_hot_imports(
+                        plan,
+                        batch,
+                        &replicas,
+                        cfg.table_rows,
+                        &mut outs,
+                        cfg.seed,
+                    );
+                }
+                Some(outs)
             }
         };
 

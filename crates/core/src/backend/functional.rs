@@ -8,7 +8,7 @@
 use rayon::prelude::*;
 use simtensor::Tensor;
 
-use crate::{DevicePlan, EmbeddingShard, ForwardPlan, IndexHasher, SparseBatch};
+use crate::{DevicePlan, EmbeddingShard, ForwardPlan, HotReplicas, IndexHasher, SparseBatch};
 
 /// Materialize each device's resident tables.
 pub fn materialize_shards(
@@ -44,6 +44,12 @@ pub fn compute_pooled_rows(
         .collect();
     let mut out = vec![0.0f32; dp.n_bags * dim];
     out.par_chunks_mut(dim).enumerate().for_each(|(bag, acc)| {
+        if dp.exported_bags.binary_search(&bag).is_ok() {
+            // Every index hit the hot-row cache: the sample owner computes
+            // this bag from replicas ([`apply_hot_imports`]); the zeros left
+            // here are never read.
+            return;
+        }
         let lf = bag / n;
         let sample = bag % n;
         let (f, _) = dp.bag_coords(bag, n);
@@ -166,6 +172,57 @@ pub fn scatter_via_symmetric_heap(plan: &ForwardPlan, pooled: &[Vec<f32>]) -> Ve
             )
         })
         .collect()
+}
+
+/// Compute each device's `imported_bags` from its hot-row replicas and
+/// overwrite the corresponding output rows — the functional flip side of the
+/// bag export in [`crate::HotCachePlanner::annotate`]. Replicas are
+/// bit-identical to the home tables and the per-bag accumulation order
+/// matches [`compute_pooled_rows`], so cached outputs are bit-identical to
+/// uncached ones. No-op on uncached plans (no imported bags).
+pub fn apply_hot_imports(
+    plan: &ForwardPlan,
+    batch: &SparseBatch,
+    replicas: &HotReplicas,
+    table_rows: usize,
+    outputs: &mut [Tensor],
+    seed: u64,
+) {
+    let dim = plan.dim;
+    outputs
+        .par_chunks_mut(1)
+        .enumerate()
+        .for_each(|(dev, chunk)| {
+            let out = &mut chunk[0];
+            let mut acc = vec![0.0f32; dim];
+            let mut hasher: Option<(usize, IndexHasher)> = None;
+            for ib in &plan.devices[dev].imported_bags {
+                // Imported bags are (feature, sample)-sorted: reuse the hasher
+                // across each feature's run.
+                let h = match hasher {
+                    Some((f, h)) if f == ib.feature => h,
+                    _ => {
+                        let h = IndexHasher::new(ib.feature, table_rows, seed);
+                        hasher = Some((ib.feature, h));
+                        h
+                    }
+                };
+                acc.fill(0.0);
+                let indices = batch.bag(ib.feature, ib.sample);
+                debug_assert_eq!(indices.len(), ib.lookups as usize);
+                let mut count = 0usize;
+                for &raw in indices {
+                    count += 1;
+                    let row = replicas.row(ib.feature, h.row(raw));
+                    plan.pooling.accumulate(&mut acc, row, count);
+                }
+                plan.pooling.finish(&mut acc, count);
+                let (dst, idx) = plan.output_index(ib.feature, ib.sample);
+                debug_assert_eq!(dst, dev, "imported bag must belong to its owner");
+                let width = plan.n_features * dim;
+                out.row_mut(idx / width)[idx % width..idx % width + dim].copy_from_slice(&acc);
+            }
+        });
 }
 
 #[cfg(test)]

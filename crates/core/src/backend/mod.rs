@@ -13,13 +13,16 @@ mod single;
 
 pub use baseline::BaselineBackend;
 pub use functional::{
-    compute_pooled_rows, exchange_and_unpack, materialize_shards, scatter_via_symmetric_heap,
+    apply_hot_imports, compute_pooled_rows, exchange_and_unpack, materialize_shards,
+    scatter_via_symmetric_heap,
 };
 pub use pgas::PgasFusedBackend;
 pub use resilient::{
     DegradedFill, ResiliencePolicy, ResilienceReport, ResilientBackend, ResilientResult,
 };
 pub use single::{baseline_batch, pgas_batch, BatchRun, PlannedBatch};
+
+pub use crate::cache::{HotCachePlanner, HotReplicas, HotRowCache, IndexDedupMap};
 
 use desim::Dur;
 use gpusim::{GpuSpec, KernelShape};
@@ -76,38 +79,63 @@ pub(crate) const GATHER_EFFICIENCY: f64 = 0.65;
 /// (`lookups × row_bytes`), its index reads (8 B each) and its pooled-row
 /// writes (`n_bags × row_bytes`); the duration follows the machine's
 /// occupancy/latency cost model, derated by [`GATHER_EFFICIENCY`].
+///
+/// Blocks carrying measured [`crate::BlockCacheStats`] charge only their
+/// `hbm_fetches` as row reads — hot-set hits and deduplicated fetches are
+/// served on-chip, *replacing* the analytic `cache_hit` derating. When the
+/// plan has `imported_bags`, the extra blocks that compute them from local
+/// replicas are appended after the regular blocks (index reads + pooled-row
+/// writes only; replica reads are hot by construction).
 pub(crate) fn lookup_block_durations(
     dp: &DevicePlan,
     plan: &ForwardPlan,
     spec: &GpuSpec,
 ) -> Vec<Dur> {
-    let n_blocks = dp.blocks.len() as u64;
+    let import_blocks = dp.imported_bags.len().div_ceil(plan.bags_per_block);
+    let n_blocks = (dp.blocks.len() + import_blocks) as u64;
     if n_blocks == 0 {
         return Vec::new();
     }
     let resident = KernelShape::effective_resident(n_blocks, spec.max_resident_blocks());
     let row_bytes = plan.row_bytes() as u64;
-    dp.blocks
+    let block_time = |bytes: u64| {
+        let shape = KernelShape {
+            blocks: 1,
+            bytes_per_block: (bytes as f64 / GATHER_EFFICIENCY).round() as u64,
+            flops_per_block: 0,
+            dependent_accesses: 8,
+        };
+        shape.block_time(spec, resident)
+    };
+    let mut durs: Vec<Dur> = dp
+        .blocks
         .iter()
         .map(|b| {
-            // Row reads that hit in L2 never reach HBM (skewed inputs).
-            let hbm_reads = (b.lookups as f64 * (1.0 - plan.cache_hit)).round() as u64;
-            let bytes = hbm_reads * row_bytes + b.lookups * 8 + b.n_bags as u64 * row_bytes;
-            let shape = KernelShape {
-                blocks: 1,
-                bytes_per_block: (bytes as f64 / GATHER_EFFICIENCY).round() as u64,
-                flops_per_block: 0,
-                dependent_accesses: 8,
+            let bytes = match &b.cache {
+                Some(s) => s.hbm_fetches * row_bytes + s.lookups * 8 + s.n_bags as u64 * row_bytes,
+                None => {
+                    // Row reads that hit in L2 never reach HBM (skewed inputs).
+                    let hbm_reads = (b.lookups as f64 * (1.0 - plan.cache_hit)).round() as u64;
+                    hbm_reads * row_bytes + b.lookups * 8 + b.n_bags as u64 * row_bytes
+                }
             };
-            shape.block_time(spec, resident)
+            block_time(bytes)
         })
-        .collect()
+        .collect();
+    for chunk in dp.imported_bags.chunks(plan.bags_per_block) {
+        let lookups: u64 = chunk.iter().map(|b| b.lookups as u64).sum();
+        durs.push(block_time(lookups * 8 + chunk.len() as u64 * row_bytes));
+    }
+    durs
 }
 
 /// The distinct input batches a run cycles through, and their plans.
 pub(crate) struct PreparedBatches {
     pub batches: Vec<SparseBatch>,
     pub plans: Vec<ForwardPlan>,
+    /// The hot-row/dedup planner, when `cfg` enables either — kept so the
+    /// functional path can materialize replicas without re-ranking.
+    pub planner: Option<HotCachePlanner>,
 }
 
 /// Expected fraction of this workload's row reads served from `gpu`'s L2 —
@@ -127,6 +155,18 @@ pub fn cache_hit_for(cfg: &EmbLayerConfig, gpu: &GpuSpec) -> f64 {
 /// closed-loop batch preparation, used by the serving path where batches
 /// are composed from queued requests rather than drawn from a seed.
 pub fn plan_for_batch(cfg: &EmbLayerConfig, batch: &SparseBatch, gpu: &GpuSpec) -> ForwardPlan {
+    plan_with_planner(cfg, batch, gpu, HotCachePlanner::new(cfg, gpu).as_ref())
+}
+
+/// [`plan_for_batch`] with a caller-owned [`HotCachePlanner`], so call sites
+/// that plan many batches (closed-loop runs, the serving pool) rank the
+/// warmup trace once instead of per batch. Pass `None` for plain plans.
+pub fn plan_with_planner(
+    cfg: &EmbLayerConfig,
+    batch: &SparseBatch,
+    gpu: &GpuSpec,
+    planner: Option<&HotCachePlanner>,
+) -> ForwardPlan {
     let mut p = ForwardPlan::build(
         batch,
         &cfg.sharding(),
@@ -135,6 +175,9 @@ pub fn plan_for_batch(cfg: &EmbLayerConfig, batch: &SparseBatch, gpu: &GpuSpec) 
         cfg.bags_per_block,
     );
     p.cache_hit = cache_hit_for(cfg, gpu);
+    if let Some(pl) = planner {
+        pl.annotate(&mut p, batch);
+    }
     p
 }
 
@@ -145,20 +188,31 @@ pub(crate) fn prepare_batches(
 ) -> PreparedBatches {
     let spec = cfg.batch_spec();
     let distinct = cfg.distinct_batches.max(1).min(cfg.n_batches.max(1));
+    let planner = HotCachePlanner::new(cfg, gpu);
+    // Cache/dedup profiling is per-index, so those runs materialize full
+    // batches even in timing mode (they only ever run at bench scales).
+    let need_indices = mode == ExecMode::Functional || planner.is_some();
     // Each batch is seeded independently and each plan depends only on its
     // batch, so both stages fan out; ordered collects keep seed-index order.
     let batches: Vec<SparseBatch> = (0..distinct)
         .into_par_iter()
-        .map(|i| match mode {
-            ExecMode::Timing => SparseBatch::generate_counts_only(&spec, cfg.batch_seed(i)),
-            ExecMode::Functional => SparseBatch::generate(&spec, cfg.batch_seed(i)),
+        .map(|i| {
+            if need_indices {
+                SparseBatch::generate(&spec, cfg.batch_seed(i))
+            } else {
+                SparseBatch::generate_counts_only(&spec, cfg.batch_seed(i))
+            }
         })
         .collect();
     let plans = (0..batches.len())
         .into_par_iter()
-        .map(|i| plan_for_batch(cfg, &batches[i], gpu))
+        .map(|i| plan_with_planner(cfg, &batches[i], gpu, planner.as_ref()))
         .collect();
-    PreparedBatches { batches, plans }
+    PreparedBatches {
+        batches,
+        plans,
+        planner,
+    }
 }
 
 #[cfg(test)]

@@ -114,7 +114,20 @@ impl RetrievalBackend for PgasFusedBackend {
                         )
                     })
                     .collect();
-                Some(functional::scatter_via_symmetric_heap(plan, &pooled))
+                let mut outs = functional::scatter_via_symmetric_heap(plan, &pooled);
+                if let Some(cache) = prepared.planner.as_ref().and_then(|p| p.cache()) {
+                    let replicas =
+                        crate::HotReplicas::materialize(cache, cfg.table_spec(), cfg.seed);
+                    functional::apply_hot_imports(
+                        plan,
+                        batch,
+                        &replicas,
+                        cfg.table_rows,
+                        &mut outs,
+                        cfg.seed,
+                    );
+                }
+                Some(outs)
             }
         };
 

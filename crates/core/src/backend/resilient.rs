@@ -249,6 +249,18 @@ impl ResilientBackend {
                 } else {
                     functional::scatter_via_symmetric_heap(plan, &pooled)
                 };
+                if let Some(cache) = prepared.planner.as_ref().and_then(|p| p.cache()) {
+                    let replicas =
+                        crate::HotReplicas::materialize(cache, cfg.table_spec(), cfg.seed);
+                    functional::apply_hot_imports(
+                        plan,
+                        batch,
+                        &replicas,
+                        cfg.table_rows,
+                        &mut outs,
+                        cfg.seed,
+                    );
+                }
                 for (out, &deg) in outs.iter_mut().zip(&final_degraded) {
                     apply_fill(self.policy.fill, out, deg, cfg.dim);
                 }
@@ -467,8 +479,7 @@ impl ResilientBackend {
                         },
                         None => work.wait(machine, d, k_end[d]),
                     };
-                    let remote_features = plan.n_features - plan.devices[d].features.len();
-                    let unpack_bytes = 2 * (plan.mb_sizes[d] * remote_features) as u64 * row_bytes;
+                    let unpack_bytes = 2 * plan.unpack_rows(d) * row_bytes;
                     let dur = Dur::from_secs_f64(unpack_bytes as f64 / super::baseline::UNPACK_BW);
                     let run = machine.run_kernel_varied(d, &[dur], waited);
                     end[d] = machine.stream_sync(d, run.interval.end);

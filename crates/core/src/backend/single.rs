@@ -137,9 +137,10 @@ pub fn baseline_batch(
         let waited = work.wait(machine, d, k_end[d]);
         // Rearrangement touches every *received* byte twice (read
         // source-major, write [mb, S, dim]); the local chunk was already
-        // written in place by the lookup kernel.
-        let remote_features = plan.n_features - plan.devices[d].features.len();
-        let unpack_bytes = 2 * (plan.mb_sizes[d] * remote_features) as u64 * row_bytes;
+        // written in place by the lookup kernel. `unpack_rows` equals
+        // `mb_sizes[d] × remote_features` on plain plans and subtracts
+        // cache-exported and dedup-collapsed rows on annotated ones.
+        let unpack_bytes = 2 * plan.unpack_rows(d) * row_bytes;
         let dur = Dur::from_secs_f64(unpack_bytes as f64 / UNPACK_BW);
         let run = machine.run_kernel_varied(d, &[dur], waited);
         end[d] = machine.stream_sync(d, run.interval.end);

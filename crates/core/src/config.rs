@@ -39,6 +39,15 @@ pub struct EmbLayerConfig {
     /// `k` so the hit fraction — a ratio of cache to table — stays what it
     /// would be at paper scale.
     pub cache_rows_scale: f64,
+    /// Rows of each *remote* table replicated into this device's functional
+    /// hot-row cache (top-K by warmup-trace frequency). `0` disables the
+    /// cache entirely — plans, timings and CSVs are then bit-identical to a
+    /// build without the cache subsystem.
+    pub hot_cache_rows: u64,
+    /// Collapse duplicate `(table, index)` lookups within a batch to one
+    /// HBM fetch (and duplicate identical bags per destination to one
+    /// remote message). `false` keeps the historical per-lookup accounting.
+    pub dedup: bool,
 }
 
 impl EmbLayerConfig {
@@ -62,6 +71,8 @@ impl EmbLayerConfig {
             distinct_batches: 4,
             seed: 0xD1_5C0,
             cache_rows_scale: 1.0,
+            hot_cache_rows: 0,
+            dedup: false,
         }
     }
 
@@ -101,6 +112,10 @@ impl EmbLayerConfig {
         self.bags_per_block = (self.bags_per_block / (k * k)).max(1);
         self.cache_rows_scale /= k as f64;
         self.index_space = (self.index_space / k as u64).max(1);
+        if self.hot_cache_rows > 0 {
+            // Keep the cache-to-table ratio (what sets the hit rate).
+            self.hot_cache_rows = (self.hot_cache_rows / k as u64).max(1);
+        }
         self
     }
 

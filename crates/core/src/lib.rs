@@ -34,6 +34,7 @@
 pub mod backend;
 pub mod backward;
 mod batch;
+mod cache;
 mod config;
 mod hash;
 mod plan;
@@ -45,9 +46,10 @@ mod table;
 mod timing;
 
 pub use batch::{BatchAssemblyError, IndexDistribution, SparseBatch, SparseBatchSpec};
+pub use cache::{HotCachePlanner, HotReplicas, HotRowCache, IndexDedupMap};
 pub use config::EmbLayerConfig;
 pub use hash::{hash_to_row, IndexHasher};
-pub use plan::{BlockPlan, DevicePlan, ForwardPlan};
+pub use plan::{BlockCacheStats, BlockPlan, DevicePlan, ForwardPlan, ImportedBag};
 pub use pooling::PoolingOp;
 pub use sharding::{InputPartition, Sharding};
 pub use table::{EmbeddingShard, EmbeddingTableSpec, NotResident};

@@ -11,6 +11,22 @@ use rayon::prelude::*;
 
 use crate::{PoolingOp, Sharding, SparseBatch};
 
+/// Measured (per-index) cache/dedup accounting for one thread block, stamped
+/// by [`crate::backend::HotCachePlanner::annotate`] on cached or deduped
+/// plans. When present, the timing model uses these counts instead of the
+/// analytic [`ForwardPlan::cache_hit`] derating.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockCacheStats {
+    /// Embedding rows this block actually fetches from HBM: lookups that
+    /// miss the hot-row set, collapsed to one fetch per distinct
+    /// `(table, row)` when dedup is on.
+    pub hbm_fetches: u64,
+    /// Lookups the block still executes here (exported bags removed).
+    pub lookups: u64,
+    /// Bags the block still computes here (exported bags removed).
+    pub n_bags: u32,
+}
+
 /// One thread block's share of a device's bags.
 #[derive(Clone, Debug)]
 pub struct BlockPlan {
@@ -22,8 +38,27 @@ pub struct BlockPlan {
     /// Total embedding-row reads (sum of pooling factors).
     pub lookups: u64,
     /// Pooled output rows per destination device: `(device, rows)`,
-    /// ascending by device, including the local device.
+    /// ascending by device, including the local device. On cached/deduped
+    /// plans, exported bags and collapsed duplicate sends are already
+    /// subtracted, so the volume counters downstream (all-to-all byte
+    /// matrix, PGAS message stream) see the reduction with no extra logic.
     pub dest_rows: Vec<(usize, u64)>,
+    /// Measured cache/dedup accounting (`None` on plain plans).
+    pub cache: Option<BlockCacheStats>,
+}
+
+/// A bag whose lookup + pooling runs on the *sample owner* (from hot-row
+/// replicas) instead of the feature's home device: every index in the bag
+/// hits the feature's replicated top-K row set, so the owner can compute the
+/// pooled row locally and no remote message is needed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImportedBag {
+    /// Global feature id of the bag.
+    pub feature: usize,
+    /// Global sample id of the bag.
+    pub sample: usize,
+    /// Row reads the bag performs (its pooling factor).
+    pub lookups: u32,
 }
 
 /// The per-device slice of the plan.
@@ -39,6 +74,14 @@ pub struct DevicePlan {
     pub total_lookups: u64,
     /// Total bags processed here (`features.len() × batch_size`).
     pub n_bags: usize,
+    /// Local bag ids this device *does not* compute or send because every
+    /// index hit the hot-row cache — the sample owner computes them from
+    /// replicas instead. Sorted ascending; empty on uncached plans.
+    pub exported_bags: Vec<usize>,
+    /// Remote-feature bags this device computes from its hot-row replicas
+    /// (the flip side of other devices' `exported_bags`), ordered by
+    /// `(feature, sample)`. Empty on uncached plans.
+    pub imported_bags: Vec<ImportedBag>,
 }
 
 impl DevicePlan {
@@ -83,8 +126,16 @@ pub struct ForwardPlan {
     pub bags_per_block: usize,
     /// Expected fraction of row reads served from the GPU's L2 (0 until a
     /// backend stamps it from the workload's index distribution — see
-    /// [`crate::IndexDistribution::cache_hit_fraction`]).
+    /// [`crate::IndexDistribution::cache_hit_fraction`]). Blocks carrying
+    /// [`BlockCacheStats`] use their measured counts instead.
     pub cache_hit: f64,
+    /// Rows replicated per remote table by the functional hot-row cache
+    /// (after capacity clamping); 0 on uncached plans.
+    pub cache_rows: u64,
+    /// Measured fraction of this batch's row reads that hit the hot-row
+    /// set (0 on uncached plans) — the empirical counterpart of
+    /// [`crate::IndexDistribution::cache_hit_fraction`].
+    pub measured_hit: f64,
     /// Per-device slices, indexed by device.
     pub devices: Vec<DevicePlan>,
 }
@@ -148,6 +199,7 @@ impl ForwardPlan {
                         n_bags: count as u32,
                         lookups,
                         dest_rows,
+                        cache: None,
                     });
                     first += count;
                 }
@@ -157,6 +209,8 @@ impl ForwardPlan {
                     blocks,
                     total_lookups,
                     n_bags,
+                    exported_bags: Vec::new(),
+                    imported_bags: Vec::new(),
                 }
             })
             .collect();
@@ -170,6 +224,8 @@ impl ForwardPlan {
             pooling,
             bags_per_block,
             cache_hit: 0.0,
+            cache_rows: 0,
+            measured_hit: 0.0,
             devices,
         }
     }
@@ -203,6 +259,19 @@ impl ForwardPlan {
         let dst = sample / self.mb_size;
         let local_s = sample % self.mb_size;
         (dst, (local_s * self.n_features + feature) * self.dim)
+    }
+
+    /// Pooled rows device `dev` *receives over the wire* and must
+    /// rearrange during the baseline unpack: the sum of every remote
+    /// device's `dest_rows` toward `dev`. On plain plans this equals
+    /// `mb_sizes[dev] × remote_features` exactly; on cached/deduped plans
+    /// the exported and collapsed rows are already subtracted.
+    pub fn unpack_rows(&self, dev: usize) -> u64 {
+        self.devices
+            .iter()
+            .filter(|dp| dp.device != dev)
+            .map(|dp| dp.rows_to(dev))
+            .sum()
     }
 }
 
@@ -285,6 +354,24 @@ mod tests {
         for dp in &p.devices {
             for dst in 0..2 {
                 assert_eq!(dp.rows_to(dst), (dp.features.len() * 8) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_rows_matches_closed_form_on_plain_plans() {
+        for (n, devs) in [(16, 2), (15, 2), (16, 4)] {
+            let p = plan(n, 4, devs, 5);
+            for dp in &p.devices {
+                let remote_features = p.n_features - dp.features.len();
+                assert_eq!(
+                    p.unpack_rows(dp.device),
+                    (p.mb_sizes[dp.device] * remote_features) as u64,
+                    "n={n} devs={devs} dev={}",
+                    dp.device
+                );
+                assert!(dp.exported_bags.is_empty() && dp.imported_bags.is_empty());
+                assert!(dp.blocks.iter().all(|b| b.cache.is_none()));
             }
         }
     }

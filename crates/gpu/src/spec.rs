@@ -97,6 +97,24 @@ impl GpuSpec {
         let occ = (resident as f64 / self.blocks_to_saturate as f64).min(1.0);
         self.mem_bw * occ
     }
+
+    /// HBM-capacity accounting for a hot-row replication cache: the maximum
+    /// rows *per remote table* that fit in device memory left over after
+    /// `resident_bytes` of locally sharded weights, when `n_remote_tables`
+    /// tables each replicate the same row count at `row_bytes` per row.
+    /// Returns 0 when the shard alone (over)fills the device.
+    pub fn replica_rows_capacity(
+        &self,
+        resident_bytes: u64,
+        row_bytes: u64,
+        n_remote_tables: u64,
+    ) -> u64 {
+        if row_bytes == 0 || n_remote_tables == 0 {
+            return u64::MAX;
+        }
+        let free = self.mem_capacity.saturating_sub(resident_bytes);
+        free / (row_bytes * n_remote_tables)
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +130,25 @@ mod tests {
             assert!(spec.flops > 1e12);
             assert!(!spec.kernel_launch.is_zero());
         }
+    }
+
+    #[test]
+    fn replica_capacity_accounts_for_resident_weights() {
+        let v = GpuSpec::v100();
+        // The paper's weak-scaling shard: 64 tables × 1M rows × 256 B =
+        // ~16.4 GB resident; 192 remote tables at 256 B/row leave room for
+        // well over the experiments' largest 96 k-row replica set.
+        let resident = 64 * 1_000_000 * 256u64;
+        let cap = v.replica_rows_capacity(resident, 256, 192);
+        assert!(cap > 96 * 1024, "capacity {cap} rows per remote table");
+        // A replica set that exactly fills the remainder is admitted; one
+        // row more per table would not fit.
+        assert!(cap * 256 * 192 <= v.mem_capacity - resident);
+        assert!((cap + 1) * 256 * 192 > v.mem_capacity - resident);
+        // An overfull shard leaves no replica room at all.
+        assert_eq!(v.replica_rows_capacity(v.mem_capacity + 1, 256, 192), 0);
+        // No remote tables → nothing to bound.
+        assert_eq!(v.replica_rows_capacity(resident, 256, 0), u64::MAX);
     }
 
     #[test]

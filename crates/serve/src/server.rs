@@ -6,8 +6,8 @@ use std::fmt;
 use desim::{Dur, SimTime};
 use dlrm_model::{Dlrm, DlrmConfig, InferencePipeline};
 use emb_retrieval::backend::{
-    baseline_batch, pgas_batch, plan_for_batch, BatchRun, PlannedBatch, ResiliencePolicy,
-    ResilienceReport, ResilientBackend,
+    baseline_batch, pgas_batch, plan_with_planner, BatchRun, HotCachePlanner, PlannedBatch,
+    ResiliencePolicy, ResilienceReport, ResilientBackend,
 };
 use emb_retrieval::{BatchAssemblyError, EmbLayerConfig, SparseBatch};
 use gpusim::{Machine, NoLink};
@@ -237,6 +237,9 @@ impl EmbServer {
         // is served in full.
         let distinct = cfg.emb.distinct_batches.max(1);
         let mut canonical: Vec<Option<PlannedBatch>> = vec![None; distinct];
+        // Hot-row/dedup planner (None unless the config enables either),
+        // ranked once up front — not per served batch.
+        let planner = HotCachePlanner::new(&cfg.emb, machine.spec(0));
 
         let resilient = ResilientBackend::new().with_policy(cfg.policy);
         let mut resilience = ResilienceReport::default();
@@ -258,7 +261,13 @@ impl EmbServer {
         let mut end = SimTime::ZERO;
 
         while let Some(closed) = batcher.next_batch(t_free) {
-            let pb = self.planned_for(machine, &closed, &generator, &mut canonical)?;
+            let pb = self.planned_for(
+                machine,
+                &closed,
+                &generator,
+                &mut canonical,
+                planner.as_ref(),
+            )?;
             let run: BatchRun = match cfg.backend {
                 ServeBackendKind::Baseline => {
                     baseline_batch(machine, &cfg.collectives, &pb, closed.close_at)
@@ -316,6 +325,7 @@ impl EmbServer {
         closed: &ClosedBatch,
         generator: &RequestGenerator,
         canonical: &mut [Option<PlannedBatch>],
+        planner: Option<&HotCachePlanner>,
     ) -> Result<PlannedBatch, ServeError> {
         let cfg = &self.cfg;
         let n = cfg.emb.batch_size;
@@ -326,11 +336,17 @@ impl EmbServer {
         if aligned {
             let (which, _) = generator.deal_of(reqs[0].id);
             if canonical[which].is_none() {
-                let batch = SparseBatch::generate_counts_only(
-                    &cfg.emb.batch_spec(),
-                    cfg.emb.batch_seed(which),
-                );
-                let plan = plan_for_batch(&cfg.emb, &batch, machine.spec(0));
+                // Cache/dedup profiling needs the raw indices, so cached
+                // configs materialize the canonical batch in full.
+                let batch = if planner.is_some() {
+                    SparseBatch::generate(&cfg.emb.batch_spec(), cfg.emb.batch_seed(which))
+                } else {
+                    SparseBatch::generate_counts_only(
+                        &cfg.emb.batch_spec(),
+                        cfg.emb.batch_seed(which),
+                    )
+                };
+                let plan = plan_with_planner(&cfg.emb, &batch, machine.spec(0), planner);
                 canonical[which] = Some(PlannedBatch::new(machine, plan));
             }
             return Ok(canonical[which].clone().expect("just built"));
@@ -339,12 +355,15 @@ impl EmbServer {
         // Partial/misaligned batch: assemble from the actual requests,
         // padded with empty samples up to the GPU count (the plan splits
         // samples across devices and needs at least one per device).
+        // Requests carry bag *sizes* only, so there are no raw indices to
+        // profile: assembled batches always run with plain (uncached,
+        // undeduped) accounting.
         let mut rows: Vec<Vec<u32>> = reqs.iter().map(|r| r.bags.clone()).collect();
         while rows.len() < cfg.emb.n_gpus {
             rows.push(vec![0; cfg.emb.n_features]);
         }
         let batch = SparseBatch::from_bag_sizes(cfg.emb.n_features, &rows)?;
-        let plan = plan_for_batch(&cfg.emb, &batch, machine.spec(0));
+        let plan = plan_with_planner(&cfg.emb, &batch, machine.spec(0), None);
         Ok(PlannedBatch::new(machine, plan))
     }
 }

@@ -188,6 +188,8 @@ proptest! {
             distinct_batches: 1,
             seed: seed as u64,
             cache_rows_scale: 1.0,
+            hot_cache_rows: 0,
+            dedup: false,
         };
         let batch = SparseBatch::generate(&cfg.batch_spec(), cfg.seed);
         let plan = ForwardPlan::build(

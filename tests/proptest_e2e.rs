@@ -48,6 +48,8 @@ fn cfg_strategy() -> impl Strategy<Value = EmbLayerConfig> {
                 distinct_batches: 1,
                 seed: seed as u64,
                 cache_rows_scale: 1.0,
+                hot_cache_rows: 0,
+                dedup: false,
             },
         )
 }
