@@ -3,9 +3,11 @@
 # and a 4-thread worker pool, to exercise the parallel engine's determinism
 # contract), lint-clean under clippy, a fast end-to-end serving smoke
 # (EXT-8), the hot-row-cache skew-sweep smoke (EXT-9, asserts
-# BENCH_skew.json is produced and well-formed), and the wall-clock benchmark
-# smoke (asserts BENCH_wallclock.json is produced and well-formed). Run from
-# the repo root. Fails fast on the first broken step.
+# BENCH_skew.json is produced and well-formed), the link-utilization smoke
+# (EXT-10, asserts BENCH_netutil.json is produced with the smoothing claim
+# holding), and the wall-clock benchmark smoke (asserts BENCH_wallclock.json
+# is produced and well-formed). Run from the repo root. Fails fast on the
+# first broken step.
 set -eu
 
 cargo fmt --all -- --check
@@ -33,4 +35,15 @@ test -s "$wc_dir/BENCH_skew.json"
 grep -q '"cells"' "$wc_dir/BENCH_skew.json"
 grep -q '"measured_hit"' "$wc_dir/BENCH_skew.json"
 grep -q '"headline_pgas_speedup"' "$wc_dir/BENCH_skew.json"
+
+# EXT-10 smoke: the link-utilization experiment must emit well-formed
+# artifacts and the smoothing claim must hold (PGAS peak-to-mean strictly
+# below baseline — the validator refuses to emit otherwise; the shell
+# re-checks the flag and the headline keys).
+cargo run --release -p bench-harness --offline -- netutil --smoke --out-dir "$wc_dir" > /dev/null
+test -s "$wc_dir/netutil.csv"
+test -s "$wc_dir/BENCH_netutil.json"
+grep -q '"experiment": "netutil"' "$wc_dir/BENCH_netutil.json"
+grep -q '"peak_to_mean"' "$wc_dir/BENCH_netutil.json"
+grep -q '"smoothing_ok": true' "$wc_dir/BENCH_netutil.json"
 echo "ci: all gates passed"

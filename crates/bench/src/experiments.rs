@@ -266,6 +266,197 @@ fn fig_bucket(cfg: &EmbLayerConfig) -> Dur {
     Dur::from_secs_f64((secs / 200.0).max(1e-6))
 }
 
+/// Per-bucket utilization statistics of one directed link (or of the
+/// across-link aggregate) over one run: the numbers behind the paper's
+/// "smoothed network usage" claim.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkUtilStats {
+    /// Highest single-bucket utilization in `[0, 1]`.
+    pub peak: f64,
+    /// Mean utilization over the run's buckets.
+    pub mean: f64,
+    /// `peak / mean` (1.0 = perfectly smooth; 0 when the link was idle).
+    pub peak_to_mean: f64,
+    /// Coefficient of variation (stddev / mean) of per-bucket utilization.
+    pub cv: f64,
+}
+
+impl LinkUtilStats {
+    fn from_series(u: &[f64]) -> Self {
+        let n = u.len().max(1) as f64;
+        let mean = u.iter().sum::<f64>() / n;
+        let peak = u.iter().copied().fold(0.0, f64::max);
+        let var = u.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let (peak_to_mean, cv) = if mean > 0.0 {
+            (peak / mean, var.sqrt() / mean)
+        } else {
+            (0.0, 0.0)
+        };
+        LinkUtilStats {
+            peak,
+            mean,
+            peak_to_mean,
+            cv,
+        }
+    }
+}
+
+/// One directed link's utilization statistics under both backends.
+#[derive(Clone, Copy, Debug)]
+pub struct NetUtilLink {
+    /// Source device.
+    pub src: usize,
+    /// Destination device.
+    pub dst: usize,
+    /// Baseline collective path.
+    pub baseline: LinkUtilStats,
+    /// PGAS fused path.
+    pub pgas: LinkUtilStats,
+}
+
+/// **EXT-10** — per-link utilization timelines, baseline vs PGAS, measured
+/// from the telemetry registry's `link_busy_ns` timelines.
+#[derive(Clone, Debug)]
+pub struct NetUtilResult {
+    /// GPU count.
+    pub gpus: usize,
+    /// Harness scale factor the run used.
+    pub scale: usize,
+    /// Batches per run.
+    pub batches: usize,
+    /// Timeline bucket width.
+    pub bucket: Dur,
+    /// Baseline run end.
+    pub baseline_end: Dur,
+    /// PGAS run end.
+    pub pgas_end: Dur,
+    /// Wire messages, baseline.
+    pub baseline_messages: u64,
+    /// Wire messages, PGAS (more, smaller — the coalesced one-sided stores).
+    pub pgas_messages: u64,
+    /// Per-directed-link statistics.
+    pub links: Vec<NetUtilLink>,
+    /// Mean utilization across links per bucket, baseline.
+    pub baseline_series: Vec<f64>,
+    /// Mean utilization across links per bucket, PGAS.
+    pub pgas_series: Vec<f64>,
+    /// Statistics of the aggregate baseline series.
+    pub baseline_agg: LinkUtilStats,
+    /// Statistics of the aggregate PGAS series.
+    pub pgas_agg: LinkUtilStats,
+}
+
+impl NetUtilResult {
+    /// Paper claim (2) on the aggregate: PGAS peak-to-mean strictly below
+    /// baseline.
+    pub fn smoothing_ok(&self) -> bool {
+        self.pgas_agg.peak_to_mean > 0.0
+            && self.pgas_agg.peak_to_mean < self.baseline_agg.peak_to_mean
+    }
+
+    /// Stricter per-link form: every directed link that carried traffic
+    /// has a strictly lower peak-to-mean under PGAS.
+    pub fn per_link_ok(&self) -> bool {
+        !self.links.is_empty()
+            && self
+                .links
+                .iter()
+                .all(|l| l.pgas.peak_to_mean > 0.0 && l.pgas.peak_to_mean < l.baseline.peak_to_mean)
+    }
+
+    /// The link whose baseline peak-to-mean is worst (most bursty).
+    pub fn worst_baseline_link(&self) -> &NetUtilLink {
+        self.links
+            .iter()
+            .max_by(|a, b| a.baseline.peak_to_mean.total_cmp(&b.baseline.peak_to_mean))
+            .expect("at least one directed link")
+    }
+}
+
+/// Run baseline and PGAS on fresh telemetry-enabled machines and reduce the
+/// per-link busy timelines to utilization statistics.
+pub fn netutil_sweep(gpus: usize, scale: usize, batches: usize) -> NetUtilResult {
+    assert!(gpus >= 2, "netutil needs at least one fabric link");
+    let cfg = scaled(EmbLayerConfig::paper_weak_scaling(gpus), scale, batches);
+    let bucket = fig_bucket(&cfg);
+    let run = |pgas: bool| {
+        let mut m = Machine::new(MachineConfig::dgx_v100(gpus).with_traffic_bucket(bucket));
+        m.enable_telemetry();
+        let rep = if pgas {
+            PgasFusedBackend::new()
+                .run(&mut m, &cfg, ExecMode::Timing)
+                .report
+        } else {
+            BaselineBackend::new()
+                .run(&mut m, &cfg, ExecMode::Timing)
+                .report
+        };
+        (m, rep.total)
+    };
+    let (mb, baseline_end) = run(false);
+    let (mp, pgas_end) = run(true);
+
+    let bucket_ns = bucket.as_ns() as f64;
+    let n_buckets = |end: Dur| (end.as_ns().div_ceil(bucket.as_ns())).max(1) as usize;
+    let (nb_b, nb_p) = (n_buckets(baseline_end), n_buckets(pgas_end));
+    // Busy-ns timeline → per-bucket utilization, zero-padded to the run end.
+    let util = |m: &Machine, s: usize, d: usize, nb: usize| -> Vec<f64> {
+        let mut out = vec![0.0; nb];
+        if let Some(ts) = m.metrics().timeline("link_busy_ns", s as u32, d as u32) {
+            for (i, v) in ts.buckets().iter().enumerate().take(nb) {
+                out[i] = v / bucket_ns;
+            }
+        }
+        out
+    };
+
+    let mut links = Vec::new();
+    let mut baseline_series = vec![0.0; nb_b];
+    let mut pgas_series = vec![0.0; nb_p];
+    let mut n_links = 0usize;
+    for s in 0..gpus {
+        for d in 0..gpus {
+            if s == d {
+                continue;
+            }
+            let ub = util(&mb, s, d, nb_b);
+            let up = util(&mp, s, d, nb_p);
+            for (acc, v) in baseline_series.iter_mut().zip(&ub) {
+                *acc += v;
+            }
+            for (acc, v) in pgas_series.iter_mut().zip(&up) {
+                *acc += v;
+            }
+            n_links += 1;
+            links.push(NetUtilLink {
+                src: s,
+                dst: d,
+                baseline: LinkUtilStats::from_series(&ub),
+                pgas: LinkUtilStats::from_series(&up),
+            });
+        }
+    }
+    let scale_by = 1.0 / n_links.max(1) as f64;
+    baseline_series.iter_mut().for_each(|v| *v *= scale_by);
+    pgas_series.iter_mut().for_each(|v| *v *= scale_by);
+
+    NetUtilResult {
+        gpus,
+        scale,
+        batches,
+        bucket,
+        baseline_end,
+        pgas_end,
+        baseline_messages: mb.traffic_stats().messages,
+        pgas_messages: mp.traffic_stats().messages,
+        baseline_agg: LinkUtilStats::from_series(&baseline_series),
+        pgas_agg: LinkUtilStats::from_series(&pgas_series),
+        links,
+        baseline_series,
+        pgas_series,
+    }
+}
+
 /// Latency/degradation summary of one resilient run at one fault intensity.
 #[derive(Clone, Debug)]
 pub struct ChaosRun {

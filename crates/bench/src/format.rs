@@ -5,7 +5,8 @@ use std::fmt::Write as _;
 use desim::SimTime;
 
 use crate::{
-    validate_json_doc, ChaosPoint, CommVolumeResult, ScalingResult, ServeSweep, SkewSweep,
+    validate_json_doc, ChaosPoint, CommVolumeResult, LinkUtilStats, NetUtilResult, ScalingResult,
+    ServeSweep, SkewSweep,
 };
 
 /// Render the paper's speedup table (Table I / Table II).
@@ -351,6 +352,141 @@ pub fn validate_scaling_json(s: &str) -> Result<(), String> {
             "\"geomean_speedup\"",
         ],
     )
+}
+
+/// Render the EXT-10 per-link utilization sweep as `netutil.csv`: summary
+/// lines, a per-link stats table, then the aggregate utilization timeline.
+pub fn netutil_table(r: &NetUtilResult, title: &str, max_points: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== {title} ==");
+    let _ = writeln!(
+        s,
+        "# bucket_us={:.3} baseline_end_ms={:.4} pgas_end_ms={:.4} messages: baseline={} pgas={}",
+        r.bucket.as_micros_f64(),
+        r.baseline_end.as_millis_f64(),
+        r.pgas_end.as_millis_f64(),
+        r.baseline_messages,
+        r.pgas_messages,
+    );
+    let _ = writeln!(
+        s,
+        "# aggregate peak_to_mean: baseline={:.3} pgas={:.3}; cv: baseline={:.3} pgas={:.3}; smoothing_ok={}",
+        r.baseline_agg.peak_to_mean,
+        r.pgas_agg.peak_to_mean,
+        r.baseline_agg.cv,
+        r.pgas_agg.cv,
+        r.smoothing_ok(),
+    );
+    let _ = writeln!(
+        s,
+        "link,baseline_peak,baseline_mean,baseline_peak_to_mean,baseline_cv,pgas_peak,pgas_mean,pgas_peak_to_mean,pgas_cv"
+    );
+    for l in &r.links {
+        let _ = writeln!(
+            s,
+            "{}->{},{:.4},{:.4},{:.3},{:.3},{:.4},{:.4},{:.3},{:.3}",
+            l.src,
+            l.dst,
+            l.baseline.peak,
+            l.baseline.mean,
+            l.baseline.peak_to_mean,
+            l.baseline.cv,
+            l.pgas.peak,
+            l.pgas.mean,
+            l.pgas.peak_to_mean,
+            l.pgas.cv,
+        );
+    }
+    let _ = writeln!(s, "time_ms,baseline_util,pgas_util");
+    let n = r
+        .baseline_series
+        .len()
+        .max(r.pgas_series.len())
+        .min(max_points);
+    for i in 0..n {
+        let t = (SimTime::ZERO + r.bucket * i as u64).as_millis_f64();
+        let bv = r.baseline_series.get(i).copied().unwrap_or(0.0);
+        let pv = r.pgas_series.get(i).copied().unwrap_or(0.0);
+        let _ = writeln!(s, "{t:.4},{bv:.4},{pv:.4}");
+    }
+    s
+}
+
+/// Serialize the EXT-10 sweep as the `BENCH_netutil.json` artifact.
+pub fn netutil_json(r: &NetUtilResult) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"netutil\",\n");
+    s.push_str(&format!("  \"gpus\": {},\n", r.gpus));
+    s.push_str(&format!("  \"scale\": {},\n", r.scale));
+    s.push_str(&format!("  \"batches\": {},\n", r.batches));
+    s.push_str(&format!(
+        "  \"bucket_us\": {:.3},\n",
+        r.bucket.as_micros_f64()
+    ));
+    let agg = |s: &mut String, name: &str, st: &LinkUtilStats, end: desim::Dur, msgs: u64| {
+        s.push_str(&format!("  \"{name}\": {{\n"));
+        s.push_str(&format!("    \"end_ms\": {:.6},\n", end.as_millis_f64()));
+        s.push_str(&format!("    \"messages\": {msgs},\n"));
+        s.push_str(&format!("    \"peak_util\": {:.6},\n", st.peak));
+        s.push_str(&format!("    \"mean_util\": {:.6},\n", st.mean));
+        s.push_str(&format!("    \"peak_to_mean\": {:.4},\n", st.peak_to_mean));
+        s.push_str(&format!("    \"cv\": {:.4}\n", st.cv));
+        s.push_str("  },\n");
+    };
+    agg(
+        &mut s,
+        "baseline",
+        &r.baseline_agg,
+        r.baseline_end,
+        r.baseline_messages,
+    );
+    agg(&mut s, "pgas", &r.pgas_agg, r.pgas_end, r.pgas_messages);
+    s.push_str("  \"links\": [\n");
+    for (i, l) in r.links.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"link\": \"{}->{}\", \"baseline_peak_to_mean\": {:.4}, \"pgas_peak_to_mean\": {:.4}, \"baseline_cv\": {:.4}, \"pgas_cv\": {:.4}}}{}\n",
+            l.src,
+            l.dst,
+            l.baseline.peak_to_mean,
+            l.pgas.peak_to_mean,
+            l.baseline.cv,
+            l.pgas.cv,
+            if i + 1 < r.links.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"per_link_ok\": {},\n", r.per_link_ok()));
+    s.push_str(&format!("  \"smoothing_ok\": {}\n", r.smoothing_ok()));
+    s.push_str("}\n");
+    s
+}
+
+/// Structural validation of a `BENCH_netutil.json` document. Beyond shape,
+/// this enforces the paper's claim (2): the document must assert
+/// `"smoothing_ok": true` (PGAS aggregate peak-to-mean strictly below
+/// baseline) — `reproduce netutil` refuses to write an artifact that fails
+/// the claim.
+pub fn validate_netutil_json(s: &str) -> Result<(), String> {
+    validate_json_doc(
+        s,
+        &[
+            "\"experiment\"",
+            "\"gpus\"",
+            "\"bucket_us\"",
+            "\"baseline\"",
+            "\"pgas\"",
+            "\"peak_util\"",
+            "\"mean_util\"",
+            "\"peak_to_mean\"",
+            "\"cv\"",
+            "\"links\"",
+            "\"per_link_ok\"",
+        ],
+    )?;
+    if !s.contains("\"smoothing_ok\": true") {
+        return Err("smoothing claim failed: PGAS peak-to-mean not below baseline".into());
+    }
+    Ok(())
 }
 
 #[cfg(test)]

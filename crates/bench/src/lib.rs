@@ -22,6 +22,7 @@
 //! | EXT-7 fault-injection sweep | [`chaos_sweep`] |
 //! | EXT-8 online-serving load sweep | [`serve_load_sweep`] |
 //! | EXT-9 hot-row cache × index-skew grid | [`skew_sweep`] |
+//! | EXT-10 link-utilization timelines | [`netutil_sweep`] |
 
 #![warn(missing_docs)]
 

@@ -17,6 +17,9 @@
 //!                             vs baseline; intensity 0 reproduces Table I)
 //!   serve                     EXT-8 online-serving load sweep (max QPS per
 //!                             backend under a p99 SLO)
+//!   netutil                   EXT-10 link-utilization timelines (per-bucket
+//!                             busy fraction, peak-to-mean, CV; quantifies
+//!                             the paper's "smoothed network usage" claim)
 //!   skew                      EXT-9 hot-row cache × index-skew grid
 //!                             (BENCH_skew.json; materializes raw indices,
 //!                             so run it at --scale 16 or smaller workloads
@@ -30,7 +33,8 @@
 //! --scale K    shrink every workload axis by K (default 1 = paper scale)
 //! --batches N  batches per run (default 100, the paper's count)
 //! --seed S     fault-plan/arrival seed for `chaos` and `serve` (default 42)
-//! --smoke      shrink `serve`/`skew`/`wallclock` to a seconds-long CI gate
+//! --smoke      shrink `serve`/`skew`/`netutil`/`wallclock` to a seconds-long
+//!              CI gate
 //! --out-dir D  write every experiment's CSV into D (alias: --csv)
 //! ```
 
@@ -342,6 +346,29 @@ fn main() {
                 ),
             ),
         );
+    }
+    if matches!(e, "netutil" | "all") {
+        let _t = HostTimer::new("netutil");
+        let r = if args.smoke {
+            netutil_sweep(2, args.scale.max(512), args.batches.min(2))
+        } else {
+            netutil_sweep(args.gpus.max(2), args.scale, fig_batches)
+        };
+        emit(
+            &args,
+            "netutil",
+            &netutil_table(
+                &r,
+                &format!(
+                    "EXT-10: link-utilization timelines, {} GPUs (baseline vs PGAS, weak config)",
+                    r.gpus
+                ),
+                400,
+            ),
+        );
+        emit_json(&args, "BENCH_netutil.json", &netutil_json(&r), |j| {
+            validate_netutil_json(j)
+        });
     }
     if matches!(e, "ablation-zipf" | "all") {
         let _t = HostTimer::new("ablation-zipf");

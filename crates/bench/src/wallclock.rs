@@ -283,57 +283,9 @@ pub fn validate_wallclock_json(s: &str) -> Result<(), String> {
 }
 
 /// Minimal structural validation shared by every hand-rolled `BENCH_*.json`
-/// artifact: balanced braces/brackets outside strings, every key in
-/// `required_keys` present, and no NaN/infinite numbers. Returns a
-/// description of the first problem.
-pub fn validate_json_doc(s: &str, required_keys: &[&str]) -> Result<(), String> {
-    let mut depth_brace = 0i64;
-    let mut depth_bracket = 0i64;
-    let mut in_string = false;
-    let mut prev_escape = false;
-    for c in s.chars() {
-        if in_string {
-            if prev_escape {
-                prev_escape = false;
-            } else if c == '\\' {
-                prev_escape = true;
-            } else if c == '"' {
-                in_string = false;
-            }
-            continue;
-        }
-        match c {
-            '"' => in_string = true,
-            '{' => depth_brace += 1,
-            '}' => depth_brace -= 1,
-            '[' => depth_bracket += 1,
-            ']' => depth_bracket -= 1,
-            _ => {}
-        }
-        if depth_brace < 0 || depth_bracket < 0 {
-            return Err("unbalanced close before open".into());
-        }
-    }
-    if in_string {
-        return Err("unterminated string".into());
-    }
-    if depth_brace != 0 || depth_bracket != 0 {
-        return Err(format!(
-            "unbalanced nesting: braces {depth_brace:+}, brackets {depth_bracket:+}"
-        ));
-    }
-    for key in required_keys {
-        if !s.contains(key) {
-            return Err(format!("missing key {key}"));
-        }
-    }
-    for bad in ["NaN", "inf", "Infinity"] {
-        if s.contains(bad) {
-            return Err(format!("non-finite number {bad}"));
-        }
-    }
-    Ok(())
-}
+/// artifact; the implementation lives in the `telemetry` crate (which also
+/// validates its own snapshot/trace exports) and is re-exported here.
+pub use telemetry::validate_json_doc;
 
 #[cfg(test)]
 mod tests {

@@ -87,9 +87,33 @@ pub fn all_to_all_timed(
     for (i, row) in send_bytes.iter().enumerate() {
         assert_eq!(row.len(), n, "send_bytes[{i}] must have {n} columns");
     }
-    match cfg.algorithm {
+    let work = match cfg.algorithm {
         Algorithm::Direct => timed_direct(machine, cfg, send_bytes, ready),
         Algorithm::Ring => timed_ring(machine, cfg, send_bytes, ready),
+    };
+    record_collective_span(machine, ready, &work);
+    work
+}
+
+/// Telemetry: one collective call plus its phase span (earliest participant
+/// ready → last delivery). No-op when the machine's registry is disabled.
+fn record_collective_span(machine: &mut Machine, ready: &[SimTime], work: &WorkHandle) {
+    let m = machine.metrics_mut();
+    if !m.is_enabled() {
+        return;
+    }
+    m.incr("collective_calls", 0, 0);
+    let start = ready.iter().copied().fold(work.all_done(), SimTime::min);
+    let end = work.all_done();
+    m.span("collective_span_ns", 0, 0, start, end);
+    if end > start {
+        m.observe(
+            "collective_span_us",
+            0,
+            0,
+            telemetry::US_BOUNDS,
+            end.since(start).as_ns() / 1_000,
+        );
     }
 }
 
@@ -110,10 +134,12 @@ pub fn try_all_to_all_timed(
     for (i, row) in send_bytes.iter().enumerate() {
         assert_eq!(row.len(), n, "send_bytes[{i}] must have {n} columns");
     }
-    match cfg.algorithm {
+    let work = match cfg.algorithm {
         Algorithm::Direct => try_timed_direct(machine, cfg, send_bytes, ready),
         Algorithm::Ring => try_timed_ring(machine, cfg, send_bytes, ready),
-    }
+    }?;
+    record_collective_span(machine, ready, &work);
+    Ok(work)
 }
 
 /// Fault-aware [`all_to_all_varied`]: same functional output, fallible

@@ -221,7 +221,30 @@ impl ResilientBackend {
                 )
             };
             rep.batch_latencies.push(batch_end - batch_start);
+            let m = machine.metrics_mut();
+            if m.is_enabled() {
+                let b = super::single::BACKEND_RESILIENT;
+                m.incr("batches_run", b, 0);
+                m.observe(
+                    "batch_service_us",
+                    b,
+                    0,
+                    telemetry::US_BOUNDS,
+                    (batch_end - batch_start).as_ns() / 1_000,
+                );
+            }
             batch_start = batch_end;
+        }
+        {
+            // Phase split across the whole closed loop (the fallible batch
+            // paths accumulate one breakdown for the run).
+            let m = machine.metrics_mut();
+            if m.is_enabled() {
+                let b = super::single::BACKEND_RESILIENT;
+                m.add("phase_lookup_pack_ns", b, 0, breakdown.compute.as_ns());
+                m.add("phase_comm_ns", b, 0, breakdown.communication.as_ns());
+                m.add("phase_unpack_pool_ns", b, 0, breakdown.sync_unpack.as_ns());
+            }
         }
 
         let outputs = match mode {
@@ -342,11 +365,13 @@ impl ResilientBackend {
             )
         };
         rep.batch_latencies.push(end - start);
-        BatchRun {
+        let run = BatchRun {
             start,
             end,
             breakdown,
-        }
+        };
+        super::single::record_batch_metrics(machine, super::single::BACKEND_RESILIENT, &run);
+        run
     }
 
     /// One batch on the PGAS fused path through the fallible put/quiet

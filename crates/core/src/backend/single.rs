@@ -147,7 +147,7 @@ pub fn baseline_batch(
     }
     let batch_end = machine.barrier(&end);
 
-    BatchRun {
+    let run = BatchRun {
         start,
         end: batch_end,
         breakdown: TimeBreakdown {
@@ -155,7 +155,54 @@ pub fn baseline_batch(
             communication: c_max - k_max,
             sync_unpack: batch_end - c_max,
         },
+    };
+    record_batch_metrics(machine, BACKEND_BASELINE, &run);
+    run
+}
+
+/// Telemetry backend ids used as the `i` label of per-batch metrics.
+pub const BACKEND_BASELINE: u32 = 0;
+/// PGAS fused backend id.
+pub const BACKEND_PGAS: u32 = 1;
+/// Resilient (fallible, degradable) backend id.
+pub const BACKEND_RESILIENT: u32 = 2;
+
+/// Telemetry: per-batch phase breakdown and service-time histogram,
+/// labelled by backend id. For the baseline, `lookup` covers lookup+pack
+/// (one fused kernel) and `sync_unpack` covers wait+unpack+pool; for the
+/// PGAS path pack/pool are fused into the kernel and the tail is the
+/// quiet/barrier drain. No-op when the registry is disabled.
+pub fn record_batch_metrics(machine: &mut Machine, backend: u32, run: &BatchRun) {
+    let m = machine.metrics_mut();
+    if !m.is_enabled() {
+        return;
     }
+    m.incr("batches_run", backend, 0);
+    m.add(
+        "phase_lookup_pack_ns",
+        backend,
+        0,
+        run.breakdown.compute.as_ns(),
+    );
+    m.add(
+        "phase_comm_ns",
+        backend,
+        0,
+        run.breakdown.communication.as_ns(),
+    );
+    m.add(
+        "phase_unpack_pool_ns",
+        backend,
+        0,
+        run.breakdown.sync_unpack.as_ns(),
+    );
+    m.observe(
+        "batch_service_us",
+        backend,
+        0,
+        telemetry::US_BOUNDS,
+        run.service().as_ns() / 1_000,
+    );
 }
 
 /// Execute one batch on the PGAS fused path: per-device fused kernels whose
@@ -184,7 +231,21 @@ pub fn pgas_batch(
         let releases = stream_releases(dp, durs, &run);
         let mut os = OneSided::with_config(machine, pgas);
         for ((ready, dst), rows) in releases {
-            os.put_rows_nbi(dp.device, dst, rows, row_bytes, ready);
+            let iv = os.put_rows_nbi(dp.device, dst, rows, row_bytes, ready);
+            // When tracing, tie the remote put's wire span to the pooled
+            // write landing on the destination device's track.
+            if iv.end > iv.start {
+                let src = dp.device;
+                if let Some(t) = os.machine().trace_mut() {
+                    t.record_flow(
+                        "pooled write",
+                        format!("link{src}->{dst}"),
+                        iv.start,
+                        format!("gpu{dst}"),
+                        iv.end,
+                    );
+                }
+            }
         }
         quiet[dp.device] = os.quiet(dp.device, run.interval.end);
     }
@@ -197,7 +258,7 @@ pub fn pgas_batch(
     let end: Vec<SimTime> = (0..n).map(|d| machine.stream_sync(d, bar)).collect();
     let batch_end = machine.barrier(&end);
 
-    BatchRun {
+    let run = BatchRun {
         start,
         end: batch_end,
         breakdown: TimeBreakdown {
@@ -207,7 +268,9 @@ pub fn pgas_batch(
             communication: Dur::ZERO,
             sync_unpack: batch_end - k_max,
         },
-    }
+    };
+    record_batch_metrics(machine, BACKEND_PGAS, &run);
+    run
 }
 
 #[cfg(test)]

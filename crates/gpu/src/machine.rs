@@ -1,6 +1,7 @@
 //! The machine: devices + fabric + measurement.
 
 use desim::{Dur, Histogram, Interval, Resource, SimTime, TimeSeries};
+use telemetry::Registry;
 
 use crate::fault::{FabricError, FaultKind, FaultPlan, LinkState, MessageFault, RetryPolicy};
 use crate::{GpuSpec, KernelRun, KernelShape, LinkSpec, Topology};
@@ -96,6 +97,9 @@ pub struct Machine {
     /// Installed fault schedule, if any. A trivial plan (all-zero spec) is
     /// treated exactly like no plan: every fault code path is bypassed.
     faults: Option<FaultPlan>,
+    /// Opt-in metrics registry (disabled by default: recording methods
+    /// short-circuit on one branch and never allocate).
+    metrics: Registry,
 }
 
 impl Machine {
@@ -122,8 +126,31 @@ impl Machine {
             horizon: SimTime::ZERO,
             trace: None,
             faults: None,
+            metrics: Registry::disabled(),
             cfg,
         }
+    }
+
+    /// Start recording telemetry (counters, per-link busy/stall timelines,
+    /// message-size histograms, …) into an opt-in [`Registry`], with
+    /// timeline buckets matching the machine's `traffic_bucket`. Telemetry
+    /// never perturbs simulated timing; with it off (the default) the hot
+    /// paths do not allocate.
+    pub fn enable_telemetry(&mut self) {
+        self.metrics = Registry::enabled(self.cfg.traffic_bucket);
+    }
+
+    /// The metrics registry (disabled unless
+    /// [`Machine::enable_telemetry`] was called).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Mutable registry access for higher layers (PGAS runtime,
+    /// collectives, retrieval backends, serving) recording their own
+    /// metrics against this machine's clock.
+    pub fn metrics_mut(&mut self) -> &mut Registry {
+        &mut self.metrics
     }
 
     /// Install a fault schedule. Panics if the plan was generated for a
@@ -212,6 +239,39 @@ impl Machine {
         self.trace.as_ref()
     }
 
+    /// Mutable trace access, for higher layers recording their own spans
+    /// or flow arrows (e.g. tying a remote put to its pooled write).
+    pub fn trace_mut(&mut self) -> Option<&mut crate::TraceLog> {
+        self.trace.as_mut()
+    }
+
+    /// Sample the telemetry registry's per-link timelines into `"ph":"C"`
+    /// counter tracks on the trace: one `utilization` series and one
+    /// `queue depth` series per directed link. Requires both
+    /// [`Machine::enable_trace`] and [`Machine::enable_telemetry`];
+    /// otherwise a no-op. Call once, after the run, before exporting.
+    pub fn trace_counter_tracks(&mut self) {
+        let Some(trace) = self.trace.as_mut() else {
+            return;
+        };
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        let bucket_ns = self.metrics.bucket().as_ns() as f64;
+        for (key, ts) in self.metrics.timelines_named("link_busy_ns") {
+            let track = format!("link{}->{}", key.i, key.j);
+            for (t, v) in ts.points() {
+                trace.record_counter(&track, "utilization", t, v / bucket_ns);
+            }
+        }
+        for (key, ts) in self.metrics.timelines_named("link_stall_ns") {
+            let track = format!("link{}->{}", key.i, key.j);
+            for (t, v) in ts.points() {
+                trace.record_counter(&track, "queue depth", t, v / bucket_ns);
+            }
+        }
+    }
+
     /// Number of GPUs.
     pub fn n_gpus(&self) -> usize {
         self.cfg.topology.n_gpus()
@@ -236,6 +296,16 @@ impl Machine {
         let run = KernelRun::wave_model_scaled(&shape, spec, start, slow);
         self.streams[dev] = run.interval.end;
         self.bump(run.interval.end);
+        if self.metrics.is_enabled() {
+            self.metrics.incr("kernels_launched", dev as u32, 0);
+            self.metrics.span(
+                "gpu_busy_ns",
+                dev as u32,
+                0,
+                run.interval.start,
+                run.interval.end,
+            );
+        }
         if let Some(t) = &mut self.trace {
             t.record(
                 format!("gpu{dev}"),
@@ -285,6 +355,10 @@ impl Machine {
         self.streams[dev] = end;
         self.bump(end);
         let interval = Interval { start, end };
+        if self.metrics.is_enabled() {
+            self.metrics.incr("kernels_launched", dev as u32, 0);
+            self.metrics.span("gpu_busy_ns", dev as u32, 0, start, end);
+        }
         if let Some(t) = &mut self.trace {
             t.record(
                 format!("gpu{dev}"),
@@ -354,6 +428,42 @@ impl Machine {
         self.stats.messages += n_messages;
         self.sent_upto[src] = self.sent_upto[src].max(iv.end);
         self.bump(iv.end);
+        if self.metrics.is_enabled() {
+            let (si, di) = (src as u32, dst as u32);
+            self.metrics.incr("fabric_sends", si, di);
+            self.metrics.add("fabric_messages", si, di, n_messages);
+            self.metrics.add("fabric_payload_bytes", si, di, payload);
+            self.metrics.add(
+                "fabric_header_bytes",
+                si,
+                di,
+                n_messages * link.header_bytes as u64,
+            );
+            if let Some(mean_payload) = payload.checked_div(n_messages) {
+                self.metrics.observe(
+                    "fabric_msg_payload_bytes",
+                    si,
+                    di,
+                    telemetry::BYTES_BOUNDS,
+                    mean_payload,
+                );
+            }
+            // Busy-time over the wire interval: bucket_value / bucket_ns is
+            // this link's utilization in that bucket.
+            self.metrics.span("link_busy_ns", si, di, iv.start, iv.end);
+            // Stall: the gap between when the transfer wanted the wire and
+            // when it got it — bucket_value / bucket_ns is the average
+            // number of transfers queued on this link.
+            let requested = ready + link.latency;
+            if iv.start > requested {
+                self.metrics
+                    .span("link_stall_ns", si, di, requested, iv.start);
+                self.metrics.incr("fabric_stalled_sends", si, di);
+            }
+            // In-flight transfer-time per source (issue → delivery).
+            self.metrics
+                .span("fabric_inflight_ns", si, 0, requested, iv.end);
+        }
         if let Some(t) = &mut self.trace {
             t.record(
                 format!("link{src}->{dst}"),

@@ -5,6 +5,12 @@
 //! the quickest way to *see* the paper's effect: the baseline timeline has
 //! a silent link row during compute and a burst after it; the PGAS
 //! timeline's link rows are busy underneath the kernels.
+//!
+//! Beyond plain spans the log also carries **counter tracks** (`"ph":"C"`,
+//! one numeric series per track — used for per-link utilization and queue
+//! depth sampled from the telemetry registry) and **flow events**
+//! (`"ph":"s"`/`"ph":"f"` arrows — used to tie a remote PGAS put on a link
+//! track to the pooled write landing on the destination GPU's track).
 
 use desim::{Interval, SimTime};
 
@@ -19,10 +25,41 @@ pub struct TraceEvent {
     pub interval: Interval,
 }
 
-/// A collection of spans exportable as Chrome trace JSON.
+/// One sample of a numeric counter track (`"ph":"C"`).
+#[derive(Clone, Debug)]
+pub struct CounterSample {
+    /// Track the counter renders under.
+    pub track: String,
+    /// Counter series name within the track, e.g. `utilization`.
+    pub name: String,
+    /// Sample instant.
+    pub at: SimTime,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// One flow arrow (`"ph":"s"` start → `"ph":"f"` finish).
+#[derive(Clone, Debug)]
+pub struct FlowEvent {
+    /// Arrow label, e.g. `pooled write`.
+    pub name: String,
+    /// Track the arrow starts on.
+    pub from_track: String,
+    /// Start instant.
+    pub from_at: SimTime,
+    /// Track the arrow lands on.
+    pub to_track: String,
+    /// Landing instant.
+    pub to_at: SimTime,
+}
+
+/// A collection of spans, counter samples, and flow arrows exportable as
+/// Chrome trace JSON.
 #[derive(Clone, Debug, Default)]
 pub struct TraceLog {
     events: Vec<TraceEvent>,
+    counters: Vec<CounterSample>,
+    flows: Vec<FlowEvent>,
 }
 
 impl TraceLog {
@@ -45,14 +82,49 @@ impl TraceLog {
         });
     }
 
-    /// Number of recorded spans.
+    /// Record one counter sample on `track`.
+    pub fn record_counter(
+        &mut self,
+        track: impl Into<String>,
+        name: impl Into<String>,
+        at: SimTime,
+        value: f64,
+    ) {
+        self.counters.push(CounterSample {
+            track: track.into(),
+            name: name.into(),
+            at,
+            value,
+        });
+    }
+
+    /// Record one flow arrow from `(from_track, from_at)` to
+    /// `(to_track, to_at)`.
+    pub fn record_flow(
+        &mut self,
+        name: impl Into<String>,
+        from_track: impl Into<String>,
+        from_at: SimTime,
+        to_track: impl Into<String>,
+        to_at: SimTime,
+    ) {
+        self.flows.push(FlowEvent {
+            name: name.into(),
+            from_track: from_track.into(),
+            from_at,
+            to_track: to_track.into(),
+            to_at,
+        });
+    }
+
+    /// Number of recorded spans (counter samples and flows not included).
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
     /// True if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.is_empty() && self.counters.is_empty() && self.flows.is_empty()
     }
 
     /// The recorded spans.
@@ -60,22 +132,81 @@ impl TraceLog {
         &self.events
     }
 
-    /// Serialize as Chrome Trace Event JSON (an array of complete events,
-    /// microsecond timestamps). Open in `chrome://tracing` or Perfetto.
+    /// The recorded counter samples.
+    pub fn counters(&self) -> &[CounterSample] {
+        &self.counters
+    }
+
+    /// The recorded flow arrows.
+    pub fn flows(&self) -> &[FlowEvent] {
+        &self.flows
+    }
+
+    /// Serialize as Chrome Trace Event JSON: complete events (`"ph":"X"`),
+    /// counter samples (`"ph":"C"`), and flow pairs (`"ph":"s"`/`"ph":"f"`),
+    /// all with microsecond timestamps. Open in `chrome://tracing` or
+    /// Perfetto.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::from("[");
-        for (i, e) in self.events.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        let push = |out: &mut String, first: &mut bool, item: String| {
+            if !*first {
                 out.push(',');
             }
+            *first = false;
+            out.push_str(&item);
+        };
+        for e in &self.events {
             let ts = e.interval.start.as_micros_f64();
             let dur = (e.interval.end - e.interval.start).as_micros_f64();
-            out.push_str(&format!(
-                "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":\"{}\",\"tid\":\"{}\"}}",
-                escape(&e.name),
-                escape(&e.track),
-                escape(&e.track),
-            ));
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":\"{}\",\"tid\":\"{}\"}}",
+                    escape(&e.name),
+                    escape(&e.track),
+                    escape(&e.track),
+                ),
+            );
+        }
+        for c in &self.counters {
+            let ts = c.at.as_micros_f64();
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{ts:.3},\"pid\":\"{}\",\"tid\":\"{}\",\"args\":{{\"value\":{:.6}}}}}",
+                    escape(&c.name),
+                    escape(&c.track),
+                    escape(&c.track),
+                    c.value,
+                ),
+            );
+        }
+        for (id, f) in self.flows.iter().enumerate() {
+            let ts_s = f.from_at.as_micros_f64();
+            let ts_f = f.to_at.as_micros_f64();
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{id},\"ts\":{ts_s:.3},\"pid\":\"{}\",\"tid\":\"{}\"}}",
+                    escape(&f.name),
+                    escape(&f.from_track),
+                    escape(&f.from_track),
+                ),
+            );
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{id},\"ts\":{ts_f:.3},\"pid\":\"{}\",\"tid\":\"{}\"}}",
+                    escape(&f.name),
+                    escape(&f.to_track),
+                    escape(&f.to_track),
+                ),
+            );
         }
         out.push(']');
         out
@@ -90,8 +221,25 @@ impl TraceLog {
     }
 }
 
+/// JSON string escaping covering the full control range: without the
+/// `\u00XX` arm, a newline or tab in a span name silently produces an
+/// invalid document.
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -128,6 +276,40 @@ mod tests {
         assert!(json.contains("\\\"a\\\""), "quotes must be escaped: {json}");
         assert!(json.contains("\"ts\":1"));
         assert_eq!(json.matches("{\"name\"").count(), 2);
+    }
+
+    #[test]
+    fn control_chars_in_names_stay_valid_json() {
+        let mut t = TraceLog::new();
+        t.record("gpu0", "bad\nname\twith\rctrl\u{1}", iv(0, 1));
+        t.record("tr\nack", "x", iv(1, 2));
+        let json = t.to_chrome_json();
+        telemetry::validate_json_doc(&json, &["\"ph\":\"X\""]).expect("escaped output must parse");
+        assert!(json.contains("bad\\nname\\twith\\rctrl\\u0001"));
+        assert!(!json.contains('\n'), "raw newline leaked into JSON");
+    }
+
+    #[test]
+    fn counter_and_flow_events_serialize() {
+        let mut t = TraceLog::new();
+        t.record_counter("link0->1", "utilization", SimTime::from_us(50), 0.75);
+        t.record_flow(
+            "pooled write",
+            "link0->1",
+            SimTime::from_us(2),
+            "gpu1",
+            SimTime::from_us(4),
+        );
+        assert_eq!(t.counters().len(), 1);
+        assert_eq!(t.flows().len(), 1);
+        assert!(!t.is_empty());
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":0.750000}"));
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\""));
+        assert!(json.contains("\"id\":0"));
+        telemetry::validate_json_doc(&json, &["\"cat\":\"flow\""]).unwrap();
     }
 
     #[test]

@@ -108,6 +108,12 @@ impl MicroBatcher {
         self.pending.len() + self.queue.len()
     }
 
+    /// Requests admitted and waiting in the queue right now (the
+    /// queue-depth gauge the serving telemetry samples at each batch close).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Admit one arrival: malformed requests are rejected, arrivals beyond
     /// the queue bound are shed, the rest join the queue.
     fn admit(&mut self, r: Request) {

@@ -168,6 +168,11 @@ pub struct ServeReport {
     pub end: SimTime,
     /// Degradation accounting (resilient backend only).
     pub resilience: Option<ResilienceReport>,
+    /// End-of-run telemetry snapshot, present when the machine had
+    /// telemetry enabled. Render with [`telemetry::Snapshot::to_prometheus`]
+    /// (text exposition) or [`telemetry::Snapshot::to_json`] (JSON snapshot
+    /// endpoint).
+    pub metrics: Option<telemetry::Snapshot>,
 }
 
 impl ServeReport {
@@ -295,7 +300,48 @@ impl EmbServer {
             for r in &closed.requests {
                 latency.record(completion - r.arrival);
             }
+            if machine.metrics().is_enabled() {
+                let depth = batcher.queued() as f64;
+                let fill_pct = (closed.requests.len() * 100 / cfg.batcher.max_batch.max(1)) as u64;
+                let m = machine.metrics_mut();
+                m.incr("serve_batches", 0, 0);
+                m.gauge_set("serve_queue_depth", 0, 0, depth);
+                m.gauge_max("serve_queue_depth_peak", 0, 0, depth);
+                m.observe(
+                    "serve_batch_fill_pct",
+                    0,
+                    0,
+                    telemetry::PCT_BOUNDS,
+                    fill_pct,
+                );
+                m.observe(
+                    "serve_batch_service_us",
+                    0,
+                    0,
+                    telemetry::US_BOUNDS,
+                    run.service().as_ns() / 1_000,
+                );
+                for r in &closed.requests {
+                    m.observe(
+                        "serve_latency_us",
+                        0,
+                        0,
+                        telemetry::US_BOUNDS,
+                        (completion - r.arrival).as_ns() / 1_000,
+                    );
+                }
+            }
         }
+
+        let metrics = machine.metrics().is_enabled().then(|| {
+            let m = machine.metrics_mut();
+            m.add("serve_requests_generated", 0, 0, cfg.n_requests as u64);
+            m.add("serve_requests_served", 0, 0, batcher.served());
+            m.add("serve_requests_shed", 0, 0, batcher.shed());
+            m.add("serve_requests_timed_out", 0, 0, batcher.timed_out());
+            m.add("serve_requests_malformed", 0, 0, batcher.malformed());
+            machine.metrics().snapshot()
+        });
 
         Ok(ServeReport {
             generated: cfg.n_requests as u64,
@@ -313,6 +359,7 @@ impl EmbServer {
             },
             end,
             resilience: (cfg.backend == ServeBackendKind::Resilient).then_some(resilience),
+            metrics,
         })
     }
 

@@ -3,10 +3,16 @@
 //! `chrome://tracing` or https://ui.perfetto.dev and compare the link rows.
 //!
 //! ```sh
-//! cargo run --release --example timeline_trace
+//! cargo run --release --example timeline_trace -- [--out-dir DIR]
 //! ```
+//!
+//! Traces land in `DIR` (default `results/`). With telemetry enabled the
+//! export also carries counter tracks (per-link utilization and queue depth
+//! sampled per traffic bucket) and flow arrows tying each remote PGAS put to
+//! the pooled write it lands in.
 
 use std::fs;
+use std::path::PathBuf;
 
 use pgas_embedding::gpusim::{Machine, MachineConfig};
 use pgas_embedding::retrieval::backend::{
@@ -14,29 +20,59 @@ use pgas_embedding::retrieval::backend::{
 };
 use pgas_embedding::retrieval::EmbLayerConfig;
 
+fn parse_out_dir() -> PathBuf {
+    let mut out = PathBuf::from("results");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out-dir" => out = PathBuf::from(it.next().expect("--out-dir DIR")),
+            "--help" | "-h" => {
+                println!("usage: timeline_trace [--out-dir DIR]   (default: results/)");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    out
+}
+
 fn main() {
+    let out_dir = parse_out_dir();
+    fs::create_dir_all(&out_dir).expect("create out dir");
+
     let mut cfg = EmbLayerConfig::paper_weak_scaling(2).scaled_down(32);
     cfg.n_batches = 1;
 
     let mut m = Machine::new(MachineConfig::dgx_v100(2));
     m.enable_trace();
+    m.enable_telemetry();
     BaselineBackend::new().run(&mut m, &cfg, ExecMode::Timing);
+    m.trace_counter_tracks();
     let baseline = m.trace().unwrap();
-    fs::write("trace_baseline.json", baseline.to_chrome_json()).unwrap();
+    let baseline_path = out_dir.join("trace_baseline.json");
+    fs::write(&baseline_path, baseline.to_chrome_json()).unwrap();
     println!(
-        "trace_baseline.json: {} spans, horizon {}",
+        "{}: {} spans, {} counter samples, horizon {}",
+        baseline_path.display(),
         baseline.len(),
+        baseline.counters().len(),
         baseline.horizon()
     );
 
     let mut m = Machine::new(MachineConfig::dgx_v100(2));
     m.enable_trace();
+    m.enable_telemetry();
     PgasFusedBackend::new().run(&mut m, &cfg, ExecMode::Timing);
+    m.trace_counter_tracks();
     let pgas = m.trace().unwrap();
-    fs::write("trace_pgas.json", pgas.to_chrome_json()).unwrap();
+    let pgas_path = out_dir.join("trace_pgas.json");
+    fs::write(&pgas_path, pgas.to_chrome_json()).unwrap();
     println!(
-        "trace_pgas.json:     {} spans, horizon {}",
+        "{}: {} spans, {} counter samples, {} flow arrows, horizon {}",
+        pgas_path.display(),
         pgas.len(),
+        pgas.counters().len(),
+        pgas.flows().len(),
         pgas.horizon()
     );
 

@@ -12,3 +12,4 @@ pub use gpusim;
 pub use pgas_rt as pgas;
 pub use simccl;
 pub use simtensor as tensor;
+pub use telemetry;
