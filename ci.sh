@@ -6,7 +6,10 @@
 # BENCH_skew.json is produced and well-formed), the link-utilization smoke
 # (EXT-10, asserts BENCH_netutil.json is produced with the smoothing claim
 # holding), and the wall-clock benchmark smoke (asserts BENCH_wallclock.json
-# is produced and well-formed). Run from the repo root. Fails fast on the
+# is produced and well-formed), the chaos-sweep smoke (EXT-7, asserts the
+# SLO-violation-minutes columns land in chaos.csv), and the adaptive
+# control-plane smoke (EXT-13, asserts BENCH_adapt.json is produced and
+# claims adaptive dominance). Run from the repo root. Fails fast on the
 # first broken step.
 set -eu
 
@@ -46,4 +49,25 @@ test -s "$wc_dir/BENCH_netutil.json"
 grep -q '"experiment": "netutil"' "$wc_dir/BENCH_netutil.json"
 grep -q '"peak_to_mean"' "$wc_dir/BENCH_netutil.json"
 grep -q '"smoothing_ok": true' "$wc_dir/BENCH_netutil.json"
+# EXT-7 smoke: the chaos sweep must run end to end at CI scale and report
+# the SLO-violation-minutes columns for both backends.
+cargo run --release -p bench-harness --offline -- chaos --smoke --out-dir "$wc_dir" > /dev/null
+test -s "$wc_dir/chaos.csv"
+grep -q 'pgas_slo_viol_min' "$wc_dir/chaos.csv"
+grep -q 'base_slo_viol_min' "$wc_dir/chaos.csv"
+
+# EXT-13 smoke: the adaptive-vs-static scenario suite must emit both
+# artifacts and the dominance claim must hold (the validator refuses to
+# emit "adaptive_dominates": false; the shell re-checks the flag and
+# refuses a false one outright).
+cargo run --release -p bench-harness --offline -- adapt --smoke --out-dir "$wc_dir" > /dev/null
+test -s "$wc_dir/adapt.csv"
+test -s "$wc_dir/BENCH_adapt.json"
+grep -q '"experiment": "adapt"' "$wc_dir/BENCH_adapt.json"
+grep -q '"cells"' "$wc_dir/BENCH_adapt.json"
+if grep -q '"adaptive_dominates": false' "$wc_dir/BENCH_adapt.json"; then
+    echo "ci: BENCH_adapt.json claims the adaptive policy does NOT dominate" >&2
+    exit 1
+fi
+grep -q '"adaptive_dominates": true' "$wc_dir/BENCH_adapt.json"
 echo "ci: all gates passed"

@@ -474,10 +474,27 @@ pub struct ChaosRun {
     pub failover_at: Option<usize>,
     /// Batches whose deadline expired before completion.
     pub deadline_missed: usize,
+    /// SLO-violation-minutes per operating hour: sixty times the fraction
+    /// of run time spent inside batches slower than the sweep's derived
+    /// deadline (8x the clean median batch latency).
+    pub slo_viol_min: f64,
 }
 
 impl ChaosRun {
-    fn from_result(r: &ResilientResult) -> Self {
+    fn from_result(r: &ResilientResult, slo: Dur) -> Self {
+        let total: f64 = r
+            .resilience
+            .batch_latencies
+            .iter()
+            .map(|l| l.as_secs_f64())
+            .sum();
+        let viol: f64 = r
+            .resilience
+            .batch_latencies
+            .iter()
+            .filter(|l| **l > slo)
+            .map(|l| l.as_secs_f64())
+            .sum();
         ChaosRun {
             total: r.result.report.total,
             p50: r.resilience.latency_quantile(0.5),
@@ -486,6 +503,13 @@ impl ChaosRun {
             degraded_fraction: r.resilience.degraded_fraction(),
             failover_at: r.resilience.failover_at,
             deadline_missed: r.resilience.deadline_missed_batches,
+            // An empty `filter(..).sum()` is -0.0 (the float identity), which
+            // would print as "-0.000"; clamp so a clean run reads 0.000.
+            slo_viol_min: if viol > 0.0 && total > 0.0 {
+                60.0 * viol / total
+            } else {
+                0.0
+            },
         }
     }
 }
@@ -551,10 +575,11 @@ pub fn chaos_sweep(
         if deadline.is_none() && intensity == 0.0 {
             deadline = Some(p.resilience.latency_quantile(0.5) * 8u64);
         }
+        let slo = deadline.unwrap_or(p.resilience.latency_quantile(0.5) * 8u64);
         out.push(ChaosPoint {
             intensity,
-            pgas: ChaosRun::from_result(&p),
-            baseline: ChaosRun::from_result(&b),
+            pgas: ChaosRun::from_result(&p, slo),
+            baseline: ChaosRun::from_result(&b, slo),
         });
     }
     out

@@ -5,8 +5,8 @@ use std::fmt::Write as _;
 use desim::SimTime;
 
 use crate::{
-    validate_json_doc, ChaosPoint, CommVolumeResult, LinkUtilStats, NetUtilResult, ScalingResult,
-    ServeSweep, SkewSweep,
+    validate_json_doc, AdaptSweep, ChaosPoint, CommVolumeResult, LinkUtilStats, NetUtilResult,
+    ScalingResult, ServeSweep, SkewSweep,
 };
 
 /// Render the paper's speedup table (Table I / Table II).
@@ -101,7 +101,7 @@ pub fn chaos_table(points: &[ChaosPoint], title: &str) -> String {
     let _ = writeln!(s, "== {title} ==");
     let _ = writeln!(
         s,
-        "intensity,pgas_p50_us,pgas_p99_us,pgas_retries,pgas_degraded_pct,pgas_missed,failover_batch,base_p50_us,base_p99_us,base_retries,base_degraded_pct,speedup_p50"
+        "intensity,pgas_p50_us,pgas_p99_us,pgas_retries,pgas_degraded_pct,pgas_missed,pgas_slo_viol_min,failover_batch,base_p50_us,base_p99_us,base_retries,base_degraded_pct,base_slo_viol_min,speedup_p50"
     );
     for p in points {
         let failover = p
@@ -110,18 +110,20 @@ pub fn chaos_table(points: &[ChaosPoint], title: &str) -> String {
             .map_or_else(|| "-".to_string(), |b| b.to_string());
         let _ = writeln!(
             s,
-            "{:.2},{:.1},{:.1},{},{:.3},{},{},{:.1},{:.1},{},{:.3},{:.2}",
+            "{:.2},{:.1},{:.1},{},{:.3},{},{:.3},{},{:.1},{:.1},{},{:.3},{:.3},{:.2}",
             p.intensity,
             p.pgas.p50.as_micros_f64(),
             p.pgas.p99.as_micros_f64(),
             p.pgas.retries,
             100.0 * p.pgas.degraded_fraction,
             p.pgas.deadline_missed,
+            p.pgas.slo_viol_min,
             failover,
             p.baseline.p50.as_micros_f64(),
             p.baseline.p99.as_micros_f64(),
             p.baseline.retries,
             100.0 * p.baseline.degraded_fraction,
+            p.baseline.slo_viol_min,
             p.speedup_p50(),
         );
     }
@@ -489,6 +491,129 @@ pub fn validate_netutil_json(s: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Render the EXT-13 scenario grid as a CSV plus a dominance summary.
+pub fn adapt_table(sweep: &AdaptSweep, title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== {title} ==");
+    let _ = writeln!(
+        s,
+        "scenario,policy,generated,served,shed,timed_out,goodput_slo,slo_viol_min,worst_p99_us,retries,degraded_rows,replica_rows,device_loss_batches,failovers,failbacks,breaker_trips"
+    );
+    for c in &sweep.cells {
+        let (fo, fb, bt) = c
+            .control
+            .map_or((0, 0, 0), |r| (r.failovers, r.failbacks, r.breaker_trips));
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{:.4},{:.4},{:.1},{},{},{},{},{},{},{}",
+            c.scenario,
+            c.policy,
+            c.generated,
+            c.served,
+            c.shed,
+            c.timed_out,
+            c.goodput_slo,
+            c.slo_viol_min,
+            c.worst_p99.as_micros_f64(),
+            c.retries,
+            c.degraded_rows,
+            c.replica_rows,
+            c.device_loss_batches,
+            fo,
+            fb,
+            bt,
+        );
+    }
+    let _ = writeln!(
+        s,
+        "slo_us: {:.1}  capacity_qps: {:.0}  adaptive_dominates: {}",
+        sweep.slo.as_micros_f64(),
+        sweep.capacity_qps,
+        sweep.adaptive_dominates()
+    );
+    s
+}
+
+/// Serialize the EXT-13 sweep as the `BENCH_adapt.json` artifact.
+pub fn adapt_json(sweep: &AdaptSweep) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"adapt\",\n");
+    s.push_str(&format!("  \"gpus\": {},\n", sweep.gpus));
+    s.push_str(&format!(
+        "  \"slo_us\": {:.3},\n",
+        sweep.slo.as_micros_f64()
+    ));
+    s.push_str(&format!(
+        "  \"baseline_service_us\": {:.3},\n",
+        sweep.baseline_service.as_micros_f64()
+    ));
+    s.push_str(&format!(
+        "  \"pgas_service_us\": {:.3},\n",
+        sweep.pgas_service.as_micros_f64()
+    ));
+    s.push_str(&format!("  \"capacity_qps\": {:.3},\n", sweep.capacity_qps));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in sweep.cells.iter().enumerate() {
+        let (fo, fb, bt) = c
+            .control
+            .map_or((0, 0, 0), |r| (r.failovers, r.failbacks, r.breaker_trips));
+        s.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"policy\": \"{}\", \"generated\": {}, \"served\": {}, \"shed\": {}, \"timed_out\": {}, \"goodput_slo\": {:.6}, \"slo_viol_min\": {:.6}, \"worst_p99_us\": {:.3}, \"device_loss_batches\": {}, \"failovers\": {}, \"failbacks\": {}, \"breaker_trips\": {}}}{}\n",
+            c.scenario,
+            c.policy,
+            c.generated,
+            c.served,
+            c.shed,
+            c.timed_out,
+            c.goodput_slo,
+            c.slo_viol_min,
+            c.worst_p99.as_micros_f64(),
+            c.device_loss_batches,
+            fo,
+            fb,
+            bt,
+            if i + 1 < sweep.cells.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"adaptive_dominates\": {}\n",
+        sweep.adaptive_dominates()
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Structural validation of a `BENCH_adapt.json` document. Beyond shape,
+/// this enforces EXT-13's claim: the document must assert
+/// `"adaptive_dominates": true` (strictly fewer SLO-violation-minutes and
+/// at least the goodput of every static config under the flash-crowd and
+/// fault-storm scenarios) — `reproduce adapt` refuses to write an
+/// artifact that fails the claim.
+pub fn validate_adapt_json(s: &str) -> Result<(), String> {
+    validate_json_doc(
+        s,
+        &[
+            "\"experiment\"",
+            "\"gpus\"",
+            "\"slo_us\"",
+            "\"capacity_qps\"",
+            "\"cells\"",
+            "\"scenario\"",
+            "\"policy\"",
+            "\"goodput_slo\"",
+            "\"slo_viol_min\"",
+        ],
+    )?;
+    if !s.contains("\"adaptive_dominates\": true") {
+        return Err(
+            "adaptive-dominates claim failed: a static config matched or beat the controller"
+                .into(),
+        );
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -555,10 +680,23 @@ mod tests {
     }
 
     #[test]
+    fn adapt_table_and_json_render_and_validate() {
+        let sweep = crate::adapt_sweep(2, 512, 6, 42);
+        let t = adapt_table(&sweep, "EXT-13");
+        assert!(t.contains("scenario,policy,generated"));
+        assert!(t.contains("adaptive_dominates:"));
+        let j = adapt_json(&sweep);
+        validate_adapt_json(&j).expect("valid adapt json");
+        assert!(j.contains("\"adaptive_dominates\": true"));
+    }
+
+    #[test]
     fn chaos_table_renders_and_reports_crossover() {
         let pts = crate::chaos_sweep(2, 512, 3, 42, &[0.0, 1.0]);
         let t = chaos_table(&pts, "EXT-7");
         assert!(t.contains("intensity,pgas_p50_us"));
+        assert!(t.contains("pgas_slo_viol_min"));
+        assert!(t.contains("base_slo_viol_min"));
         assert!(t.contains("crossover:"));
         assert!(t.lines().count() >= 5);
     }

@@ -23,13 +23,16 @@
 //! | EXT-8 online-serving load sweep | [`serve_load_sweep`] |
 //! | EXT-9 hot-row cache × index-skew grid | [`skew_sweep`] |
 //! | EXT-10 link-utilization timelines | [`netutil_sweep`] |
+//! | EXT-13 adaptive-vs-static resilience suite | [`adapt_sweep`] |
 
 #![warn(missing_docs)]
 
+mod adapt;
 mod experiments;
 mod format;
 mod wallclock;
 
+pub use adapt::*;
 pub use experiments::*;
 pub use format::*;
 pub use wallclock::*;

@@ -20,6 +20,10 @@
 //!   netutil                   EXT-10 link-utilization timelines (per-bucket
 //!                             busy fraction, peak-to-mean, CV; quantifies
 //!                             the paper's "smoothed network usage" claim)
+//!   adapt                     EXT-13 adaptive resilience control plane vs
+//!                             static configs under a scenario suite (diurnal,
+//!                             flash crowd, skew drift, fault storm;
+//!                             BENCH_adapt.json asserts adaptive dominance)
 //!   skew                      EXT-9 hot-row cache × index-skew grid
 //!                             (BENCH_skew.json; materializes raw indices,
 //!                             so run it at --scale 16 or smaller workloads
@@ -33,8 +37,8 @@
 //! --scale K    shrink every workload axis by K (default 1 = paper scale)
 //! --batches N  batches per run (default 100, the paper's count)
 //! --seed S     fault-plan/arrival seed for `chaos` and `serve` (default 42)
-//! --smoke      shrink `serve`/`skew`/`netutil`/`wallclock` to a seconds-long
-//!              CI gate
+//! --smoke      shrink `chaos`/`serve`/`adapt`/`skew`/`netutil`/`wallclock`
+//!              to a seconds-long CI gate
 //! --out-dir D  write every experiment's CSV into D (alias: --csv)
 //! ```
 
@@ -301,13 +305,23 @@ fn main() {
     }
     if matches!(e, "chaos" | "all") {
         let _t = HostTimer::new("chaos");
-        let pts = chaos_sweep(
-            args.gpus.max(2),
-            args.scale,
-            args.batches,
-            args.seed,
-            &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0],
-        );
+        let pts = if args.smoke {
+            chaos_sweep(
+                args.gpus.max(2),
+                args.scale.max(128),
+                args.batches.min(3),
+                args.seed,
+                &[0.0, 0.5, 1.0],
+            )
+        } else {
+            chaos_sweep(
+                args.gpus.max(2),
+                args.scale,
+                args.batches,
+                args.seed,
+                &[0.0, 0.1, 0.25, 0.5, 0.75, 1.0],
+            )
+        };
         emit(
             &args,
             "chaos",
@@ -346,6 +360,29 @@ fn main() {
                 ),
             ),
         );
+    }
+    if matches!(e, "adapt" | "all") {
+        let _t = HostTimer::new("adapt");
+        let gpus = args.gpus.max(2);
+        let sweep = if args.smoke {
+            adapt_sweep(gpus, args.scale.max(256), 6, args.seed)
+        } else {
+            adapt_sweep(gpus, args.scale.max(16), 12, args.seed)
+        };
+        emit(
+            &args,
+            "adapt",
+            &adapt_table(
+                &sweep,
+                &format!(
+                    "EXT-13: adaptive resilience control plane vs static configs, {gpus} GPUs, seed {}",
+                    args.seed
+                ),
+            ),
+        );
+        emit_json(&args, "BENCH_adapt.json", &adapt_json(&sweep), |j| {
+            validate_adapt_json(j)
+        });
     }
     if matches!(e, "netutil" | "all") {
         let _t = HostTimer::new("netutil");

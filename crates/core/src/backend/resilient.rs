@@ -58,6 +58,15 @@ pub struct ResiliencePolicy {
     /// the failover target measured directly (used by the chaos benchmark
     /// to locate the PGAS-vs-baseline crossover under faults).
     pub baseline_only: bool,
+    /// When a whole device (and the shard it owns) is lost at batch start
+    /// ([`gpusim::FabricError::DeviceLost`]), serve its rows immediately:
+    /// the fraction resident in the hot-cache replicas
+    /// ([`ForwardPlan::measured_hit`]) is served from the replicas, the
+    /// rest from the degradation fill — instead of stalling the batch until
+    /// the device recovers. `false` (the default, and what a policy-free
+    /// static stack does) waits out the outage: the lost device's kernel
+    /// cannot start before `up_at`.
+    pub device_fill: bool,
 }
 
 impl Default for ResiliencePolicy {
@@ -67,6 +76,7 @@ impl Default for ResiliencePolicy {
             batch_deadline: None,
             fill: DegradedFill::Zeros,
             baseline_only: false,
+            device_fill: false,
         }
     }
 }
@@ -92,6 +102,11 @@ pub struct ResilienceReport {
     pub total_rows: u64,
     /// Batches whose deadline expired before completion.
     pub deadline_missed_batches: usize,
+    /// Batches that observed at least one lost device at their start.
+    pub device_loss_batches: usize,
+    /// Rows of lost devices served from hot-cache replicas instead of the
+    /// degradation fill (only with [`ResiliencePolicy::device_fill`]).
+    pub replica_rows: u64,
     /// Wall time of each batch, in execution order (for p50/p99 latency).
     pub batch_latencies: Vec<Dur>,
 }
@@ -393,9 +408,35 @@ impl ResilientBackend {
         let mut k_end = vec![SimTime::ZERO; n];
         let mut proceed = vec![SimTime::ZERO; n];
         let mut missed = false;
+        let mut any_lost = false;
         for dp in &plan.devices {
             let durs = &durs_all[dp.device];
-            let run = machine.run_kernel_varied(dp.device, durs, batch_start);
+            let kernel_start = match machine.device_down_until(dp.device, batch_start) {
+                Some(up_at) => {
+                    any_lost = true;
+                    if self.policy.device_fill {
+                        // Serve the lost shard now: the hot fraction comes
+                        // from the replicas other devices hold, the rest
+                        // from the fill. No kernel, no puts, no stall.
+                        k_end[dp.device] = batch_start;
+                        proceed[dp.device] = batch_start;
+                        for (g, deg) in final_degraded.iter_mut().enumerate().take(n) {
+                            let rows = dp.rows_to(g);
+                            let replica = (rows as f64 * plan.measured_hit) as u64;
+                            rep.replica_rows += replica;
+                            rep.degraded_rows += rows - replica;
+                            *deg += rows - replica;
+                        }
+                        continue;
+                    }
+                    // Without device fill the shard is simply unavailable:
+                    // the lost device's kernel (and so the whole batch)
+                    // waits out the outage.
+                    up_at
+                }
+                None => batch_start,
+            };
+            let run = machine.run_kernel_varied(dp.device, durs, kernel_start);
             k_end[dp.device] = run.interval.end;
             let releases = stream_releases(dp, durs, &run);
             let mut os = OneSided::with_config(machine, self.pgas);
@@ -437,6 +478,9 @@ impl ResilientBackend {
         if missed {
             rep.deadline_missed_batches += 1;
         }
+        if any_lost {
+            rep.device_loss_batches += 1;
+        }
         let k_max = machine.barrier(&k_end);
         let mut os = OneSided::with_config(machine, self.pgas);
         let bar = os.barrier_all(&proceed);
@@ -468,17 +512,65 @@ impl ResilientBackend {
         let n = machine.n_gpus();
         let row_bytes = (plan.dim * 4) as u64;
         let mut k_end = vec![SimTime::ZERO; n];
+        let mut any_lost = false;
+        let mut skipped = vec![false; n];
         for dp in &plan.devices {
-            let run = machine.run_kernel_varied(dp.device, &durs_all[dp.device], batch_start);
+            let kernel_start = match machine.device_down_until(dp.device, batch_start) {
+                Some(up_at) => {
+                    any_lost = true;
+                    if self.policy.device_fill {
+                        // Serve the lost shard from replicas + fill; the
+                        // device contributes nothing to the exchange.
+                        skipped[dp.device] = true;
+                        k_end[dp.device] = batch_start;
+                        for (g, deg) in final_degraded.iter_mut().enumerate().take(n) {
+                            let rows = dp.rows_to(g);
+                            let replica = (rows as f64 * plan.measured_hit) as u64;
+                            rep.replica_rows += replica;
+                            rep.degraded_rows += rows - replica;
+                            *deg += rows - replica;
+                        }
+                        continue;
+                    }
+                    up_at
+                }
+                None => batch_start,
+            };
+            let run = machine.run_kernel_varied(dp.device, &durs_all[dp.device], kernel_start);
             k_end[dp.device] = run.interval.end;
         }
+        if any_lost {
+            rep.device_loss_batches += 1;
+        }
         let k_max = machine.barrier(&k_end);
+        // Rows destined to `d` from producers that actually transmitted
+        // this batch (lost devices' rows were already accounted above).
         let remote_rows = |d: usize| -> u64 {
             plan.devices
                 .iter()
-                .filter(|dp| dp.device != d)
+                .filter(|dp| dp.device != d && !skipped[dp.device])
                 .map(|dp| dp.rows_to(d))
                 .sum()
+        };
+        // A lost device neither sends nor receives: zero its outbound byte
+        // row and every producer's column to it, so the collective never
+        // models traffic touching the dead device (its completion time
+        // would otherwise leak into the barrier no live device waits on).
+        let bytes_owned: Vec<Vec<u64>>;
+        let bytes: &[Vec<u64>] = if skipped.iter().any(|&s| s) {
+            let mut b = bytes.to_vec();
+            for (d, &sk) in skipped.iter().enumerate() {
+                if sk {
+                    b[d].iter_mut().for_each(|v| *v = 0);
+                    for row in b.iter_mut() {
+                        row[d] = 0;
+                    }
+                }
+            }
+            bytes_owned = b;
+            &bytes_owned
+        } else {
+            bytes
         };
         match try_all_to_all_timed(machine, &self.collectives, bytes, &k_end) {
             Ok(work) => {
@@ -488,6 +580,11 @@ impl ResilientBackend {
                 let mut end = vec![SimTime::ZERO; n];
                 let mut missed = false;
                 for d in 0..n {
+                    if skipped[d] {
+                        // Lost device: no inbound wait, no unpack kernel.
+                        end[d] = batch_start;
+                        continue;
+                    }
                     let waited = match deadline {
                         Some(dl) => match work.wait_deadline(machine, d, k_end[d], dl) {
                             Ok(t) => t,
@@ -516,7 +613,14 @@ impl ResilientBackend {
                 breakdown.accumulate(&TimeBreakdown {
                     compute: k_max - batch_start,
                     communication: c_max - k_max,
-                    sync_unpack: batch_end - c_max,
+                    // `batch_end` can land before `c_max` when every live
+                    // device hit its deadline (or was skipped) while some
+                    // transfer was still in flight.
+                    sync_unpack: if batch_end > c_max {
+                        batch_end - c_max
+                    } else {
+                        Dur::ZERO
+                    },
                 });
                 batch_end
             }
@@ -768,6 +872,127 @@ mod tests {
             assert!(res.degraded_rows <= res.total_rows);
             assert!(res.latency_quantile(0.99) >= res.latency_quantile(0.5));
         }
+    }
+
+    /// A spec whose only fault is device loss, with windows long enough
+    /// that a batch started just inside one either completes inside it
+    /// (device_fill) or demonstrably waits it out (no device_fill).
+    fn loss_only_spec() -> FaultSpec {
+        FaultSpec {
+            device_loss_rate: 20.0,
+            device_loss_window: (Dur::from_ms(50), Dur::from_ms(50)),
+            horizon: Dur::from_ms(200),
+            ..FaultSpec::none()
+        }
+    }
+
+    /// Find a seed whose plan schedules an outage on device 1 while device
+    /// 0 is healthy just inside it; returns the seed and that window.
+    fn find_outage() -> (u64, gpusim::FaultWindow) {
+        (0..512u64)
+            .find_map(|s| {
+                let fp = FaultPlan::generate(s, 2, loss_only_spec());
+                let w = *fp.device_windows(1).first()?;
+                let probe = w.start + Dur::from_us(1);
+                (fp.device_down_until(0, probe).is_none()).then_some((s, w))
+            })
+            .expect("some seed must schedule a lone device-1 outage")
+    }
+
+    #[test]
+    fn device_fill_serves_lost_device_without_stalling() {
+        let cfg = tiny_cfg(2);
+        let (seed, w) = find_outage();
+        let start = w.start + Dur::from_us(1);
+        let mk = || {
+            let mut m = Machine::new(MachineConfig::dgx_v100(2));
+            m.install_faults(FaultPlan::generate(seed, 2, loss_only_spec()));
+            m
+        };
+        let mut m = mk();
+        let prepared = prepare_batches(&cfg, ExecMode::Timing, &m.spec(0).clone());
+        let pb = PlannedBatch::new(&m, prepared.plans[0].clone());
+        let lost_rows: u64 = (0..2).map(|g| pb.plan().devices[1].rows_to(g)).sum();
+
+        // With device_fill the batch completes inside the outage window and
+        // every lost row is accounted replica-or-fill.
+        let fill = ResilientBackend::new().with_policy(ResiliencePolicy {
+            device_fill: true,
+            fill: DegradedFill::Mean,
+            ..ResiliencePolicy::default()
+        });
+        let mut rep = ResilienceReport::default();
+        let run = fill.serve_batch(&mut m, &pb, start, &mut rep);
+        assert_eq!(rep.device_loss_batches, 1);
+        assert_eq!(
+            rep.replica_rows + rep.degraded_rows,
+            lost_rows,
+            "lost device's rows split between replicas and fill"
+        );
+        assert!(
+            run.end < w.end,
+            "device_fill must not wait for recovery ({:?} vs window end {:?})",
+            run.end,
+            w.end
+        );
+
+        // Without device_fill the lost device's kernel cannot start before
+        // recovery, so the batch stalls past the window end.
+        let strict = ResilientBackend::new();
+        let mut m2 = mk();
+        let mut rep2 = ResilienceReport::default();
+        let run2 = strict.serve_batch(&mut m2, &pb, start, &mut rep2);
+        assert_eq!(rep2.device_loss_batches, 1);
+        assert_eq!(rep2.degraded_rows, 0, "strict policy serves real data");
+        assert!(
+            run2.end >= w.end,
+            "strict policy waits out the outage ({:?} vs {:?})",
+            run2.end,
+            w.end
+        );
+    }
+
+    #[test]
+    fn baseline_path_also_device_fills() {
+        let cfg = tiny_cfg(2);
+        let (seed, w) = find_outage();
+        let start = w.start + Dur::from_us(1);
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        m.install_faults(FaultPlan::generate(seed, 2, loss_only_spec()));
+        let prepared = prepare_batches(&cfg, ExecMode::Timing, &m.spec(0).clone());
+        let pb = PlannedBatch::new(&m, prepared.plans[0].clone());
+        let lost_rows: u64 = (0..2).map(|g| pb.plan().devices[1].rows_to(g)).sum();
+        let be = ResilientBackend::new().with_policy(ResiliencePolicy {
+            baseline_only: true,
+            device_fill: true,
+            ..ResiliencePolicy::default()
+        });
+        let mut rep = ResilienceReport::default();
+        let run = be.serve_batch(&mut m, &pb, start, &mut rep);
+        assert_eq!(rep.device_loss_batches, 1);
+        assert_eq!(rep.baseline_batches, 1);
+        assert_eq!(rep.replica_rows + rep.degraded_rows, lost_rows);
+        assert!(run.end < w.end, "collective path must not stall either");
+    }
+
+    #[test]
+    fn device_fill_is_noop_on_clean_fabric() {
+        let cfg = tiny_cfg(2);
+        let mut mp = Machine::new(MachineConfig::dgx_v100(2));
+        let p = PgasFusedBackend::new().run(&mut mp, &cfg, ExecMode::Timing);
+        let mut mr = Machine::new(MachineConfig::dgx_v100(2));
+        let policy = ResiliencePolicy {
+            device_fill: true,
+            ..ResiliencePolicy::default()
+        };
+        let r = ResilientBackend::new().with_policy(policy).run_resilient(
+            &mut mr,
+            &cfg,
+            ExecMode::Timing,
+        );
+        assert_eq!(r.result.report.total, p.report.total);
+        assert_eq!(r.resilience.device_loss_batches, 0);
+        assert_eq!(r.resilience.replica_rows, 0);
     }
 
     #[test]

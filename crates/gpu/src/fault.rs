@@ -73,6 +73,19 @@ pub enum FabricError {
         /// The error the last attempt failed with.
         last: Box<FabricError>,
     },
+    /// The whole device (and the embedding shard it owns) is unavailable:
+    /// ECC double-bit error, Xid reset, host kernel panic. Unlike a link
+    /// flap this is not cleared by retrying a message — the shard's rows
+    /// are gone until `up_at`, and resilient callers serve them from
+    /// hot-cache replicas or the degradation fill in the meantime.
+    DeviceLost {
+        /// The lost GPU.
+        dev: usize,
+        /// When the loss was observed.
+        at: SimTime,
+        /// When the device (and its shard) comes back.
+        up_at: SimTime,
+    },
 }
 
 impl fmt::Display for FabricError {
@@ -101,6 +114,9 @@ impl fmt::Display for FabricError {
             FabricError::RetryExhausted { attempts, last } => {
                 write!(f, "retries exhausted after {attempts} attempts: {last}")
             }
+            FabricError::DeviceLost { dev, at, up_at } => {
+                write!(f, "device {dev} lost at {at:?} (recovers at {up_at:?})")
+            }
         }
     }
 }
@@ -116,11 +132,13 @@ impl FabricError {
             FabricError::MessageDropped { at, .. } => *at,
             FabricError::Timeout { deadline, .. } => *deadline,
             FabricError::RetryExhausted { last, .. } => last.observed_at(),
+            FabricError::DeviceLost { at, .. } => *at,
         }
     }
 
     /// True for faults a bounded retry can reasonably clear (transient drops
-    /// and down windows with a known end); false for deadline misses.
+    /// and down windows with a known end); false for deadline misses and
+    /// device loss (a dead shard is a failover problem, not a retry one).
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -201,6 +219,16 @@ pub struct FaultSpec {
     pub straggler_prob: f64,
     /// Slowdown factor bounds for straggler GPUs (`>= 1`).
     pub straggler_factor: (f64, f64),
+    /// Expected whole-device outages per GPU per second. During an outage
+    /// window the device (and the embedding shard it owns) is unavailable;
+    /// queries see it via [`FaultPlan::device_down_until`] and fallible
+    /// callers get [`FabricError::DeviceLost`]. Sampled from its own
+    /// substream namespace, so enabling device loss never perturbs the
+    /// link-window, message or straggler sequences of an otherwise equal
+    /// spec.
+    pub device_loss_rate: f64,
+    /// Outage window length bounds.
+    pub device_loss_window: (Dur, Dur),
     /// Span over which windows are placed. Queries past the horizon see a
     /// healthy fabric.
     pub horizon: Dur,
@@ -221,6 +249,8 @@ impl FaultSpec {
             delay: (Dur::ZERO, Dur::ZERO),
             straggler_prob: 0.0,
             straggler_factor: (1.0, 1.0),
+            device_loss_rate: 0.0,
+            device_loss_window: (Dur::ZERO, Dur::ZERO),
             horizon: Dur::ZERO,
         }
     }
@@ -247,8 +277,24 @@ impl FaultSpec {
             delay: (Dur::from_us(2), Dur::from_us(20)),
             straggler_prob: 0.25 * intensity,
             straggler_factor: (1.05, 1.0 + 0.5 * intensity),
+            device_loss_rate: 0.0,
+            device_loss_window: (Dur::ZERO, Dur::ZERO),
             horizon: Dur::from_ms(200),
         }
+    }
+
+    /// The fault-storm profile the adaptive-control scenario suite uses:
+    /// the [`FaultSpec::chaos`] link/message/straggler mix plus whole-device
+    /// outages. Because device-loss windows come from their own substream
+    /// namespace, `storm(i)` injects the *same* link faults as `chaos(i)` —
+    /// the storm is strictly chaos plus shard loss.
+    pub fn storm(intensity: f64) -> Self {
+        let mut s = FaultSpec::chaos(intensity);
+        if intensity > 0.0 {
+            s.device_loss_rate = 30.0 * intensity;
+            s.device_loss_window = (Dur::from_ms(2), Dur::from_ms(12));
+        }
+        s
     }
 
     /// True if this spec injects nothing at all.
@@ -258,6 +304,7 @@ impl FaultSpec {
             && self.drop_prob == 0.0
             && self.delay_prob == 0.0
             && self.straggler_prob == 0.0
+            && self.device_loss_rate == 0.0
     }
 }
 
@@ -386,6 +433,9 @@ pub struct FaultPlan {
     trivial: bool,
     /// Per ordered pair (`src * n + dst`), sorted by start.
     windows: Vec<Vec<FaultWindow>>,
+    /// Per-GPU whole-device outage windows (always [`FaultKind::Down`]),
+    /// sorted by start.
+    dev_windows: Vec<Vec<FaultWindow>>,
     /// Per-GPU kernel slowdown factor, `>= 1.0`.
     straggler: Vec<f64>,
     /// Per ordered pair message-sampling stream.
@@ -459,12 +509,34 @@ impl FaultPlan {
             };
             straggler.push(factor);
         }
+        // Whole-device outages draw from their own substream namespace
+        // (`0x4445` = "DE"), so a spec that merely *adds* device loss keeps
+        // every link window, message fate and straggler factor of the
+        // device-loss-free spec bit-identical.
+        let mut dev_windows = vec![Vec::new(); n];
+        if !trivial && spec.device_loss_rate > 0.0 {
+            let horizon_s = spec.horizon.as_secs_f64();
+            for (dev, wins) in dev_windows.iter_mut().enumerate() {
+                let mut s = substream(seed, 0x4445_0000 | dev as u64);
+                for _ in 0..sample_count(&mut s, spec.device_loss_rate * horizon_s) {
+                    let start = s.uniform_dur(Dur::ZERO, spec.horizon);
+                    let len = s.uniform_dur(spec.device_loss_window.0, spec.device_loss_window.1);
+                    wins.push(FaultWindow {
+                        start: SimTime::ZERO + start,
+                        end: SimTime::ZERO + start + len,
+                        kind: FaultKind::Down,
+                    });
+                }
+                wins.sort_by_key(|win| (win.start, win.end));
+            }
+        }
         FaultPlan {
             n,
             seed,
             spec,
             trivial,
             windows,
+            dev_windows,
             straggler,
             msg_streams,
             msg_seq: vec![0; n * n],
@@ -520,6 +592,42 @@ impl FaultPlan {
             }
         }
         LinkState::Up { bw_factor: factor }
+    }
+
+    /// Scheduled whole-device outage windows for `dev`, sorted by start.
+    pub fn device_windows(&self, dev: usize) -> &[FaultWindow] {
+        &self.dev_windows[dev]
+    }
+
+    /// If `dev` is inside an outage window at `at`, the instant it comes
+    /// back up (the latest end across overlapping windows); `None` while
+    /// the device is healthy.
+    pub fn device_down_until(&self, dev: usize, at: SimTime) -> Option<SimTime> {
+        let mut up_at: Option<SimTime> = None;
+        for w in &self.dev_windows[dev] {
+            if at < w.start {
+                break; // sorted by start: nothing later can contain `at`
+            }
+            if at < w.end {
+                up_at = Some(up_at.map_or(w.end, |u| u.max(w.end)));
+            }
+        }
+        up_at
+    }
+
+    /// The typed error a fallible caller observes when touching `dev` at
+    /// `at`, if the device is inside an outage window.
+    pub fn device_error(&self, dev: usize, at: SimTime) -> Option<FabricError> {
+        self.device_down_until(dev, at)
+            .map(|up_at| FabricError::DeviceLost { dev, at, up_at })
+    }
+
+    /// Number of device outages for `dev` that start at or before `upto`.
+    pub fn device_loss_count(&self, dev: usize, upto: SimTime) -> usize {
+        self.dev_windows[dev]
+            .iter()
+            .filter(|w| w.start <= upto)
+            .count()
     }
 
     /// Number of down windows (flaps) on the directed link that start at or
@@ -609,6 +717,15 @@ impl FaultPlan {
         }
         for (dev, f) in self.straggler.iter().enumerate() {
             h = mix64(h ^ (dev as u64) ^ f.to_bits());
+        }
+        for (dev, ws) in self.dev_windows.iter().enumerate() {
+            for w in ws {
+                h = mix64(
+                    h ^ (dev as u64).rotate_left(8)
+                        ^ w.start.as_ns().rotate_left(17)
+                        ^ w.end.as_ns(),
+                );
+            }
         }
         h
     }
@@ -848,5 +965,81 @@ mod tests {
     #[should_panic(expected = "intensity")]
     fn chaos_intensity_out_of_range_panics() {
         let _ = FaultSpec::chaos(1.5);
+    }
+
+    #[test]
+    fn chaos_never_schedules_device_loss() {
+        assert_eq!(FaultSpec::chaos(1.0).device_loss_rate, 0.0);
+        let p = FaultPlan::generate(7, 4, FaultSpec::chaos(1.0));
+        for dev in 0..4 {
+            assert!(p.device_windows(dev).is_empty());
+            assert_eq!(p.device_down_until(dev, SimTime::from_ms(1)), None);
+            assert_eq!(p.device_error(dev, SimTime::from_ms(1)), None);
+        }
+    }
+
+    #[test]
+    fn storm_adds_device_loss_without_perturbing_link_faults() {
+        let chaos = FaultPlan::generate(7, 4, FaultSpec::chaos(0.5));
+        let storm = FaultPlan::generate(7, 4, FaultSpec::storm(0.5));
+        // Same seed: every link window and straggler factor is identical —
+        // the storm is strictly chaos plus shard loss.
+        for src in 0..4 {
+            for dst in 0..4 {
+                assert_eq!(chaos.windows(src, dst), storm.windows(src, dst));
+            }
+            assert_eq!(chaos.straggler_factor(src), storm.straggler_factor(src));
+        }
+        let outages: usize = (0..4)
+            .map(|d| storm.device_windows(d).len())
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
+        assert!(
+            outages > 0,
+            "30/s over a 200 ms horizon should schedule outages"
+        );
+        // Schedules with and without device loss fingerprint differently.
+        assert_ne!(chaos.fingerprint(), storm.fingerprint());
+        // And the storm itself is deterministic.
+        assert_eq!(
+            storm.fingerprint(),
+            FaultPlan::generate(7, 4, FaultSpec::storm(0.5)).fingerprint()
+        );
+    }
+
+    #[test]
+    fn device_down_until_sees_outage_windows() {
+        let p = FaultPlan::generate(3, 4, FaultSpec::storm(1.0));
+        let mut probed = false;
+        for dev in 0..4 {
+            for w in p.device_windows(dev) {
+                assert!(w.kind == FaultKind::Down);
+                let mid = w.start + (w.end - w.start) / 2;
+                let up = p.device_down_until(dev, mid).expect("inside an outage");
+                assert!(up >= w.end);
+                match p.device_error(dev, mid) {
+                    Some(FabricError::DeviceLost { dev: d, at, up_at }) => {
+                        assert_eq!(d, dev);
+                        assert_eq!(at, mid);
+                        assert_eq!(up_at, up);
+                        assert!(!FabricError::DeviceLost { dev: d, at, up_at }.is_retryable());
+                        assert_eq!(
+                            FabricError::DeviceLost { dev: d, at, up_at }.observed_at(),
+                            mid
+                        );
+                    }
+                    other => panic!("expected DeviceLost, got {other:?}"),
+                }
+                probed = true;
+            }
+            // Monotone outage count, healthy past the horizon.
+            assert!(
+                p.device_loss_count(dev, SimTime::from_ms(200))
+                    >= p.device_loss_count(dev, SimTime::from_us(100))
+            );
+            assert_eq!(p.device_down_until(dev, SimTime::from_ms(500)), None);
+        }
+        assert!(probed, "storm(1.0) should schedule at least one outage");
     }
 }

@@ -188,6 +188,26 @@ impl Machine {
         }
     }
 
+    /// If `dev` is inside a whole-device outage window at `at`, the instant
+    /// it recovers; `None` when healthy or no plan is installed. Resilient
+    /// callers poll this before a batch and serve the lost shard from
+    /// hot-cache replicas or the degradation fill.
+    pub fn device_down_until(&self, dev: usize, at: SimTime) -> Option<SimTime> {
+        match &self.faults {
+            Some(p) if !p.is_trivial() => p.device_down_until(dev, at),
+            _ => None,
+        }
+    }
+
+    /// The [`FabricError::DeviceLost`] a fallible caller observes touching
+    /// `dev` at `at`, if the device is inside an outage window.
+    pub fn device_error(&self, dev: usize, at: SimTime) -> Option<FabricError> {
+        match &self.faults {
+            Some(p) if !p.is_trivial() => p.device_error(dev, at),
+            _ => None,
+        }
+    }
+
     /// Fraction of `[start, end)` during which the directed link sits inside
     /// a scheduled fault window. Zero when no plan is installed. Feeds the
     /// fault column of the fig7/fig10 traffic CSVs.

@@ -21,6 +21,11 @@
 //!   batch into a full DLRM inference pass.
 //! * [`LatencyStats`] / [`ServeReport`] — per-request end-to-end latency
 //!   (queue + batch + compute + comms), p50/p99/p999, shed/timeout counts.
+//! * [`Controller`] — the EXT-13 adaptive control plane: per-tick circuit
+//!   breakers, a PGAS→Resilient→Baseline failover ladder with fail-back,
+//!   dynamic micro-batch deadlines, graduated load shedding, and online
+//!   hot-cache resizing, all driven from the EXT-10 telemetry signals and
+//!   bit-deterministic for a fixed seed ([`EmbServer::run_controlled`]).
 //!
 //! Because batches assembled from queued requests execute through the very
 //! same per-batch functions as the closed-loop experiments, a full batch of
@@ -30,11 +35,13 @@
 #![warn(missing_docs)]
 
 mod batcher;
+mod control;
 mod request;
 mod server;
 mod slo;
 
 pub use batcher::{BatcherConfig, ClosedBatch, MicroBatcher};
+pub use control::{ControlConfig, ControlReport, Controller, Decision, TickSignals, Tier};
 pub use request::{ArrivalProcess, Request, RequestGenerator};
 pub use server::{EmbServer, ServeBackendKind, ServeConfig, ServeError, ServeReport};
 pub use slo::LatencyStats;

@@ -6,8 +6,8 @@ use std::fmt;
 use desim::{Dur, SimTime};
 use dlrm_model::{Dlrm, DlrmConfig, InferencePipeline};
 use emb_retrieval::backend::{
-    baseline_batch, pgas_batch, plan_with_planner, BatchRun, HotCachePlanner, PlannedBatch,
-    ResiliencePolicy, ResilienceReport, ResilientBackend,
+    baseline_batch, pgas_batch, plan_with_planner, BatchRun, DegradedFill, HotCachePlanner,
+    PlannedBatch, ResiliencePolicy, ResilienceReport, ResilientBackend,
 };
 use emb_retrieval::{BatchAssemblyError, EmbLayerConfig, SparseBatch};
 use gpusim::{Machine, NoLink};
@@ -15,6 +15,7 @@ use pgas_rt::PgasConfig;
 use simccl::CollectiveConfig;
 
 use crate::batcher::{BatcherConfig, ClosedBatch, MicroBatcher};
+use crate::control::{ControlReport, Controller, TickSignals, Tier};
 use crate::request::{ArrivalProcess, RequestGenerator};
 use crate::slo::LatencyStats;
 
@@ -64,6 +65,11 @@ pub struct ServeConfig {
     pub pgas: PgasConfig,
     /// Degradation policy for the resilient path.
     pub policy: ResiliencePolicy,
+    /// Per-request latency SLO the run is accounted against. `None` (the
+    /// default) skips all SLO accounting and leaves the serving loop
+    /// bit-identical to its pre-SLO behavior. Required for
+    /// [`EmbServer::run_controlled`].
+    pub slo: Option<Dur>,
 }
 
 impl ServeConfig {
@@ -96,6 +102,7 @@ impl ServeConfig {
             collectives: CollectiveConfig::default(),
             pgas: PgasConfig::default(),
             policy: ResiliencePolicy::default(),
+            slo: None,
         }
     }
 }
@@ -166,8 +173,18 @@ pub struct ServeReport {
     pub mean_batch_fill: f64,
     /// Instant the last batch completed.
     pub end: SimTime,
-    /// Degradation accounting (resilient backend only).
+    /// Degradation accounting (resilient backend and controlled runs).
     pub resilience: Option<ResilienceReport>,
+    /// SLO the run was accounted against (echoed from the config).
+    pub slo: Option<Dur>,
+    /// Requests served with end-to-end latency within the SLO. Equal to
+    /// `served` when no SLO was configured.
+    pub served_within_slo: u64,
+    /// Total simulated time spent inside batches that served at least one
+    /// SLO-breaching request ([`Dur::ZERO`] without an SLO).
+    pub slo_viol_time: Dur,
+    /// What the adaptive controller did (controlled runs only).
+    pub control: Option<ControlReport>,
     /// End-of-run telemetry snapshot, present when the machine had
     /// telemetry enabled. Render with [`telemetry::Snapshot::to_prometheus`]
     /// (text exposition) or [`telemetry::Snapshot::to_json`] (JSON snapshot
@@ -189,6 +206,31 @@ impl ServeReport {
     /// anything — the sweep's "sustained" criterion.
     pub fn sustains(&self, slo: Dur) -> bool {
         self.served > 0 && self.shed == 0 && self.timed_out == 0 && self.latency.p99() <= slo
+    }
+
+    /// Fraction of generated requests served *within* the SLO — the
+    /// goodput that matters to a caller with a latency budget (a response
+    /// past the SLO is as useless as a shed one). Falls back to
+    /// [`ServeReport::goodput`] when no SLO was configured.
+    pub fn goodput_within_slo(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.served_within_slo as f64 / self.generated as f64
+        }
+    }
+
+    /// SLO-violation-minutes per operating hour: `60 ×` the fraction of
+    /// the run's wall time spent inside batches that served at least one
+    /// SLO-breaching request. `0` is a clean hour, `60` an hour entirely
+    /// in violation.
+    pub fn slo_violation_min(&self) -> f64 {
+        let total = (self.end - SimTime::ZERO).as_secs_f64();
+        if total <= 0.0 {
+            0.0
+        } else {
+            60.0 * self.slo_viol_time.as_secs_f64() / total
+        }
     }
 }
 
@@ -216,6 +258,34 @@ impl EmbServer {
     /// they cost exactly the closed-loop per-batch time; partial or
     /// misaligned batches are planned from their actual bag sizes.
     pub fn run(&self, machine: &mut Machine) -> Result<ServeReport, ServeError> {
+        self.serve_loop(machine, None)
+    }
+
+    /// Serve with the adaptive control plane in the loop: one
+    /// [`Controller::tick`] per closed batch, evaluated *before* the batch
+    /// executes, driving the execution tier, micro-batch deadline,
+    /// admission bound, and hot-cache size. The controller is passed in by
+    /// the caller so its state (breaker cooldowns, ladder counters)
+    /// persists across the phases of a scenario. Requires `cfg.slo`.
+    pub fn run_controlled(
+        &self,
+        machine: &mut Machine,
+        ctrl: &mut Controller,
+    ) -> Result<ServeReport, ServeError> {
+        assert!(
+            self.cfg.slo.is_some(),
+            "controlled serving needs cfg.slo set"
+        );
+        self.serve_loop(machine, Some(ctrl))
+    }
+
+    /// The serving loop. With `ctrl: None` this is exactly the historical
+    /// static loop — no extra machine interaction, bit-identical artifacts.
+    fn serve_loop(
+        &self,
+        machine: &mut Machine,
+        mut ctrl: Option<&mut Controller>,
+    ) -> Result<ServeReport, ServeError> {
         let cfg = &self.cfg;
         let n = cfg.emb.n_gpus;
         if machine.n_gpus() != n {
@@ -243,8 +313,11 @@ impl EmbServer {
         let distinct = cfg.emb.distinct_batches.max(1);
         let mut canonical: Vec<Option<PlannedBatch>> = vec![None; distinct];
         // Hot-row/dedup planner (None unless the config enables either),
-        // ranked once up front — not per served batch.
-        let planner = HotCachePlanner::new(&cfg.emb, machine.spec(0));
+        // ranked once up front — not per served batch. The controller may
+        // resize the hot cache online, which rebuilds the planner (and
+        // invalidates the canonical plans) from an adjusted workload copy.
+        let mut emb = cfg.emb.clone();
+        let mut planner = HotCachePlanner::new(&emb, machine.spec(0));
 
         let resilient = ResilientBackend::new().with_policy(cfg.policy);
         let mut resilience = ResilienceReport::default();
@@ -265,21 +338,99 @@ impl EmbServer {
         let mut t_free = SimTime::ZERO;
         let mut end = SimTime::ZERO;
 
+        // Controlled-run state: per-tick signal accumulation + SLO books.
+        let mut tier = ctrl.as_ref().map_or(Tier::Pgas, |c| c.tier());
+        let mut worst_since_tick = Dur::ZERO;
+        let mut last_hit: Option<f64> = None;
+        let mut last_retries = 0u64;
+        let mut last_exhausted = 0u64;
+        let mut last_snap = telemetry::Snapshot::default();
+        let mut served_within_slo = 0u64;
+        let mut slo_viol_time = Dur::ZERO;
+
         while let Some(closed) = batcher.next_batch(t_free) {
+            if let Some(c) = ctrl.as_deref_mut() {
+                // One control tick per closed batch, before execution. The
+                // retry/exhausted deltas come from the live telemetry
+                // registry via `delta_since` when it is enabled, otherwise
+                // from the resilience report's own counters.
+                let (retries_delta, exhausted_delta) = if machine.metrics().is_enabled() {
+                    let delta = machine.metrics().delta_since(&last_snap);
+                    last_snap = machine.metrics().snapshot();
+                    (
+                        delta.counter_total("pgas_put_retries"),
+                        delta.counter_total("pgas_puts_exhausted"),
+                    )
+                } else {
+                    let rd = resilience.retries - last_retries;
+                    let ed = resilience.exhausted_puts - last_exhausted;
+                    last_retries = resilience.retries;
+                    last_exhausted = resilience.exhausted_puts;
+                    (rd, ed)
+                };
+                let sig = TickSignals {
+                    queued: batcher.queued(),
+                    worst_latency: worst_since_tick,
+                    retries_delta,
+                    exhausted_delta,
+                    measured_hit: last_hit,
+                };
+                let prev = c.decision();
+                let d = c.tick(machine, closed.close_at, &sig);
+                worst_since_tick = Dur::ZERO;
+                if d.close_deadline != prev.close_deadline || d.queue_bound != prev.queue_bound {
+                    let mut bc = batcher.config();
+                    bc.close_deadline = d.close_deadline;
+                    bc.queue_bound = d.queue_bound;
+                    batcher.set_config(bc);
+                }
+                if d.hot_cache_rows != emb.hot_cache_rows {
+                    emb.hot_cache_rows = d.hot_cache_rows;
+                    planner = HotCachePlanner::new(&emb, machine.spec(0));
+                    canonical.iter_mut().for_each(|p| *p = None);
+                }
+                if d.tier != tier {
+                    // The batch was closed under the old policy: put its
+                    // requests back (conservation holds across the switch)
+                    // and re-close under the new one.
+                    tier = d.tier;
+                    batcher.requeue(closed.requests);
+                    continue;
+                }
+            }
             let pb = self.planned_for(
                 machine,
+                &emb,
                 &closed,
                 &generator,
                 &mut canonical,
                 planner.as_ref(),
             )?;
-            let run: BatchRun = match cfg.backend {
-                ServeBackendKind::Baseline => {
-                    baseline_batch(machine, &cfg.collectives, &pb, closed.close_at)
-                }
-                ServeBackendKind::PgasFused => pgas_batch(machine, cfg.pgas, &pb, closed.close_at),
-                ServeBackendKind::Resilient => {
-                    resilient.serve_batch(machine, &pb, closed.close_at, &mut resilience)
+            if pb.plan().cache_rows > 0 {
+                last_hit = Some(pb.plan().measured_hit);
+            }
+            let run: BatchRun = if ctrl.is_some() {
+                // Controlled runs always execute through the resilient
+                // per-batch surface with the tier-mapped policy; on a
+                // clean fabric the Pgas tier is bit-identical to the
+                // uncontrolled PGAS path.
+                let be = ResilientBackend {
+                    pgas: cfg.pgas,
+                    collectives: cfg.collectives,
+                    policy: tier_policy(tier, cfg.slo.expect("controlled runs carry an SLO")),
+                };
+                be.serve_batch(machine, &pb, closed.close_at, &mut resilience)
+            } else {
+                match cfg.backend {
+                    ServeBackendKind::Baseline => {
+                        baseline_batch(machine, &cfg.collectives, &pb, closed.close_at)
+                    }
+                    ServeBackendKind::PgasFused => {
+                        pgas_batch(machine, cfg.pgas, &pb, closed.close_at)
+                    }
+                    ServeBackendKind::Resilient => {
+                        resilient.serve_batch(machine, &pb, closed.close_at, &mut resilience)
+                    }
                 }
             };
             // The retrieval occupies the machine; the MLP head (if any)
@@ -297,8 +448,23 @@ impl EmbServer {
             batch_service.record(run.service());
             fill_sum += closed.requests.len() as f64 / cfg.batcher.max_batch as f64;
             batches += 1;
+            let mut breached = false;
             for r in &closed.requests {
-                latency.record(completion - r.arrival);
+                let l = completion - r.arrival;
+                latency.record(l);
+                worst_since_tick = worst_since_tick.max(l);
+                if let Some(slo) = cfg.slo {
+                    if l <= slo {
+                        served_within_slo += 1;
+                    } else {
+                        breached = true;
+                    }
+                }
+            }
+            if breached {
+                // The whole in-flight window of a breaching batch counts
+                // as violating time.
+                slo_viol_time += completion - closed.close_at;
             }
             if machine.metrics().is_enabled() {
                 let depth = batcher.queued() as f64;
@@ -358,7 +524,16 @@ impl EmbServer {
                 fill_sum / batches as f64
             },
             end,
-            resilience: (cfg.backend == ServeBackendKind::Resilient).then_some(resilience),
+            resilience: (ctrl.is_some() || cfg.backend == ServeBackendKind::Resilient)
+                .then_some(resilience),
+            slo: cfg.slo,
+            served_within_slo: if cfg.slo.is_some() {
+                served_within_slo
+            } else {
+                batcher.served()
+            },
+            slo_viol_time,
+            control: ctrl.map(|c| c.report()),
             metrics,
         })
     }
@@ -369,13 +544,13 @@ impl EmbServer {
     fn planned_for(
         &self,
         machine: &Machine,
+        emb: &EmbLayerConfig,
         closed: &ClosedBatch,
         generator: &RequestGenerator,
         canonical: &mut [Option<PlannedBatch>],
         planner: Option<&HotCachePlanner>,
     ) -> Result<PlannedBatch, ServeError> {
-        let cfg = &self.cfg;
-        let n = cfg.emb.batch_size;
+        let n = emb.batch_size;
         let reqs = &closed.requests;
         let aligned = reqs.len() == n
             && reqs[0].id % n as u64 == 0
@@ -386,14 +561,11 @@ impl EmbServer {
                 // Cache/dedup profiling needs the raw indices, so cached
                 // configs materialize the canonical batch in full.
                 let batch = if planner.is_some() {
-                    SparseBatch::generate(&cfg.emb.batch_spec(), cfg.emb.batch_seed(which))
+                    SparseBatch::generate(&emb.batch_spec(), emb.batch_seed(which))
                 } else {
-                    SparseBatch::generate_counts_only(
-                        &cfg.emb.batch_spec(),
-                        cfg.emb.batch_seed(which),
-                    )
+                    SparseBatch::generate_counts_only(&emb.batch_spec(), emb.batch_seed(which))
                 };
-                let plan = plan_with_planner(&cfg.emb, &batch, machine.spec(0), planner);
+                let plan = plan_with_planner(emb, &batch, machine.spec(0), planner);
                 canonical[which] = Some(PlannedBatch::new(machine, plan));
             }
             return Ok(canonical[which].clone().expect("just built"));
@@ -406,12 +578,33 @@ impl EmbServer {
         // profile: assembled batches always run with plain (uncached,
         // undeduped) accounting.
         let mut rows: Vec<Vec<u32>> = reqs.iter().map(|r| r.bags.clone()).collect();
-        while rows.len() < cfg.emb.n_gpus {
-            rows.push(vec![0; cfg.emb.n_features]);
+        while rows.len() < emb.n_gpus {
+            rows.push(vec![0; emb.n_features]);
         }
-        let batch = SparseBatch::from_bag_sizes(cfg.emb.n_features, &rows)?;
-        let plan = plan_with_planner(&cfg.emb, &batch, machine.spec(0), None);
+        let batch = SparseBatch::from_bag_sizes(emb.n_features, &rows)?;
+        let plan = plan_with_planner(emb, &batch, machine.spec(0), None);
         Ok(PlannedBatch::new(machine, plan))
+    }
+}
+
+/// The resilient policy a ladder tier executes with. Every tier keeps
+/// `device_fill` on (serve lost shards from replicas + fill immediately)
+/// and leaves per-batch failover to the controller (`failover_flaps: 0`);
+/// on a clean fabric the `Pgas` tier is bit-identical to the plain PGAS
+/// fused path.
+fn tier_policy(tier: Tier, slo: Dur) -> ResiliencePolicy {
+    ResiliencePolicy {
+        failover_flaps: 0,
+        // Half the SLO, not the SLO itself: a batch truncated *at* the
+        // deadline still has queue/close wait on top, so capping at `slo`
+        // would guarantee the cap itself breaches.
+        batch_deadline: match tier {
+            Tier::Pgas => None,
+            _ => Some(slo / 2),
+        },
+        fill: DegradedFill::Mean,
+        baseline_only: tier == Tier::Baseline,
+        device_fill: true,
     }
 }
 

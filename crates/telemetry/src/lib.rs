@@ -299,6 +299,63 @@ impl Registry {
             .map(|(k, ts)| (*k, ts))
     }
 
+    /// Windowed view of everything recorded since `prior` was taken from
+    /// **this** registry: counters and histogram bucket counts are
+    /// subtracted entry-wise (keys absent from `prior` keep their full
+    /// value), gauges and timelines carry their current values (gauges are
+    /// levels, not accumulations; timelines are already time-indexed).
+    ///
+    /// This is the one place cumulative metrics get diffed — the serving
+    /// control plane and any scrape-style exposition both read rates
+    /// through it instead of re-diffing counters ad hoc. Like
+    /// [`Registry::snapshot`], the result is sorted by key and comparable
+    /// with `==` across runs. `delta_since(&Snapshot::default())` equals
+    /// `snapshot()` for a registry with no timelines recorded under a
+    /// different bucket width.
+    pub fn delta_since(&self, prior: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| {
+                let base = prior
+                    .counters
+                    .binary_search_by(|(pk, _)| pk.cmp(k))
+                    .map(|idx| prior.counters[idx].1)
+                    .unwrap_or(0);
+                (*k, v.saturating_sub(base))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let mut h = h.clone();
+                if let Ok(idx) = prior.histograms.binary_search_by(|(pk, _)| pk.cmp(k)) {
+                    let base = &prior.histograms[idx].1;
+                    if base.bounds() == h.bounds() {
+                        for (c, b) in h.counts.iter_mut().zip(base.counts()) {
+                            *c = c.saturating_sub(*b);
+                        }
+                        h.total = h.total.saturating_sub(base.total());
+                        h.sum = h.sum.saturating_sub(base.sum());
+                    }
+                }
+                (*k, h)
+            })
+            .collect();
+        Snapshot {
+            bucket_ns: self.bucket.as_ns(),
+            counters,
+            gauges: self.gauges.iter().map(|(k, v)| (*k, *v)).collect(),
+            histograms,
+            timelines: self
+                .timelines
+                .iter()
+                .map(|(k, ts)| (*k, ts.buckets().to_vec()))
+                .collect(),
+        }
+    }
+
     /// Point-in-time copy of every metric, sorted by key. Comparable with
     /// `==` across runs — the unit the determinism tests assert on.
     pub fn snapshot(&self) -> Snapshot {
@@ -336,6 +393,25 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// Value of a counter in this snapshot, 0 if absent — the lookup the
+    /// serving control plane uses on [`Registry::delta_since`] windows.
+    pub fn counter(&self, name: &str, i: u32, j: u32) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k.name == name && k.i == i && k.j == j)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Sum of a counter across all labels sharing `name`.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
     /// Prometheus-style text exposition: counters and gauges as
     /// `name{i="..",j=".."} value`, histograms as the conventional
     /// `_bucket{le=..}` / `_sum` / `_count` triple, timelines as a
@@ -638,6 +714,69 @@ mod tests {
                 "x{i=\"1\",j=\"0\"}"
             ]
         );
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters_and_histogram_buckets() {
+        let mut r = Registry::enabled(Dur::from_us(10));
+        r.add("msgs", 0, 1, 10);
+        r.observe("lat_us", 0, 0, US_BOUNDS, 60);
+        r.gauge_set("depth", 0, 0, 2.0);
+        let base = r.snapshot();
+
+        r.add("msgs", 0, 1, 5);
+        r.add("new_counter", 2, 2, 7); // absent from the baseline
+        r.observe("lat_us", 0, 0, US_BOUNDS, 60);
+        r.observe("lat_us", 0, 0, US_BOUNDS, 1_000_000);
+        r.gauge_set("depth", 0, 0, 9.0);
+
+        let d = r.delta_since(&base);
+        assert_eq!(d.counter("msgs", 0, 1), 5);
+        assert_eq!(d.counter("new_counter", 2, 2), 7);
+        assert_eq!(d.counter_total("msgs"), 5);
+        // Gauges are levels: the delta carries the current value.
+        assert_eq!(
+            d.gauges,
+            vec![(
+                MetricKey {
+                    name: "depth",
+                    i: 0,
+                    j: 0
+                },
+                9.0
+            )]
+        );
+        let (_, h) = &d.histograms[0];
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.counts()[1], 1); // one new 60 µs observation
+        assert_eq!(*h.counts().last().unwrap(), 1); // one new overflow
+        assert_eq!(h.sum(), 1_000_060);
+    }
+
+    #[test]
+    fn delta_since_empty_baseline_equals_snapshot() {
+        let mut r = Registry::enabled(Dur::from_us(10));
+        r.add("c", 0, 0, 3);
+        r.observe("h", 1, 0, US_BOUNDS, 99);
+        r.span("t", 0, 1, t(0), t(15));
+        assert_eq!(r.delta_since(&Snapshot::default()), r.snapshot());
+        // Deltas are deterministic and key-sorted exactly like snapshots.
+        assert_eq!(
+            r.delta_since(&Snapshot::default()),
+            r.delta_since(&Snapshot::default())
+        );
+    }
+
+    #[test]
+    fn delta_since_full_baseline_is_zero_counters() {
+        let mut r = Registry::enabled(Dur::from_us(10));
+        r.add("c", 0, 0, 3);
+        r.observe("h", 1, 0, US_BOUNDS, 99);
+        let snap = r.snapshot();
+        let d = r.delta_since(&snap);
+        assert_eq!(d.counter("c", 0, 0), 0);
+        assert_eq!(d.histograms[0].1.total(), 0);
+        assert_eq!(d.histograms[0].1.sum(), 0);
     }
 
     #[test]
