@@ -7,10 +7,11 @@
 # (EXT-10, asserts BENCH_netutil.json is produced with the smoothing claim
 # holding), and the wall-clock benchmark smoke (asserts BENCH_wallclock.json
 # is produced and well-formed), the chaos-sweep smoke (EXT-7, asserts the
-# SLO-violation-minutes columns land in chaos.csv), and the adaptive
-# control-plane smoke (EXT-13, asserts BENCH_adapt.json is produced and
-# claims adaptive dominance). Run from the repo root. Fails fast on the
-# first broken step.
+# SLO-violation-minutes columns land in chaos.csv), the pod-fabric smoke
+# (EXT-11, asserts BENCH_pods.json is produced with both crossover claims
+# holding), and the adaptive control-plane smoke (EXT-13, asserts
+# BENCH_adapt.json is produced and claims adaptive dominance). Run from
+# the repo root. Fails fast on the first broken step.
 set -eu
 
 cargo fmt --all -- --check
@@ -55,6 +56,29 @@ cargo run --release -p bench-harness --offline -- chaos --smoke --out-dir "$wc_d
 test -s "$wc_dir/chaos.csv"
 grep -q 'pgas_slo_viol_min' "$wc_dir/chaos.csv"
 grep -q 'base_slo_viol_min' "$wc_dir/chaos.csv"
+
+# EXT-11 smoke: the pod-fabric sweep must emit both artifacts and both
+# crossover claims must hold (flat per-row PGAS losing to the hierarchical
+# alltoall across nodes, and gateway aggregation restoring the PGAS win —
+# the validator refuses to emit a false claim; the shell re-checks and
+# refuses a false flag outright), plus the EXT-2 cross-check staying
+# within its 10% tolerance.
+cargo run --release -p bench-harness --offline -- pods --smoke --out-dir "$wc_dir" > /dev/null
+test -s "$wc_dir/pods.csv"
+test -s "$wc_dir/BENCH_pods.json"
+grep -q '"experiment": "pods"' "$wc_dir/BENCH_pods.json"
+grep -q '"ext2_crosscheck"' "$wc_dir/BENCH_pods.json"
+if grep -q '"flat_pgas_loses_cross_node": false' "$wc_dir/BENCH_pods.json"; then
+    echo "ci: BENCH_pods.json claims flat PGAS never loses across nodes" >&2
+    exit 1
+fi
+if grep -q '"gateway_recovers_pgas": false' "$wc_dir/BENCH_pods.json"; then
+    echo "ci: BENCH_pods.json claims gateway aggregation does NOT recover the win" >&2
+    exit 1
+fi
+grep -q '"flat_pgas_loses_cross_node": true' "$wc_dir/BENCH_pods.json"
+grep -q '"gateway_recovers_pgas": true' "$wc_dir/BENCH_pods.json"
+grep -q '"within_tolerance": true' "$wc_dir/BENCH_pods.json"
 
 # EXT-13 smoke: the adaptive-vs-static scenario suite must emit both
 # artifacts and the dominance claim must hold (the validator refuses to

@@ -8,9 +8,9 @@ use emb_retrieval::backend::{
 use emb_retrieval::backward::{baseline_backward, pgas_backward};
 use emb_retrieval::{EmbLayerConfig, InputPartition, RunReport, Sharding, SparseBatch};
 use gpusim::{FaultPlan, FaultSpec, Machine, MachineConfig};
-use pgas_rt::{Aggregator, AggregatorConfig, PgasConfig};
+use pgas_rt::{Aggregator, AggregatorConfig, GatewayConfig, GatewayPut, OneSided, PgasConfig};
 use rayon::prelude::*;
-use simccl::CollectiveConfig;
+use simccl::{all_to_all_timed, Algorithm, CollectiveConfig};
 
 /// One (baseline, PGAS) pair of runs at a given GPU count.
 #[derive(Clone, Debug)]
@@ -652,6 +652,234 @@ pub fn multinode_aggregator(rows: u64, span: Dur) -> MultinodeResult {
     }
 }
 
+/// One cell of the EXT-11 pod sweep: one topology shape × one row size,
+/// exchanging the same uniform all-to-all byte matrix four ways.
+#[derive(Clone, Debug)]
+pub struct PodCell {
+    /// Nodes in the pod.
+    pub nodes: usize,
+    /// GPUs per node.
+    pub per_node: usize,
+    /// Row (message) size of the PGAS paths, bytes.
+    pub row_bytes: u32,
+    /// Completion of the flat pairwise collective.
+    pub alltoall_direct: Dur,
+    /// Completion of the hierarchical (gather → inter-node aggregate →
+    /// scatter) collective.
+    pub alltoall_hier: Dur,
+    /// Completion of flat per-row one-sided puts (coalesced at `row_bytes`).
+    pub pgas_flat: Dur,
+    /// Completion of gateway-aggregated one-sided puts.
+    pub pgas_gateway: Dur,
+    /// Messages the flat PGAS path put on the inter-node tier.
+    pub flat_inter_messages: u64,
+    /// Messages the gateway path put on the inter-node tier.
+    pub gateway_inter_messages: u64,
+}
+
+impl PodCell {
+    /// Total GPUs in this cell.
+    pub fn gpus(&self) -> usize {
+        self.nodes * self.per_node
+    }
+}
+
+/// EXT-11 sweep output plus the EXT-2 cross-validation point.
+#[derive(Clone, Debug)]
+pub struct PodsResult {
+    /// Payload exchanged per ordered GPU pair, bytes.
+    pub pair_bytes: u64,
+    /// One cell per (shape, row size), shapes outer.
+    pub cells: Vec<PodCell>,
+    /// EXT-2's analytic aggregator projection (2×1 nodes, 10 k rows,
+    /// 500 µs span): aggregated wire time from [`multinode_aggregator`].
+    pub ext2_projected: Dur,
+    /// The same row stream executed through the gateway proxy on the same
+    /// 2×1 fabric.
+    pub ext2_executed: Dur,
+}
+
+impl PodsResult {
+    /// Relative disagreement between EXT-2's projection and the executed
+    /// fabric, as a fraction of the projection.
+    pub fn ext2_delta(&self) -> f64 {
+        let p = self.ext2_projected.as_secs_f64();
+        let e = self.ext2_executed.as_secs_f64();
+        ((e - p) / p).abs()
+    }
+
+    /// Paper-scale claim (a): at 256 B rows there is a multi-node shape
+    /// where flat per-row PGAS loses to the hierarchical alltoall — the
+    /// header-dominated inter-node tier erases the one-sided win.
+    pub fn flat_pgas_loses_cross_node(&self) -> bool {
+        self.cells
+            .iter()
+            .any(|c| c.nodes > 1 && c.row_bytes == 256 && c.pgas_flat > c.alltoall_hier)
+    }
+
+    /// Paper-scale claim (b): at one of those same points, gateway
+    /// aggregation restores the PGAS win over both the hierarchical
+    /// collective and the flat path.
+    pub fn gateway_recovers_pgas(&self) -> bool {
+        self.cells.iter().any(|c| {
+            c.nodes > 1
+                && c.row_bytes == 256
+                && c.pgas_flat > c.alltoall_hier
+                && c.pgas_gateway < c.alltoall_hier
+                && c.pgas_gateway < c.pgas_flat
+        })
+    }
+}
+
+/// Run one pod cell: same uniform traffic (`rows × row_bytes` per ordered
+/// pair, everything ready at t = 0) through both collective schedules and
+/// both PGAS paths.
+fn pod_cell(nodes: usize, per_node: usize, row_bytes: u32, pair_bytes: u64) -> PodCell {
+    let n = nodes * per_node;
+    let rows = (pair_bytes / row_bytes as u64).max(1);
+    let bytes: Vec<Vec<u64>> = (0..n)
+        .map(|s| {
+            (0..n)
+                .map(|d| if s == d { 0 } else { rows * row_bytes as u64 })
+                .collect()
+        })
+        .collect();
+    let ready = vec![SimTime::ZERO; n];
+
+    let collective = |alg: Algorithm| -> Dur {
+        let mut m = Machine::new(MachineConfig::pod_v100(nodes, per_node));
+        let cfg = CollectiveConfig::default().with_algorithm(alg);
+        let w = all_to_all_timed(&mut m, &cfg, &bytes, &ready);
+        (0..n)
+            .map(|d| w.done_at(d))
+            .max()
+            .expect("at least one device")
+            - SimTime::ZERO
+    };
+    let alltoall_direct = collective(Algorithm::Direct);
+    let alltoall_hier = collective(Algorithm::Hierarchical);
+
+    // Both PGAS paths issue the identical store stream: quarter-flush
+    // chunks with destinations interleaved — the flat path so its wire
+    // entry pipelines with the per-message issue cost, the gateway path so
+    // its staging buffers exercise the size-flush discipline rather than
+    // one giant end-of-stream drain.
+    let pcfg = PgasConfig {
+        max_payload: row_bytes,
+        ..PgasConfig::default()
+    };
+    let flush = AggregatorConfig::default();
+    let chunk = (flush.flush_bytes / (4 * row_bytes as u64)).max(1);
+    let rounds = rows.div_ceil(chunk);
+    let each = |mut put: Box<dyn FnMut(usize, usize, u64) + '_>| {
+        for src in 0..n {
+            for r in 0..rounds {
+                let take = chunk.min(rows - r * chunk);
+                for dst in 0..n {
+                    if dst != src {
+                        put(src, dst, take);
+                    }
+                }
+            }
+        }
+    };
+
+    let mut fm = Machine::new(MachineConfig::pod_v100(nodes, per_node));
+    fm.enable_telemetry();
+    let mut pgas_flat = Dur::ZERO;
+    {
+        let mut os = OneSided::with_config(&mut fm, pcfg);
+        each(Box::new(|src, dst, take| {
+            os.put_rows_nbi(src, dst, take, row_bytes, SimTime::ZERO);
+        }));
+        for src in 0..n {
+            pgas_flat = pgas_flat.max(os.quiet(src, SimTime::ZERO) - SimTime::ZERO);
+        }
+    }
+    let flat_inter_messages = fm.metrics().counter("fabric_tier_messages", 1, 0);
+
+    let mut gm = Machine::new(MachineConfig::pod_v100(nodes, per_node));
+    gm.enable_telemetry();
+    let mut pgas_gateway = Dur::ZERO;
+    {
+        let mut gw = GatewayPut::new(&mut gm, GatewayConfig { pgas: pcfg, flush });
+        each(Box::new(|src, dst, take| {
+            gw.put_rows_nbi(src, dst, take, row_bytes, SimTime::ZERO);
+        }));
+        for src in 0..n {
+            gw.drain_src(src, SimTime::ZERO);
+        }
+        for src in 0..n {
+            pgas_gateway = pgas_gateway.max(gw.quiet(src, SimTime::ZERO) - SimTime::ZERO);
+        }
+    }
+    let gateway_inter_messages = gm.metrics().counter("fabric_tier_messages", 1, 0);
+
+    PodCell {
+        nodes,
+        per_node,
+        row_bytes,
+        alltoall_direct,
+        alltoall_hier,
+        pgas_flat,
+        pgas_gateway,
+        flat_inter_messages,
+        gateway_inter_messages,
+    }
+}
+
+/// **EXT-11** — the pod-fabric sweep: `shapes` (nodes × GPUs-per-node) ×
+/// `row_sizes`, each cell exchanging `pair_bytes` per ordered GPU pair, plus
+/// the EXT-2 cross-validation (the analytic aggregator projection re-executed
+/// through the gateway proxy on the matching 2-node fabric).
+pub fn pods_sweep(shapes: &[(usize, usize)], row_sizes: &[u32], pair_bytes: u64) -> PodsResult {
+    let cells: Vec<(usize, usize, u32)> = shapes
+        .iter()
+        .flat_map(|&(nodes, per_node)| row_sizes.iter().map(move |&rb| (nodes, per_node, rb)))
+        .collect();
+    let cells: Vec<PodCell> = (0..cells.len())
+        .into_par_iter()
+        .map(|i| {
+            let (nodes, per_node, rb) = cells[i];
+            pod_cell(nodes, per_node, rb, pair_bytes)
+        })
+        .collect();
+
+    // EXT-2 cross-check at its (10 k rows, 500 µs) published point: the
+    // analytic projection drives `Aggregator` + raw sends; the executed
+    // fabric drives the same stream through `GatewayPut` (destination IS
+    // the remote gateway, so no scatter hop — any disagreement is real
+    // model drift, not topology).
+    let xrows = 10_000u64;
+    let xspan = Dur::from_us(500);
+    let ext2_projected = multinode_aggregator(xrows, xspan).aggregated;
+    let mut m = Machine::new(MachineConfig::multi_node_v100(2, 1));
+    let mut gw = GatewayPut::new(
+        &mut m,
+        GatewayConfig {
+            pgas: PgasConfig::default(),
+            flush: AggregatorConfig::default(),
+        },
+    );
+    let step = Dur::from_ns((xspan.as_ns() / xrows).max(1));
+    let mut last = SimTime::ZERO;
+    for i in 0..xrows {
+        let iv = gw.put_rows_nbi(0, 1, 1, 256, SimTime::ZERO + step * i);
+        last = last.max(iv.end);
+    }
+    for iv in gw.drain(SimTime::ZERO + xspan) {
+        last = last.max(iv.end);
+    }
+    let ext2_executed = last - SimTime::ZERO;
+
+    PodsResult {
+        pair_bytes,
+        cells,
+        ext2_projected,
+        ext2_executed,
+    }
+}
+
 /// One point of the message-size ablation.
 #[derive(Clone, Debug)]
 pub struct MsgSizePoint {
@@ -676,6 +904,7 @@ pub fn message_size_ablation(gpus: usize, scale: usize, batches: usize) -> Vec<M
                     max_payload,
                     ..PgasConfig::default()
                 },
+                ..PgasFusedBackend::default()
             };
             let mut m = Machine::new(MachineConfig::dgx_v100(gpus));
             let r = backend.run(&mut m, &cfg, ExecMode::Timing).report;

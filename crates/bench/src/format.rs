@@ -6,7 +6,7 @@ use desim::SimTime;
 
 use crate::{
     validate_json_doc, AdaptSweep, ChaosPoint, CommVolumeResult, LinkUtilStats, NetUtilResult,
-    ScalingResult, ServeSweep, SkewSweep,
+    PodsResult, ScalingResult, ServeSweep, SkewSweep,
 };
 
 /// Render the paper's speedup table (Table I / Table II).
@@ -614,6 +614,142 @@ pub fn validate_adapt_json(s: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Render the EXT-11 pod-fabric sweep as `pods.csv`: one row per
+/// (shape × row size) cell, then the crossover and EXT-2 summary lines.
+pub fn pods_table(r: &PodsResult, title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== {title} ==");
+    let _ = writeln!(s, "# pair_bytes={}", r.pair_bytes);
+    let _ = writeln!(
+        s,
+        "nodes,per_node,gpus,row_bytes,alltoall_direct_us,alltoall_hier_us,pgas_flat_us,pgas_gateway_us,flat_inter_msgs,gateway_inter_msgs"
+    );
+    for c in &r.cells {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{:.3},{:.3},{:.3},{:.3},{},{}",
+            c.nodes,
+            c.per_node,
+            c.gpus(),
+            c.row_bytes,
+            c.alltoall_direct.as_micros_f64(),
+            c.alltoall_hier.as_micros_f64(),
+            c.pgas_flat.as_micros_f64(),
+            c.pgas_gateway.as_micros_f64(),
+            c.flat_inter_messages,
+            c.gateway_inter_messages,
+        );
+    }
+    let _ = writeln!(
+        s,
+        "flat_pgas_loses_cross_node: {}  gateway_recovers_pgas: {}",
+        r.flat_pgas_loses_cross_node(),
+        r.gateway_recovers_pgas()
+    );
+    let _ = writeln!(
+        s,
+        "ext2_projected_us: {:.3}  ext2_executed_us: {:.3}  ext2_delta: {:.4}",
+        r.ext2_projected.as_micros_f64(),
+        r.ext2_executed.as_micros_f64(),
+        r.ext2_delta()
+    );
+    s
+}
+
+/// Serialize the EXT-11 sweep as the `BENCH_pods.json` artifact.
+pub fn pods_json(r: &PodsResult) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"pods\",\n");
+    s.push_str(&format!("  \"pair_bytes\": {},\n", r.pair_bytes));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in r.cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"nodes\": {}, \"per_node\": {}, \"gpus\": {}, \"row_bytes\": {}, \"alltoall_direct_us\": {:.3}, \"alltoall_hier_us\": {:.3}, \"pgas_flat_us\": {:.3}, \"pgas_gateway_us\": {:.3}, \"flat_inter_msgs\": {}, \"gateway_inter_msgs\": {}}}{}\n",
+            c.nodes,
+            c.per_node,
+            c.gpus(),
+            c.row_bytes,
+            c.alltoall_direct.as_micros_f64(),
+            c.alltoall_hier.as_micros_f64(),
+            c.pgas_flat.as_micros_f64(),
+            c.pgas_gateway.as_micros_f64(),
+            c.flat_inter_messages,
+            c.gateway_inter_messages,
+            if i + 1 < r.cells.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"ext2_crosscheck\": {\n");
+    s.push_str(&format!(
+        "    \"projected_us\": {:.3},\n",
+        r.ext2_projected.as_micros_f64()
+    ));
+    s.push_str(&format!(
+        "    \"executed_us\": {:.3},\n",
+        r.ext2_executed.as_micros_f64()
+    ));
+    s.push_str(&format!("    \"delta\": {:.6},\n", r.ext2_delta()));
+    s.push_str(&format!(
+        "    \"within_tolerance\": {}\n",
+        r.ext2_delta() <= 0.10
+    ));
+    s.push_str("  },\n");
+    s.push_str(&format!(
+        "  \"flat_pgas_loses_cross_node\": {},\n",
+        r.flat_pgas_loses_cross_node()
+    ));
+    s.push_str(&format!(
+        "  \"gateway_recovers_pgas\": {}\n",
+        r.gateway_recovers_pgas()
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Structural validation of a `BENCH_pods.json` document. Beyond shape,
+/// this enforces EXT-11's two claims — the document must assert
+/// `"flat_pgas_loses_cross_node": true` (a multi-node cell where per-row
+/// PGAS is slower than the hierarchical alltoall) and
+/// `"gateway_recovers_pgas": true` (a cell where gateway aggregation beats
+/// both) — plus the EXT-2 cross-check staying within its 10 % tolerance.
+/// `reproduce pods` refuses to write an artifact that fails any of them.
+pub fn validate_pods_json(s: &str) -> Result<(), String> {
+    validate_json_doc(
+        s,
+        &[
+            "\"experiment\"",
+            "\"pair_bytes\"",
+            "\"cells\"",
+            "\"nodes\"",
+            "\"per_node\"",
+            "\"row_bytes\"",
+            "\"alltoall_hier_us\"",
+            "\"pgas_flat_us\"",
+            "\"pgas_gateway_us\"",
+            "\"flat_inter_msgs\"",
+            "\"gateway_inter_msgs\"",
+            "\"ext2_crosscheck\"",
+            "\"delta\"",
+        ],
+    )?;
+    if !s.contains("\"flat_pgas_loses_cross_node\": true") {
+        return Err(
+            "crossover claim failed: flat PGAS never lost to the hierarchical alltoall".into(),
+        );
+    }
+    if !s.contains("\"gateway_recovers_pgas\": true") {
+        return Err(
+            "recovery claim failed: gateway aggregation did not restore the PGAS win".into(),
+        );
+    }
+    if !s.contains("\"within_tolerance\": true") {
+        return Err(
+            "EXT-2 cross-check failed: executed fabric drifted >10% from projection".into(),
+        );
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -677,6 +813,18 @@ mod tests {
         validate_scaling_json(&j).expect("valid scaling json");
         assert!(j.contains("\"experiment\": \"table1\""));
         assert!(j.contains("\"geomean_speedup\""));
+    }
+
+    #[test]
+    fn pods_table_and_json_render_and_validate() {
+        let r = crate::pods_sweep(&[(2, 2)], &[256], 1 << 20);
+        let t = pods_table(&r, "EXT-11");
+        assert!(t.contains("nodes,per_node,gpus,row_bytes"));
+        assert!(t.contains("flat_pgas_loses_cross_node: true"));
+        let j = pods_json(&r);
+        validate_pods_json(&j).expect("valid pods json");
+        assert!(j.contains("\"gateway_recovers_pgas\": true"));
+        assert!(j.contains("\"within_tolerance\": true"));
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!                             static configs under a scenario suite (diurnal,
 //!                             flash crowd, skew drift, fault storm;
 //!                             BENCH_adapt.json asserts adaptive dominance)
+//!   pods                      EXT-11 multi-node pod-fabric sweep (flat vs
+//!                             hierarchical alltoall vs flat/gateway PGAS
+//!                             across nodes × GPUs-per-node × row size;
+//!                             BENCH_pods.json asserts the crossover claims)
 //!   skew                      EXT-9 hot-row cache × index-skew grid
 //!                             (BENCH_skew.json; materializes raw indices,
 //!                             so run it at --scale 16 or smaller workloads
@@ -37,7 +41,7 @@
 //! --scale K    shrink every workload axis by K (default 1 = paper scale)
 //! --batches N  batches per run (default 100, the paper's count)
 //! --seed S     fault-plan/arrival seed for `chaos` and `serve` (default 42)
-//! --smoke      shrink `chaos`/`serve`/`adapt`/`skew`/`netutil`/`wallclock`
+//! --smoke      shrink `chaos`/`serve`/`adapt`/`skew`/`netutil`/`pods`/`wallclock`
 //!              to a seconds-long CI gate
 //! --out-dir D  write every experiment's CSV into D (alias: --csv)
 //! ```
@@ -382,6 +386,29 @@ fn main() {
         );
         emit_json(&args, "BENCH_adapt.json", &adapt_json(&sweep), |j| {
             validate_adapt_json(j)
+        });
+    }
+    if matches!(e, "pods" | "all") {
+        let _t = HostTimer::new("pods");
+        let r = if args.smoke {
+            pods_sweep(&[(2, 2)], &[256], 1 << 20)
+        } else {
+            pods_sweep(
+                &[(2, 4), (4, 4), (8, 4), (16, 4)],
+                &[64, 256, 1024, 4096],
+                1 << 20,
+            )
+        };
+        emit(
+            &args,
+            "pods",
+            &pods_table(
+                &r,
+                "EXT-11: pod-fabric sweep (hierarchical alltoall vs flat and gateway PGAS)",
+            ),
+        );
+        emit_json(&args, "BENCH_pods.json", &pods_json(&r), |j| {
+            validate_pods_json(j)
         });
     }
     if matches!(e, "netutil" | "all") {

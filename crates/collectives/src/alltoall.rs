@@ -90,6 +90,7 @@ pub fn all_to_all_timed(
     let work = match cfg.algorithm {
         Algorithm::Direct => timed_direct(machine, cfg, send_bytes, ready),
         Algorithm::Ring => timed_ring(machine, cfg, send_bytes, ready),
+        Algorithm::Hierarchical => timed_hierarchical(machine, cfg, send_bytes, ready),
     };
     record_collective_span(machine, ready, &work);
     work
@@ -137,6 +138,7 @@ pub fn try_all_to_all_timed(
     let work = match cfg.algorithm {
         Algorithm::Direct => try_timed_direct(machine, cfg, send_bytes, ready),
         Algorithm::Ring => try_timed_ring(machine, cfg, send_bytes, ready),
+        Algorithm::Hierarchical => try_timed_hierarchical(machine, cfg, send_bytes, ready),
     }?;
     record_collective_span(machine, ready, &work);
     Ok(work)
@@ -284,6 +286,305 @@ fn try_timed_direct(
             }
             done[dst] = done[dst].max(last_end);
             done[src] = done[src].max(last_end);
+        }
+    }
+    Ok(WorkHandle::with_retries(done, retries))
+}
+
+/// Pipeline-chunked transfer of `bytes` from `src` to `dst`, every chunk
+/// ready at `at`; returns the last delivery time.
+fn send_chunked(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    src: usize,
+    dst: usize,
+    bytes: u64,
+    at: SimTime,
+) -> SimTime {
+    let mut remaining = bytes;
+    let mut last = at;
+    while remaining > 0 {
+        let this = remaining.min(cfg.chunk_bytes);
+        let iv = machine.send_throttled(src, dst, this, 1, at, cfg.protocol_efficiency);
+        last = last.max(iv.end);
+        remaining -= this;
+    }
+    last
+}
+
+/// Fault-aware [`send_chunked`]: each chunk retried under `cfg.retry`;
+/// returns the last delivery time and the retries spent.
+fn try_send_chunked(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    src: usize,
+    dst: usize,
+    bytes: u64,
+    at: SimTime,
+) -> Result<(SimTime, u64), FabricError> {
+    let mut remaining = bytes;
+    let mut last = at;
+    let mut retries = 0u64;
+    while remaining > 0 {
+        let this = remaining.min(cfg.chunk_bytes);
+        let (iv, attempts) =
+            machine.try_send_retry(src, dst, this, 1, at, cfg.protocol_efficiency, cfg.retry)?;
+        retries += u64::from(attempts - 1);
+        last = last.max(iv.end);
+        remaining -= this;
+    }
+    Ok((last, retries))
+}
+
+/// Two-level pod schedule. Intra-node pairs follow the direct pairwise
+/// schedule over the crossbar. Cross-node traffic is staged in three hops:
+/// each source forwards its per-destination-node segment to its own node's
+/// gateway (intra link, or a local staging copy when the source *is* the
+/// gateway), the gateway ships **one** aggregate chunked transfer per
+/// ordered node pair across the slow tier — paying the inter-node
+/// per-message cost once per node pair instead of once per GPU pair — and
+/// the destination gateway scatters each source-node's bundle to its final
+/// devices over the crossbar. On a single-node topology this is exactly
+/// [`timed_direct`], bit for bit.
+fn timed_hierarchical(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    send_bytes: &[Vec<u64>],
+    ready: &[SimTime],
+) -> WorkHandle {
+    let topo = machine.topology().clone();
+    if topo.nodes() == 1 {
+        return timed_direct(machine, cfg, send_bytes, ready);
+    }
+    let n = machine.n_gpus();
+    let t0: Vec<SimTime> = ready.iter().map(|&r| r + cfg.call_overhead).collect();
+    let mut done = vec![SimTime::ZERO; n];
+
+    // Intra-node traffic and self-copies: the direct schedule within a node.
+    for src in 0..n {
+        for dst in 0..n {
+            if !topo.same_node(src, dst) {
+                continue;
+            }
+            let bytes = send_bytes[src][dst];
+            if dst == src {
+                let local = t0[src] + d2d_copy_time(bytes, machine.spec(src).mem_bw);
+                done[src] = done[src].max(local);
+                continue;
+            }
+            if bytes == 0 {
+                done[dst] = done[dst].max(t0[src]);
+                continue;
+            }
+            let last = send_chunked(machine, cfg, src, dst, bytes, t0[src]);
+            done[dst] = done[dst].max(last);
+            done[src] = done[src].max(last);
+        }
+    }
+
+    // Cross-node traffic: gather → one aggregate inter-node transfer per
+    // ordered node pair → scatter. The hops are issued as *global phases*
+    // (every pair's gather, then every pair's inter-node transfer, then
+    // every pair's scatter): the fabric books resources in call order with
+    // a moving horizon, so interleaving the phases per node pair would
+    // ratchet a gateway's injection horizon with one pair's late scatter
+    // before the reverse pair's gather was even issued, serializing
+    // traffic that physically overlaps.
+    let mut pairs = gather_phase(machine, cfg, send_bytes, &t0, &mut done, send_chunked);
+    // Inter-node transfers, earliest-ready first — the order a real NIC
+    // would drain its send queue.
+    pairs.sort_by_key(|p| (p.agg_ready, p.gw_s, p.gw_d));
+    for p in &mut pairs {
+        let arrive = send_chunked(machine, cfg, p.gw_s, p.gw_d, p.total, p.agg_ready);
+        done[p.gw_s] = done[p.gw_s].max(arrive);
+        p.arrive = arrive;
+    }
+    // Scatters, earliest-arrival first for the same reason.
+    pairs.sort_by_key(|p| (p.arrive, p.gw_s, p.gw_d));
+    for p in &pairs {
+        for &d in &p.dst_members {
+            let bytes = p.per_dst[d];
+            if bytes == 0 {
+                continue;
+            }
+            let end = if d == p.gw_d {
+                p.arrive + d2d_copy_time(bytes, machine.spec(d).mem_bw)
+            } else {
+                send_chunked(machine, cfg, p.gw_d, d, bytes, p.arrive)
+            };
+            done[p.gw_d] = done[p.gw_d].max(end);
+            done[d] = done[d].max(end);
+        }
+    }
+    WorkHandle::new(done)
+}
+
+/// The staged state of one ordered node pair between the hierarchical
+/// schedule's phases.
+struct PairPlan {
+    gw_s: usize,
+    gw_d: usize,
+    dst_members: Vec<usize>,
+    /// Bytes bound for each final destination (indexed by global GPU id).
+    per_dst: Vec<u64>,
+    /// Aggregate bytes crossing the inter-node tier for this pair.
+    total: u64,
+    /// When the source gateway holds the whole bundle.
+    agg_ready: SimTime,
+    /// When the destination gateway holds it (set by the inter phase).
+    arrive: SimTime,
+}
+
+/// Phase one of the hierarchical schedule: every source forwards its
+/// cross-node segments to its node's gateway. Returns one [`PairPlan`] per
+/// ordered node pair with traffic; `send` abstracts over the plain and
+/// fault-aware chunked senders.
+fn gather_phase(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    send_bytes: &[Vec<u64>],
+    t0: &[SimTime],
+    done: &mut [SimTime],
+    mut send: impl FnMut(&mut Machine, &CollectiveConfig, usize, usize, u64, SimTime) -> SimTime,
+) -> Vec<PairPlan> {
+    let topo = machine.topology().clone();
+    let n = machine.n_gpus();
+    let nodes = topo.nodes();
+    let mut pairs = Vec::new();
+    for sn in 0..nodes {
+        let src_members: Vec<usize> = topo.node_members(sn).collect();
+        let gw_s = src_members[0];
+        for dn in 0..nodes {
+            if dn == sn {
+                continue;
+            }
+            let dst_members: Vec<usize> = topo.node_members(dn).collect();
+            let gw_d = dst_members[0];
+            let mut per_dst = vec![0u64; n];
+            let mut total = 0u64;
+            let mut agg_ready = SimTime::ZERO;
+            for &src in &src_members {
+                let bytes: u64 = dst_members.iter().map(|&d| send_bytes[src][d]).sum();
+                for &d in &dst_members {
+                    per_dst[d] += send_bytes[src][d];
+                    // Zero-byte floor, matching the direct schedule.
+                    done[d] = done[d].max(t0[src]);
+                }
+                if bytes == 0 {
+                    continue;
+                }
+                total += bytes;
+                let arrive = if src == gw_s {
+                    t0[src] + d2d_copy_time(bytes, machine.spec(src).mem_bw)
+                } else {
+                    send(machine, cfg, src, gw_s, bytes, t0[src])
+                };
+                done[src] = done[src].max(arrive);
+                agg_ready = agg_ready.max(arrive);
+            }
+            if total == 0 {
+                continue;
+            }
+            pairs.push(PairPlan {
+                gw_s,
+                gw_d,
+                dst_members,
+                per_dst,
+                total,
+                agg_ready,
+                arrive: SimTime::ZERO,
+            });
+        }
+    }
+    pairs
+}
+
+/// Fault-aware [`timed_hierarchical`]: every hop's chunks retried under
+/// `cfg.retry`. Delegates to [`try_timed_direct`] on single-node topologies.
+fn try_timed_hierarchical(
+    machine: &mut Machine,
+    cfg: &CollectiveConfig,
+    send_bytes: &[Vec<u64>],
+    ready: &[SimTime],
+) -> Result<WorkHandle, FabricError> {
+    let topo = machine.topology().clone();
+    if topo.nodes() == 1 {
+        return try_timed_direct(machine, cfg, send_bytes, ready);
+    }
+    let n = machine.n_gpus();
+    let t0: Vec<SimTime> = ready.iter().map(|&r| r + cfg.call_overhead).collect();
+    let mut done = vec![SimTime::ZERO; n];
+    let mut retries = 0u64;
+
+    for src in 0..n {
+        for dst in 0..n {
+            if !topo.same_node(src, dst) {
+                continue;
+            }
+            let bytes = send_bytes[src][dst];
+            if dst == src {
+                let local = t0[src] + d2d_copy_time(bytes, machine.spec(src).mem_bw);
+                done[src] = done[src].max(local);
+                continue;
+            }
+            if bytes == 0 {
+                done[dst] = done[dst].max(t0[src]);
+                continue;
+            }
+            let (last, r) = try_send_chunked(machine, cfg, src, dst, bytes, t0[src])?;
+            retries += r;
+            done[dst] = done[dst].max(last);
+            done[src] = done[src].max(last);
+        }
+    }
+
+    // Same three global phases as [`timed_hierarchical`] (see the booking
+    // rationale there); the fault-aware sender records retries and parks
+    // the first fabric error for propagation after each phase.
+    let mut err: Option<FabricError> = None;
+    let mut pairs = gather_phase(
+        machine,
+        cfg,
+        send_bytes,
+        &t0,
+        &mut done,
+        |m, c, s, d, b, at| match try_send_chunked(m, c, s, d, b, at) {
+            Ok((last, r)) => {
+                retries += r;
+                last
+            }
+            Err(e) => {
+                err.get_or_insert(e);
+                at
+            }
+        },
+    );
+    if let Some(e) = err {
+        return Err(e);
+    }
+    pairs.sort_by_key(|p| (p.agg_ready, p.gw_s, p.gw_d));
+    for p in &mut pairs {
+        let (arrive, r) = try_send_chunked(machine, cfg, p.gw_s, p.gw_d, p.total, p.agg_ready)?;
+        retries += r;
+        done[p.gw_s] = done[p.gw_s].max(arrive);
+        p.arrive = arrive;
+    }
+    pairs.sort_by_key(|p| (p.arrive, p.gw_s, p.gw_d));
+    for p in &pairs {
+        for &d in &p.dst_members {
+            let bytes = p.per_dst[d];
+            if bytes == 0 {
+                continue;
+            }
+            let end = if d == p.gw_d {
+                p.arrive + d2d_copy_time(bytes, machine.spec(d).mem_bw)
+            } else {
+                let (last, r) = try_send_chunked(machine, cfg, p.gw_d, d, bytes, p.arrive)?;
+                retries += r;
+                last
+            };
+            done[p.gw_d] = done[p.gw_d].max(end);
+            done[d] = done[d].max(end);
         }
     }
     Ok(WorkHandle::with_retries(done, retries))
@@ -615,6 +916,140 @@ mod tests {
             total_retries > 0,
             "chaos(0.8) must force at least one retry"
         );
+    }
+
+    #[test]
+    fn hierarchical_matches_direct_bit_for_bit_at_every_single_node_width() {
+        // The single-node delegation must be exact at every crossbar width,
+        // including degenerate 1-GPU machines and non-uniform matrices.
+        for n in [1usize, 2, 4, 8] {
+            let bytes: Vec<Vec<u64>> = (0..n)
+                .map(|s| {
+                    (0..n)
+                        .map(|d| ((s * 7 + d * 13) % 9) as u64 * 50_000)
+                        .collect()
+                })
+                .collect();
+            let mut md = Machine::new(MachineConfig::dgx_v100(n));
+            let d = all_to_all_timed(&mut md, &CollectiveConfig::default(), &bytes, &ready(n));
+            let mut mh = Machine::new(MachineConfig::dgx_v100(n));
+            let h = all_to_all_timed(
+                &mut mh,
+                &CollectiveConfig::default().with_algorithm(Algorithm::Hierarchical),
+                &bytes,
+                &ready(n),
+            );
+            for dev in 0..n {
+                assert_eq!(d.done_at(dev), h.done_at(dev), "width {n} dev {dev}");
+            }
+            assert_eq!(md.traffic_stats(), mh.traffic_stats(), "width {n}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_on_single_node_is_exactly_direct() {
+        let n = 4;
+        let bytes: Vec<Vec<u64>> = (0..n).map(|_| vec![100_000; n]).collect();
+        let mut md = Machine::new(MachineConfig::dgx_v100(n));
+        let d = all_to_all_timed(&mut md, &CollectiveConfig::default(), &bytes, &ready(n));
+        let mut mh = Machine::new(MachineConfig::dgx_v100(n));
+        let h = all_to_all_timed(
+            &mut mh,
+            &CollectiveConfig::default().with_algorithm(Algorithm::Hierarchical),
+            &bytes,
+            &ready(n),
+        );
+        for dev in 0..n {
+            assert_eq!(d.done_at(dev), h.done_at(dev), "dev {dev}");
+        }
+        assert_eq!(md.traffic_stats(), mh.traffic_stats());
+    }
+
+    #[test]
+    fn hierarchical_functionally_matches_direct_on_pods() {
+        let mut md = Machine::new(MachineConfig::pod_v100(2, 2));
+        let mut mh = Machine::new(MachineConfig::pod_v100(2, 2));
+        let inputs: Vec<Vec<f32>> = (0..4)
+            .map(|i| (0..8).map(|k| (i * 100 + k) as f32).collect())
+            .collect();
+        let (out_d, _) =
+            all_to_all_single(&mut md, &CollectiveConfig::default(), &inputs, &ready(4));
+        let (out_h, _) = all_to_all_single(
+            &mut mh,
+            &CollectiveConfig::default().with_algorithm(Algorithm::Hierarchical),
+            &inputs,
+            &ready(4),
+        );
+        assert_eq!(out_d, out_h, "schedules must agree functionally");
+    }
+
+    #[test]
+    fn hierarchical_sends_one_inter_node_transfer_per_node_pair() {
+        // 2 nodes x 2 GPUs, small per-pair segments: the direct schedule
+        // crosses the slow tier once per cross-node GPU pair (8 messages);
+        // the hierarchical one crosses once per ordered node pair (2).
+        let bytes: Vec<Vec<u64>> = (0..4).map(|_| vec![1024; 4]).collect();
+        let count_inter = |m: &Machine| {
+            let t = m.metrics().counter("fabric_tier_messages", 1, 0);
+            t
+        };
+        let mut md = Machine::new(MachineConfig::pod_v100(2, 2));
+        md.enable_telemetry();
+        let _ = all_to_all_timed(&mut md, &CollectiveConfig::default(), &bytes, &ready(4));
+        let mut mh = Machine::new(MachineConfig::pod_v100(2, 2));
+        mh.enable_telemetry();
+        let h = all_to_all_timed(
+            &mut mh,
+            &CollectiveConfig::default().with_algorithm(Algorithm::Hierarchical),
+            &bytes,
+            &ready(4),
+        );
+        assert_eq!(count_inter(&md), 8);
+        assert_eq!(count_inter(&mh), 2);
+        assert!(h.all_done() > SimTime::ZERO);
+        // Same payload crosses the slow tier either way.
+        assert_eq!(
+            md.metrics().counter("fabric_tier_payload_bytes", 1, 0),
+            mh.metrics().counter("fabric_tier_payload_bytes", 1, 0),
+        );
+    }
+
+    #[test]
+    fn try_hierarchical_without_faults_matches_timed() {
+        let bytes: Vec<Vec<u64>> = (0..8).map(|_| vec![1 << 14; 8]).collect();
+        let cfg = CollectiveConfig::default().with_algorithm(Algorithm::Hierarchical);
+        let mut m1 = Machine::new(MachineConfig::pod_v100(2, 4));
+        let a = all_to_all_timed(&mut m1, &cfg, &bytes, &ready(8));
+        let mut m2 = Machine::new(MachineConfig::pod_v100(2, 4));
+        let b = try_all_to_all_timed(&mut m2, &cfg, &bytes, &ready(8)).expect("clean");
+        for dev in 0..8 {
+            assert_eq!(a.done_at(dev), b.done_at(dev), "dev {dev}");
+        }
+        assert_eq!(b.retries(), 0);
+        assert_eq!(m1.traffic_stats(), m2.traffic_stats());
+    }
+
+    #[test]
+    fn try_hierarchical_survives_tiered_chaos() {
+        use gpusim::{FaultPlan, FaultSpec};
+        let bytes: Vec<Vec<u64>> = (0..4).map(|_| vec![1 << 18; 4]).collect();
+        let cfg = CollectiveConfig::default().with_algorithm(Algorithm::Hierarchical);
+        let mut completions = 0;
+        for seed in 0..20u64 {
+            let mut m = Machine::new(MachineConfig::pod_v100(2, 2));
+            let topo = m.topology().clone();
+            m.install_faults(FaultPlan::generate_tiered(
+                seed,
+                &topo,
+                FaultSpec::none(),
+                FaultSpec::chaos(0.8),
+            ));
+            match try_all_to_all_timed(&mut m, &cfg, &bytes, &ready(4)) {
+                Ok(_) => completions += 1,
+                Err(e) => assert!(matches!(e, FabricError::RetryExhausted { .. })),
+            }
+        }
+        assert!(completions > 0, "some seeds must complete");
     }
 
     #[test]

@@ -10,6 +10,12 @@ pub enum Algorithm {
     Direct,
     /// Neighbor-ring forwarding in `n − 1` steps.
     Ring,
+    /// Topology-aware two-level schedule for pod fabrics: intra-node pairs
+    /// go direct over the crossbar; cross-node traffic is gathered to the
+    /// source node's gateway, crosses the slow tier as one aggregate
+    /// transfer per ordered node pair, then scatters inside the destination
+    /// node. On a single-node topology this is exactly [`Algorithm::Direct`].
+    Hierarchical,
 }
 
 /// Tuning knobs shared by all collectives.

@@ -23,7 +23,10 @@ pub fn all_gather(
 
     let mut done = vec![SimTime::ZERO; n];
     match cfg.algorithm {
-        Algorithm::Direct => {
+        // Hierarchical staging only pays off for alltoall's scatter pattern;
+        // an all_gather's payload is identical to every destination, so the
+        // pod schedule degenerates to the direct broadcast-style exchange.
+        Algorithm::Direct | Algorithm::Hierarchical => {
             for src in 0..n {
                 let t0 = ready[src] + cfg.call_overhead;
                 let bytes = inputs[src].len() as u64 * ELEM_BYTES;

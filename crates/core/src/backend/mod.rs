@@ -20,7 +20,7 @@ pub use pgas::PgasFusedBackend;
 pub use resilient::{
     DegradedFill, ResiliencePolicy, ResilienceReport, ResilientBackend, ResilientResult,
 };
-pub use single::{baseline_batch, pgas_batch, BatchRun, PlannedBatch};
+pub use single::{baseline_batch, pgas_batch, pgas_batch_gateway, BatchRun, PlannedBatch};
 
 pub use crate::cache::{HotCachePlanner, HotReplicas, HotRowCache, IndexDedupMap};
 

@@ -730,6 +730,51 @@ mod tests {
     }
 
     #[test]
+    fn clean_pod_fabric_is_bit_identical_to_pgas() {
+        // The resilient wrapper must stay a no-op on a clean two-tier pod,
+        // exactly as it is on a single-node crossbar.
+        let cfg = tiny_cfg(4);
+        let mut mp = Machine::new(MachineConfig::pod_v100(2, 2));
+        let p = PgasFusedBackend::new().run(&mut mp, &cfg, ExecMode::Timing);
+        let mut mr = Machine::new(MachineConfig::pod_v100(2, 2));
+        let r = ResilientBackend::new().run_resilient(&mut mr, &cfg, ExecMode::Timing);
+        assert_eq!(r.result.report.total, p.report.total);
+        assert_eq!(r.resilience.degraded_rows, 0);
+        assert_eq!(r.resilience.retries, 0);
+    }
+
+    #[test]
+    fn resilient_backend_survives_tiered_chaos_on_pods() {
+        // Chaos concentrated on the inter-node tier (the intra crossbar
+        // stays clean): every seed must complete all batches without
+        // panicking, and at least one seed must actually exercise the
+        // degradation machinery.
+        use gpusim::FaultPlan;
+        let cfg = tiny_cfg(4);
+        let mut perturbed = 0u64;
+        for seed in 0..8u64 {
+            let mut m = Machine::new(MachineConfig::pod_v100(2, 2));
+            let topo = m.topology().clone();
+            m.install_faults(FaultPlan::generate_tiered(
+                seed,
+                &topo,
+                FaultSpec::chaos(0.1),
+                FaultSpec::chaos(0.9),
+            ));
+            let r = ResilientBackend::new().run_resilient(&mut m, &cfg, ExecMode::Timing);
+            assert_eq!(r.resilience.batch_latencies.len(), cfg.n_batches);
+            assert!(r.result.report.total > desim::Dur::ZERO);
+            perturbed += r.resilience.retries
+                + r.resilience.degraded_rows
+                + u64::from(r.resilience.failover_at.is_some());
+        }
+        assert!(
+            perturbed > 0,
+            "chaos(0.9) on the inter-node tier must perturb at least one run"
+        );
+    }
+
+    #[test]
     fn trivial_fault_plan_is_also_identical() {
         let cfg = tiny_cfg(2);
         let mut mp = Machine::new(MachineConfig::dgx_v100(2));

@@ -12,7 +12,7 @@
 
 use desim::{Dur, SimTime};
 use gpusim::Machine;
-use pgas_rt::{OneSided, PgasConfig};
+use pgas_rt::{GatewayConfig, GatewayPut, OneSided, PgasConfig};
 use rayon::prelude::*;
 use simccl::{all_to_all_timed, CollectiveConfig};
 
@@ -273,6 +273,82 @@ pub fn pgas_batch(
     run
 }
 
+/// Execute one batch on the PGAS fused path with **gateway aggregation** of
+/// cross-node stores: same fused-emission schedule as [`pgas_batch`], but
+/// one-sided puts route through a [`GatewayPut`] proxy that coalesces rows
+/// bound for remote nodes into one aggregate message per destination node
+/// (flushed on size/age), scattered intra-node by the destination gateway.
+/// On a single-node topology every put bypasses the proxy, so this is
+/// bit-identical to [`pgas_batch`].
+pub fn pgas_batch_gateway(
+    machine: &mut Machine,
+    cfg: GatewayConfig,
+    pb: &PlannedBatch,
+    start: SimTime,
+) -> BatchRun {
+    let plan = pb.plan();
+    let n = plan.n_devices;
+    let row_bytes = plan.row_bytes();
+
+    // --- Phase 1: fused kernels; collect every device's store releases. ---
+    let mut k_end = vec![SimTime::ZERO; n];
+    let mut events: Vec<(SimTime, usize, usize, u64)> = Vec::new();
+    for dp in &plan.devices {
+        let durs = &pb.durations()[dp.device];
+        let run = machine.run_kernel_varied(dp.device, durs, start);
+        k_end[dp.device] = run.interval.end;
+        for ((ready, dst), rows) in stream_releases(dp, durs, &run) {
+            events.push((ready, dp.device, dst, rows));
+        }
+    }
+    // --- Phase 2: one shared proxy, fed in global simulated-time order.
+    // The fabric books wire intervals FIFO in *call* order, and gateway
+    // scatters put traffic on links owned by a different GPU than the
+    // origin — issuing per-device (as the flat path does) would book one
+    // origin's whole timeline before the next origin's earlier stores and
+    // serialize them artificially. Sorting by (ready, src, dst) keeps call
+    // order aligned with simulated time. Each origin drains at its own
+    // kernel-retirement instant, merged into the same ordering.
+    events.sort_unstable_by_key(|&(t, src, dst, _)| (t, src, dst));
+    let mut gw = GatewayPut::new(machine, cfg);
+    let mut drained = vec![false; n];
+    let mut quiet = vec![SimTime::ZERO; n];
+    for (ready, src, dst, rows) in events {
+        for d in 0..n {
+            if !drained[d] && k_end[d] < ready {
+                gw.drain_src(d, k_end[d]);
+                drained[d] = true;
+            }
+        }
+        gw.put_rows_nbi(src, dst, rows, row_bytes, ready);
+    }
+    for (d, &t) in k_end.iter().enumerate() {
+        gw.drain_src(d, t);
+    }
+    for d in 0..n {
+        quiet[d] = gw.quiet(d, k_end[d]);
+    }
+    drop(gw);
+    let k_max = machine.barrier(&k_end);
+
+    let mut os = OneSided::with_config(machine, cfg.pgas);
+    let bar = os.barrier_all(&quiet);
+    let end: Vec<SimTime> = (0..n).map(|d| machine.stream_sync(d, bar)).collect();
+    let batch_end = machine.barrier(&end);
+
+    let run = BatchRun {
+        start,
+        end: batch_end,
+        breakdown: TimeBreakdown {
+            compute: k_max - start,
+            communication: Dur::ZERO,
+            sync_unpack: batch_end - k_max,
+        },
+    };
+    record_batch_metrics(machine, BACKEND_PGAS, &run);
+    run
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +425,62 @@ mod tests {
             "pgas {} vs {}",
             p.service(),
             b.service()
+        );
+    }
+
+    #[test]
+    fn gateway_batch_is_bit_identical_on_single_node() {
+        // At every crossbar width: with no cross-node traffic the proxy
+        // must be a no-op, bit for bit.
+        for n in [1usize, 2, 4, 8] {
+            let cfg = tiny_cfg(n);
+            let mut m = Machine::new(MachineConfig::dgx_v100(n));
+            let pb = planned(&m, &cfg, 0);
+            let plain = pgas_batch(&mut m, PgasConfig::default(), &pb, SimTime::ZERO);
+            let mut m2 = Machine::new(MachineConfig::dgx_v100(n));
+            let gw = pgas_batch_gateway(&mut m2, GatewayConfig::default(), &pb, SimTime::ZERO);
+            assert_eq!(plain, gw, "width {n}: proxy must be a no-op");
+            assert_eq!(m.traffic_stats(), m2.traffic_stats(), "width {n}");
+        }
+    }
+
+    #[test]
+    fn gateway_batch_cuts_inter_node_messages_on_pods() {
+        // Less aggressively scaled down than `tiny_cfg`: enough cross-node
+        // traffic that the flat path is wire-bound on the RoCE tier (its
+        // per-row messages outrun the link's message rate), which is the
+        // regime the gateway is built for.
+        let mut cfg = EmbLayerConfig::paper_weak_scaling(4).scaled_down(16);
+        cfg.n_batches = 1;
+        cfg.distinct_batches = 1;
+        let mut m = Machine::new(MachineConfig::pod_v100(2, 2));
+        m.enable_telemetry();
+        let pb = planned(&m, &cfg, 0);
+        let flat = pgas_batch(&mut m, PgasConfig::default(), &pb, SimTime::ZERO);
+        let flat_msgs = m.metrics().counter("fabric_tier_messages", 1, 0);
+
+        let mut m2 = Machine::new(MachineConfig::pod_v100(2, 2));
+        m2.enable_telemetry();
+        // Short age bound so late stragglers still overlap the kernel.
+        let gw_cfg = GatewayConfig {
+            pgas: PgasConfig::default(),
+            flush: pgas_rt::AggregatorConfig {
+                flush_bytes: 8 << 10,
+                max_wait: Dur::from_us(5),
+            },
+        };
+        let gw = pgas_batch_gateway(&mut m2, gw_cfg, &pb, SimTime::ZERO);
+        let gw_msgs = m2.metrics().counter("fabric_tier_messages", 1, 0);
+
+        assert!(
+            gw_msgs < flat_msgs / 10,
+            "gateway must collapse cross-node messages: {gw_msgs} vs {flat_msgs}"
+        );
+        assert!(
+            gw.service() < flat.service(),
+            "on RoCE-tier links aggregation must win: {} vs {}",
+            gw.service(),
+            flat.service()
         );
     }
 

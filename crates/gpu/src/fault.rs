@@ -31,6 +31,8 @@
 use desim::{Dur, SimTime};
 use std::fmt;
 
+use crate::Topology;
+
 /// Errors surfaced by the fabric and the layers above it. This is the shared
 /// taxonomy: `pgas-rt` and `simccl` re-export it so retries, deadlines and
 /// failover all speak the same language.
@@ -453,42 +455,84 @@ impl FaultPlan {
     /// straggler factors and all per-message sampling derive only from
     /// `seed` and `spec`.
     pub fn generate(seed: u64, n_gpus: usize, spec: FaultSpec) -> Self {
+        Self::generate_with(seed, n_gpus, spec, |_, _| &spec)
+    }
+
+    /// Materialize a plan for a two-tier pod topology: link windows
+    /// (degradation + flaps) on intra-node pairs come from `intra`, on
+    /// inter-node pairs from `inter` — so the slow scale-out tier can
+    /// degrade and flap independently of the in-node crossbar. Device-level
+    /// faults (message drops/delays, stragglers, whole-device loss) come
+    /// from `intra`, the node-local spec. Window placement stays per-pair
+    /// substream-seeded, so with `intra == inter` the plan is bit-identical
+    /// to [`FaultPlan::generate`] on the same GPU count.
+    pub fn generate_tiered(
+        seed: u64,
+        topology: &Topology,
+        intra: FaultSpec,
+        inter: FaultSpec,
+    ) -> Self {
+        Self::generate_with(seed, topology.n_gpus(), intra, |src, dst| {
+            if topology.same_node(src, dst) {
+                &intra
+            } else {
+                &inter
+            }
+        })
+    }
+
+    /// Shared generation core: `spec_for(src, dst)` picks the window spec of
+    /// each directed pair; `base` drives everything non-pair-specific. The
+    /// plan is trivial only when `base` *and* every pair spec inject nothing.
+    fn generate_with<'s>(
+        seed: u64,
+        n_gpus: usize,
+        base: FaultSpec,
+        spec_for: impl Fn(usize, usize) -> &'s FaultSpec,
+    ) -> Self {
         assert!(n_gpus >= 1, "fault plan needs at least one GPU");
         assert!(
-            spec.drop_prob >= 0.0 && spec.drop_prob <= 1.0,
+            base.drop_prob >= 0.0 && base.drop_prob <= 1.0,
             "drop_prob out of [0, 1]"
         );
         assert!(
-            spec.delay_prob >= 0.0 && spec.delay_prob + spec.drop_prob <= 1.0,
+            base.delay_prob >= 0.0 && base.delay_prob + base.drop_prob <= 1.0,
             "drop_prob + delay_prob must stay within [0, 1]"
         );
         let n = n_gpus;
-        let trivial = spec.is_none();
+        let spec = base;
+        let mut trivial = base.is_none();
         let mut windows = vec![Vec::new(); n * n];
         let mut msg_streams = Vec::with_capacity(n * n);
         for src in 0..n {
             for dst in 0..n {
                 let pair = (src * n + dst) as u64;
                 msg_streams.push(substream(seed, 0x4D53_0000 | pair));
-                if src == dst || trivial {
+                if src == dst {
+                    continue;
+                }
+                let pair_spec = spec_for(src, dst);
+                trivial &= pair_spec.is_none();
+                if pair_spec.is_none() {
                     continue;
                 }
                 let mut s = substream(seed, 0x574E_0000 | pair);
                 let mut w = Vec::new();
-                let horizon_s = spec.horizon.as_secs_f64();
-                for _ in 0..sample_count(&mut s, spec.degrade_rate * horizon_s) {
-                    let start = s.uniform_dur(Dur::ZERO, spec.horizon);
-                    let len = s.uniform_dur(spec.degrade_window.0, spec.degrade_window.1);
-                    let factor = s.uniform_f64(spec.degrade_factor.0, spec.degrade_factor.1);
+                let horizon_s = pair_spec.horizon.as_secs_f64();
+                for _ in 0..sample_count(&mut s, pair_spec.degrade_rate * horizon_s) {
+                    let start = s.uniform_dur(Dur::ZERO, pair_spec.horizon);
+                    let len = s.uniform_dur(pair_spec.degrade_window.0, pair_spec.degrade_window.1);
+                    let factor =
+                        s.uniform_f64(pair_spec.degrade_factor.0, pair_spec.degrade_factor.1);
                     w.push(FaultWindow {
                         start: SimTime::ZERO + start,
                         end: SimTime::ZERO + start + len,
                         kind: FaultKind::Degraded(factor),
                     });
                 }
-                for _ in 0..sample_count(&mut s, spec.flap_rate * horizon_s) {
-                    let start = s.uniform_dur(Dur::ZERO, spec.horizon);
-                    let len = s.uniform_dur(spec.flap_window.0, spec.flap_window.1);
+                for _ in 0..sample_count(&mut s, pair_spec.flap_rate * horizon_s) {
+                    let start = s.uniform_dur(Dur::ZERO, pair_spec.horizon);
+                    let len = s.uniform_dur(pair_spec.flap_window.0, pair_spec.flap_window.1);
                     w.push(FaultWindow {
                         start: SimTime::ZERO + start,
                         end: SimTime::ZERO + start + len,
@@ -1006,6 +1050,61 @@ mod tests {
             storm.fingerprint(),
             FaultPlan::generate(7, 4, FaultSpec::storm(0.5)).fingerprint()
         );
+    }
+
+    #[test]
+    fn tiered_with_equal_specs_matches_generate() {
+        use crate::LinkSpec;
+        // On any topology, identical per-tier specs must reproduce the flat
+        // generator bit for bit — the pod fault path is a strict extension.
+        for topo in [
+            Topology::crossbar(4, LinkSpec::nvlink_v100()),
+            Topology::multi_node(2, 2, LinkSpec::nvlink_v100(), LinkSpec::roce()),
+        ] {
+            let spec = FaultSpec::chaos(0.5);
+            let flat = FaultPlan::generate(21, topo.n_gpus(), spec);
+            let tiered = FaultPlan::generate_tiered(21, &topo, spec, spec);
+            assert_eq!(flat.fingerprint(), tiered.fingerprint());
+            for src in 0..topo.n_gpus() {
+                for dst in 0..topo.n_gpus() {
+                    assert_eq!(flat.windows(src, dst), tiered.windows(src, dst));
+                }
+                assert_eq!(flat.straggler_factor(src), tiered.straggler_factor(src));
+            }
+            assert_eq!(flat.is_trivial(), tiered.is_trivial());
+        }
+    }
+
+    #[test]
+    fn tiered_faults_only_hit_the_requested_tier() {
+        use crate::LinkSpec;
+        let topo = Topology::multi_node(2, 2, LinkSpec::nvlink_v100(), LinkSpec::roce());
+        // Clean crossbar, chaotic scale-out tier.
+        let p = FaultPlan::generate_tiered(5, &topo, FaultSpec::none(), FaultSpec::chaos(1.0));
+        assert!(!p.is_trivial());
+        let mut inter_windows = 0;
+        for src in 0..4 {
+            for dst in 0..4 {
+                if src == dst {
+                    continue;
+                }
+                if topo.same_node(src, dst) {
+                    assert!(
+                        p.windows(src, dst).is_empty(),
+                        "intra pair {src}->{dst} must stay clean"
+                    );
+                } else {
+                    inter_windows += p.windows(src, dst).len();
+                }
+            }
+        }
+        assert!(inter_windows > 0, "chaos(1.0) must schedule inter windows");
+        // The flipped assignment faults only the crossbar.
+        let q = FaultPlan::generate_tiered(5, &topo, FaultSpec::chaos(1.0), FaultSpec::none());
+        for (src, dst) in [(0usize, 2usize), (1, 3), (2, 0)] {
+            assert!(q.windows(src, dst).is_empty());
+        }
+        assert!(!q.windows(0, 1).is_empty() || !q.windows(2, 3).is_empty());
     }
 
     #[test]

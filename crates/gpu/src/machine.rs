@@ -42,6 +42,24 @@ impl MachineConfig {
         }
     }
 
+    /// A scale-out pod of V100 nodes: NVLink crossbar within a node, a
+    /// RoCE/IB NIC tier across nodes ([`LinkSpec::roce`] — lower bandwidth,
+    /// higher latency, and a steep per-message cost). The EXT-11 execution
+    /// fabric: unlike `multi_node_v100`'s analytic IB preset, this tier is
+    /// message-rate-limited, which is where flat per-row PGAS stores invert.
+    pub fn pod_v100(nodes: usize, per_node: usize) -> Self {
+        MachineConfig {
+            specs: vec![GpuSpec::v100(); nodes * per_node],
+            topology: Topology::multi_node(
+                nodes,
+                per_node,
+                LinkSpec::nvlink_v100(),
+                LinkSpec::roce(),
+            ),
+            traffic_bucket: Dur::from_us(50),
+        }
+    }
+
     /// Override the traffic-series bucket width.
     pub fn with_traffic_bucket(mut self, bucket: Dur) -> Self {
         self.traffic_bucket = bucket;
@@ -86,6 +104,13 @@ pub struct Machine {
     links: Vec<Resource>,
     /// Per-device injection port (the GPU's whole NVLink/NIC complex).
     injection: Vec<Resource>,
+    /// Per-node egress NIC (the node's HCA): inter-node transfers from all
+    /// GPUs of a node additionally serialize through it, making cross-node
+    /// bandwidth a *node* resource rather than a per-pair resource.
+    /// Intra-node transfers never touch it, and a node with a single GPU
+    /// sees timing identical to the plain per-pair link (the NIC and link
+    /// horizons coincide).
+    nics: Vec<Resource>,
     /// Payload bytes on the wire over time, per ordered pair.
     traffic: Vec<TimeSeries>,
     /// Latest send-completion per source device (for PGAS `quiet`).
@@ -119,6 +144,7 @@ impl Machine {
             streams: vec![SimTime::ZERO; n],
             links: vec![Resource::new(); n * n],
             injection: vec![Resource::new(); n],
+            nics: vec![Resource::new(); cfg.topology.nodes()],
             traffic: (0..n * n).map(|_| TimeSeries::new(bucket)).collect(),
             sent_upto: vec![SimTime::ZERO; n],
             msg_sizes: Histogram::new(),
@@ -434,7 +460,20 @@ impl Machine {
         let wire_bytes = payload + n_messages * link.header_bytes as u64;
         let inj_time = Dur::from_secs_f64(wire_bytes as f64 / self.cfg.specs[src].inj_bw);
         let inj_iv = self.injection[src].acquire(ready + link.latency, inj_time);
-        let iv = self.links[src * n + dst].acquire(inj_iv.start, wire);
+        // Cross-node traffic funnels through the source node's shared NIC
+        // before its pair link; intra-node traffic rides the crossbar only.
+        let wire_from = if self.cfg.topology.same_node(src, dst) {
+            inj_iv.start
+        } else {
+            let node = self.cfg.topology.node_of(src);
+            let nic_iv = self.nics[node].acquire(inj_iv.start, wire);
+            if self.metrics.is_enabled() {
+                self.metrics
+                    .span("nic_busy_ns", node as u32, 0, nic_iv.start, nic_iv.end);
+            }
+            nic_iv.start
+        };
+        let iv = self.links[src * n + dst].acquire(wire_from, wire);
         let iv = Interval {
             start: iv.start,
             end: iv.end.max(inj_iv.end),
@@ -468,6 +507,24 @@ impl Machine {
                     mean_payload,
                 );
             }
+            // Per-tier rollups (tier 0 = intra-node, 1 = inter-node): on a
+            // pod topology these split the same traffic by which fabric
+            // tier carried it, so the slow-tier share is one key away.
+            let tier = if self.cfg.topology.same_node(src, dst) {
+                0
+            } else {
+                1
+            };
+            self.metrics
+                .add("fabric_tier_messages", tier, 0, n_messages);
+            self.metrics
+                .add("fabric_tier_payload_bytes", tier, 0, payload);
+            self.metrics.add(
+                "fabric_tier_header_bytes",
+                tier,
+                0,
+                n_messages * link.header_bytes as u64,
+            );
             // Busy-time over the wire interval: bucket_value / bucket_ns is
             // this link's utilization in that bucket.
             self.metrics.span("link_busy_ns", si, di, iv.start, iv.end);
@@ -745,6 +802,76 @@ mod tests {
         let c = m.send(2, 1, 1 << 20, 1, SimTime::ZERO);
         assert!(b.start >= a.end, "same link serializes");
         assert_eq!(c.start, a.start, "distinct sources run in parallel");
+    }
+
+    #[test]
+    fn node_nic_serializes_cross_node_traffic_from_distinct_gpus() {
+        // GPUs 0 and 1 (node 0) each send one large message to node 1:
+        // distinct pair links, but the shared egress NIC serializes them.
+        let mut m = Machine::new(MachineConfig::pod_v100(2, 2));
+        let a = m.send(0, 2, 4 << 20, 1, SimTime::ZERO);
+        let b = m.send(1, 3, 4 << 20, 1, SimTime::ZERO);
+        assert!(
+            b.start >= a.end,
+            "shared NIC must serialize cross-node sends"
+        );
+        // Intra-node traffic from the same two sources is untouched by the
+        // NIC and overlaps freely.
+        let mut m = Machine::new(MachineConfig::pod_v100(2, 2));
+        let a = m.send(0, 1, 4 << 20, 1, SimTime::ZERO);
+        let b = m.send(1, 0, 4 << 20, 1, SimTime::ZERO);
+        assert_eq!(a.start, b.start, "crossbar pairs stay independent");
+    }
+
+    #[test]
+    fn single_gpu_nodes_see_identical_timing_with_and_without_nic() {
+        // On a 2x1 fabric the NIC and the (only) pair link have identical
+        // horizons, so EXT-2's executed numbers are unchanged by the NIC.
+        let mut m = Machine::new(MachineConfig::multi_node_v100(2, 1));
+        let link = *m.topology().link(0, 1);
+        let a = m.send(0, 1, 1 << 20, 1, SimTime::ZERO);
+        let b = m.send(0, 1, 1 << 20, 1, SimTime::ZERO);
+        assert_eq!(a.start, SimTime::ZERO + link.latency);
+        assert_eq!(a.duration(), link.wire_time(1 << 20, 1));
+        assert_eq!(b.start, a.end, "back-to-back messages abut exactly");
+    }
+
+    #[test]
+    fn telemetry_snapshot_labels_fabric_tiers_and_nics() {
+        // One intra-node and one inter-node transfer on a 2x2 pod: the
+        // snapshot must split them across the tier labels (tier 0 = intra,
+        // 1 = inter) and record the source node's NIC busy-time, and be
+        // bit-identical across identical runs.
+        let run = || {
+            let mut m = Machine::new(MachineConfig::pod_v100(2, 2));
+            m.enable_telemetry();
+            m.send(0, 1, 4096, 2, SimTime::ZERO);
+            m.send(0, 2, 8192, 3, SimTime::ZERO);
+            m.metrics().snapshot()
+        };
+        let snap = run();
+        assert_eq!(snap.counter("fabric_tier_messages", 0, 0), 2);
+        assert_eq!(snap.counter("fabric_tier_messages", 1, 0), 3);
+        assert_eq!(snap.counter("fabric_tier_payload_bytes", 0, 0), 4096);
+        assert_eq!(snap.counter("fabric_tier_payload_bytes", 1, 0), 8192);
+        let inter = *MachineConfig::pod_v100(2, 2).topology.link(0, 2);
+        assert_eq!(
+            snap.counter("fabric_tier_header_bytes", 1, 0),
+            3 * inter.header_bytes as u64
+        );
+        let nic_busy: f64 = snap
+            .timelines
+            .iter()
+            .filter(|(k, _)| k.name == "nic_busy_ns" && k.i == 0)
+            .flat_map(|(_, buckets)| buckets.iter())
+            .sum();
+        let wire = inter.wire_time(8192, 3);
+        assert!(
+            (nic_busy - wire.as_ns() as f64).abs() < 1.0,
+            "NIC busy-time {nic_busy} must equal the inter-node wire time {}",
+            wire.as_ns()
+        );
+        assert_eq!(snap, run(), "snapshots must be deterministic");
     }
 
     #[test]

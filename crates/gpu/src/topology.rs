@@ -49,6 +49,22 @@ impl LinkSpec {
         }
     }
 
+    /// A RoCE/IB scale-out NIC as the pod fabric sees it: 5 GB/s sustained
+    /// per direction, ~6 µs one-sided write latency, and a large
+    /// per-message cost. `header_bytes` here folds the whole per-WQE
+    /// overhead (doorbell, WQE fetch, address translation, ACK) into a
+    /// byte-equivalent at wire rate: 1024 B ≈ 205 ns/message ≈ a ~5 M msg/s
+    /// message-rate ceiling — the header-dominated regime where per-row
+    /// one-sided stores stop being bandwidth-efficient (paper §V;
+    /// "Demystifying NVSHMEM" inter-node small-message cliffs).
+    pub fn roce() -> Self {
+        LinkSpec {
+            bandwidth: 5e9,
+            latency: Dur::from_us(6),
+            header_bytes: 1024,
+        }
+    }
+
     /// Wire time for a transfer of `payload` bytes split into `n_messages`
     /// messages (headers charged per message).
     pub fn wire_time(&self, payload: u64, n_messages: u64) -> Dur {
@@ -133,6 +149,31 @@ impl Topology {
     /// Node index of a GPU (always 0 in single-node topologies).
     pub fn node_of(&self, gpu: usize) -> usize {
         self.node_of[gpu]
+    }
+
+    /// Number of distinct nodes (1 for every single-node topology).
+    pub fn nodes(&self) -> usize {
+        self.node_of.iter().copied().max().unwrap_or(0) + 1
+    }
+
+    /// The gateway GPU of the node containing `gpu`: the lowest-index GPU
+    /// in that node. Gateway-routed schemes (hierarchical alltoall, the
+    /// PGAS gateway proxy) funnel cross-node traffic through this device.
+    pub fn gateway_of(&self, gpu: usize) -> usize {
+        let node = self.node_of[gpu];
+        self.node_of
+            .iter()
+            .position(|&n| n == node)
+            .expect("gpu's own node exists")
+    }
+
+    /// All GPUs in `node`, ascending.
+    pub fn node_members(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        self.node_of
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &n)| n == node)
+            .map(|(g, _)| g)
     }
 
     /// True if both GPUs are in the same node.
@@ -235,5 +276,42 @@ mod tests {
         assert!(LinkSpec::nvlink_v100().bandwidth > LinkSpec::infiniband().bandwidth);
         assert!(LinkSpec::nvlink_v100().latency < LinkSpec::infiniband().latency);
         assert!(LinkSpec::nvlink_v100().latency < LinkSpec::pcie3_x16().latency);
+        // The pod NIC is the slowest tier and the most header-dominated.
+        assert!(LinkSpec::roce().bandwidth < LinkSpec::infiniband().bandwidth);
+        assert!(LinkSpec::roce().latency > LinkSpec::infiniband().latency);
+        assert!(LinkSpec::roce().header_bytes > LinkSpec::infiniband().header_bytes);
+    }
+
+    #[test]
+    fn roce_is_message_rate_limited() {
+        // At 256 B payloads most of the wire time is per-message overhead:
+        // one coalesced 64 KiB transfer beats 256 separate 256 B messages
+        // by more than 4x.
+        let l = LinkSpec::roce();
+        let flat = l.wire_time(64 << 10, 256);
+        let agg = l.wire_time(64 << 10, 1);
+        assert!(flat > agg * 4);
+    }
+
+    #[test]
+    fn nodes_and_gateways() {
+        let t = Topology::crossbar(4, LinkSpec::nvlink_v100());
+        assert_eq!(t.nodes(), 1);
+        for g in 0..4 {
+            assert_eq!(t.gateway_of(g), 0);
+        }
+
+        let t = Topology::multi_node(3, 4, LinkSpec::nvlink_v100(), LinkSpec::roce());
+        assert_eq!(t.nodes(), 3);
+        assert_eq!(t.gateway_of(0), 0);
+        assert_eq!(t.gateway_of(3), 0);
+        assert_eq!(t.gateway_of(4), 4);
+        assert_eq!(t.gateway_of(7), 4);
+        assert_eq!(t.gateway_of(11), 8);
+        assert_eq!(t.node_members(1).collect::<Vec<_>>(), vec![4, 5, 6, 7]);
+        // A gateway is always inside its own node.
+        for g in 0..12 {
+            assert!(t.same_node(g, t.gateway_of(g)));
+        }
     }
 }

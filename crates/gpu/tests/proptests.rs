@@ -128,3 +128,56 @@ proptest! {
         prop_assert_eq!(m.finish_time(), latest);
     }
 }
+
+proptest! {
+    /// Node arithmetic on arbitrary pod shapes: `node_of` partitions GPUs
+    /// into contiguous blocks of `per_node`, `same_node` agrees with it,
+    /// every gateway is its node's lowest member, and `node_members` is the
+    /// exact preimage of `node_of`.
+    #[test]
+    fn pod_topology_node_math_is_consistent(nodes in 1usize..12, per_node in 1usize..8) {
+        let t = gpusim::Topology::multi_node(
+            nodes,
+            per_node,
+            gpusim::LinkSpec::nvlink_v100(),
+            gpusim::LinkSpec::roce(),
+        );
+        prop_assert_eq!(t.nodes(), nodes);
+        prop_assert_eq!(t.n_gpus(), nodes * per_node);
+        for g in 0..t.n_gpus() {
+            prop_assert_eq!(t.node_of(g), g / per_node);
+            let gw = t.gateway_of(g);
+            prop_assert!(t.same_node(g, gw));
+            prop_assert_eq!(gw, t.node_of(g) * per_node);
+        }
+        for node in 0..nodes {
+            let members: Vec<usize> = t.node_members(node).collect();
+            prop_assert_eq!(members.len(), per_node);
+            for &m in &members {
+                prop_assert_eq!(t.node_of(m), node);
+            }
+            prop_assert_eq!(members[0], t.gateway_of(members[0]));
+        }
+        for a in 0..t.n_gpus() {
+            for b in 0..t.n_gpus() {
+                prop_assert_eq!(t.same_node(a, b), t.node_of(a) == t.node_of(b));
+            }
+        }
+    }
+
+    /// Inter-node pairs ride the slow tier, intra-node pairs the crossbar —
+    /// for every pair of a random pod shape.
+    #[test]
+    fn pod_links_match_tiers(nodes in 1usize..8, per_node in 1usize..6) {
+        let intra = gpusim::LinkSpec::nvlink_v100();
+        let inter = gpusim::LinkSpec::roce();
+        let t = gpusim::Topology::multi_node(nodes, per_node, intra, inter);
+        for (a, b) in t.pairs() {
+            let l = t.link(a, b);
+            let expect = if t.same_node(a, b) { &intra } else { &inter };
+            prop_assert_eq!(l.bandwidth, expect.bandwidth);
+            prop_assert_eq!(l.latency, expect.latency);
+            prop_assert_eq!(l.header_bytes, expect.header_bytes);
+        }
+    }
+}

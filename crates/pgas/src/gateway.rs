@@ -1,0 +1,441 @@
+//! Gateway-aggregated PGAS puts for pod fabrics.
+//!
+//! On a two-level topology, flat one-sided puts pay the inter-node link's
+//! per-message cost once per coalesced message — ruinous for small embedding
+//! rows on header-dominated links (RoCE's WQE-rate ceiling). The gateway
+//! proxy keeps the PGAS programming model but routes cross-node stores
+//! through a per-(origin, destination-node) staging buffer: rows destined
+//! for any GPU on a remote node are coalesced locally and cross the slow
+//! tier as **one** message to that node's gateway GPU, which then scatters
+//! them to their final destinations over the fast intra-node crossbar.
+//!
+//! Same-node puts bypass the proxy entirely, so on a single-node topology
+//! [`GatewayPut`] is bit-identical to a plain [`OneSided`].
+
+use std::collections::{BTreeMap, HashMap};
+
+use desim::{Interval, SimTime};
+use gpusim::Machine;
+
+use crate::aggregator::AggregatorConfig;
+use crate::coalesce::{coalesce_rows, CoalescedBatch};
+use crate::ops::{OneSided, PgasConfig};
+
+/// Tuning for the gateway proxy: the underlying one-sided config plus the
+/// staging-buffer flush policy (size/age, shared with [`crate::Aggregator`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GatewayConfig {
+    /// One-sided put parameters (coalescing payload, issue overhead, ...).
+    pub pgas: PgasConfig,
+    /// When a staged cross-node buffer ships: at `flush_bytes` staged
+    /// payload, or when its oldest row has waited `max_wait`.
+    pub flush: AggregatorConfig,
+}
+
+/// One staged cross-node buffer: rows from a single origin GPU bound for
+/// GPUs on a single remote node, keyed by (final destination, row size) so
+/// the gateway can scatter exact shares on arrival.
+#[derive(Clone, Debug, Default)]
+struct Stage {
+    payload: u64,
+    rows: u64,
+    oldest: SimTime,
+    newest: SimTime,
+    shares: BTreeMap<(usize, u32), u64>,
+}
+
+/// PGAS one-sided puts with per-node gateway aggregation of cross-node
+/// traffic. Wraps [`OneSided`]; stores must arrive in non-decreasing
+/// `ready` order per origin GPU (the natural order of block retirements),
+/// asserted in debug builds.
+pub struct GatewayPut<'m> {
+    os: OneSided<'m>,
+    flush: AggregatorConfig,
+    staged: HashMap<(usize, usize), Stage>,
+    /// Latest scatter completion involving each origin GPU's traffic;
+    /// `quiet` must cover these even though the gateway issued them.
+    last_delivery: HashMap<usize, SimTime>,
+    /// Busy-until horizon of each gateway's forwarding channel, keyed
+    /// `(gateway, final destination)`. Scatter forwarding runs on the
+    /// proxy's own DMA engine, serialized per channel but deliberately NOT
+    /// booked on the machine's per-GPU injection port: the fabric books
+    /// FIFO in call order, and charging forwarded traffic (whose ready
+    /// times sit one inter-node latency in the future) to the gateway GPU's
+    /// port would stall that GPU's own concurrent emission behind it.
+    forward: HashMap<(usize, usize), SimTime>,
+    flushes: u64,
+    rows_staged: u64,
+}
+
+impl<'m> GatewayPut<'m> {
+    /// A gateway proxy over `machine` with the given config.
+    pub fn new(machine: &'m mut Machine, cfg: GatewayConfig) -> Self {
+        GatewayPut {
+            os: OneSided::with_config(machine, cfg.pgas),
+            flush: cfg.flush,
+            staged: HashMap::new(),
+            last_delivery: HashMap::new(),
+            forward: HashMap::new(),
+            flushes: 0,
+            rows_staged: 0,
+        }
+    }
+
+    /// Number of cross-node flush messages shipped so far.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Number of cross-node rows staged so far.
+    pub fn rows_staged(&self) -> u64 {
+        self.rows_staged
+    }
+
+    /// The wrapped machine.
+    pub fn machine(&mut self) -> &mut Machine {
+        self.os.machine()
+    }
+
+    /// Issue `rows` row-stores of `row_bytes` from `src` to `dst`, ready at
+    /// `ready`. Same-node destinations go straight through the wrapped
+    /// [`OneSided`]; cross-node destinations are staged and ship when the
+    /// buffer's size or age threshold fires. Returns the wire interval of
+    /// whatever this call put on the wire (the direct put, or a triggered
+    /// flush), or a zero-width interval at `ready` if it only staged.
+    pub fn put_rows_nbi(
+        &mut self,
+        src: usize,
+        dst: usize,
+        rows: u64,
+        row_bytes: u32,
+        ready: SimTime,
+    ) -> Interval {
+        if self.os.machine().topology().same_node(src, dst) {
+            return self.os.put_rows_nbi(src, dst, rows, row_bytes, ready);
+        }
+        let dst_node = self.os.machine().topology().node_of(dst);
+        self.rows_staged += rows;
+        let entry = self.staged.entry((src, dst_node)).or_default();
+        debug_assert!(
+            entry.rows == 0 || ready >= entry.newest,
+            "stores must arrive in non-decreasing ready order per origin"
+        );
+        let mut shipped = None;
+        // Age flush: the timer fired before this row arrived — the staged
+        // buffer left the node without it.
+        if entry.rows > 0 && entry.oldest + self.flush.max_wait <= ready {
+            let flush_at = entry.oldest + self.flush.max_wait;
+            let mut stage = std::mem::take(entry);
+            shipped = Some(self.ship(src, dst_node, &mut stage, flush_at));
+        }
+        let entry = self.staged.entry((src, dst_node)).or_default();
+        if entry.rows == 0 {
+            entry.oldest = ready;
+        }
+        entry.rows += rows;
+        entry.payload += rows * row_bytes as u64;
+        entry.newest = ready;
+        *entry.shares.entry((dst, row_bytes)).or_default() += rows;
+        // Size flush: threshold reached including this batch.
+        if entry.payload >= self.flush.flush_bytes {
+            let mut stage = std::mem::take(entry);
+            shipped = Some(self.ship(src, dst_node, &mut stage, ready));
+        }
+        if self
+            .staged
+            .get(&(src, dst_node))
+            .is_some_and(|s| s.rows == 0)
+        {
+            self.staged.remove(&(src, dst_node));
+        }
+        shipped.unwrap_or(Interval {
+            start: ready,
+            end: ready,
+        })
+    }
+
+    /// Drain every staging buffer (end of kernel, before `quiet`). Buffers
+    /// flush at the later of their newest row and `at`. Returns the wire
+    /// intervals of the final cross-node messages.
+    pub fn drain(&mut self, at: SimTime) -> Vec<Interval> {
+        self.drain_keys(at, |_| true)
+    }
+
+    /// Drain only `src`'s staging buffers (its kernel retired; other origins
+    /// may still be emitting). Callers interleaving multiple origins through
+    /// one proxy should drain each origin at its own retirement instant so
+    /// wire bookings stay in simulated-time order.
+    pub fn drain_src(&mut self, src: usize, at: SimTime) -> Vec<Interval> {
+        self.drain_keys(at, |s| s == src)
+    }
+
+    fn drain_keys(&mut self, at: SimTime, want: impl Fn(usize) -> bool) -> Vec<Interval> {
+        let mut keys: Vec<_> = self
+            .staged
+            .keys()
+            .copied()
+            .filter(|&(s, _)| want(s))
+            .collect();
+        keys.sort_unstable(); // deterministic order
+        let mut out = Vec::new();
+        for (src, dst_node) in keys {
+            let Some(mut stage) = self.staged.remove(&(src, dst_node)) else {
+                continue;
+            };
+            if stage.rows == 0 {
+                continue;
+            }
+            let flush_at = stage.newest.max(at);
+            out.push(self.ship(src, dst_node, &mut stage, flush_at));
+        }
+        out
+    }
+
+    /// Completion fence for `src`: covers its own direct puts **and** every
+    /// gateway scatter carrying its staged rows. Callers must [`drain`]
+    /// first; quiescing with rows still staged is a bug in the caller.
+    ///
+    /// [`drain`]: GatewayPut::drain
+    pub fn quiet(&mut self, src: usize, at: SimTime) -> SimTime {
+        debug_assert!(
+            !self.staged.keys().any(|&(s, _)| s == src),
+            "quiet with rows still staged; call drain first"
+        );
+        let floor = self
+            .last_delivery
+            .get(&src)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        self.os.quiet(src, at.max(floor))
+    }
+
+    /// Barrier across all PEs, delegated to the wrapped [`OneSided`].
+    pub fn barrier_all(&mut self, times: &[SimTime]) -> SimTime {
+        self.os.barrier_all(times)
+    }
+
+    /// Ship one staged buffer: a single aggregate message from the origin to
+    /// the destination node's gateway, then per-destination scatter
+    /// forwarding from the gateway over the intra-node crossbar (on the
+    /// proxy's dedicated channel — see [`GatewayPut::forward`]'s field
+    /// docs). Rows addressed to the gateway itself have arrived once the
+    /// aggregate lands.
+    fn ship(&mut self, src: usize, dst_node: usize, stage: &mut Stage, at: SimTime) -> Interval {
+        self.flushes += 1;
+        let max_payload = self.os.config().max_payload;
+        let gw = {
+            let topo = self.os.machine().topology();
+            let member = topo
+                .node_members(dst_node)
+                .next()
+                .expect("destination node has members");
+            topo.gateway_of(member)
+        };
+        let batch = CoalescedBatch {
+            payload: stage.payload,
+            messages: 1,
+        };
+        let inter = self.os.put_batch_nbi(src, gw, batch, at);
+        let mut last = inter.end;
+        for (&(dst, row_bytes), &rows) in &stage.shares {
+            if dst == gw {
+                continue; // already resident at the gateway
+            }
+            let (wire, latency) = {
+                let link = *self.os.machine().topology().link(gw, dst);
+                let fwd = coalesce_rows(rows, row_bytes, max_payload);
+                (link.wire_time(fwd.payload, fwd.messages), link.latency)
+            };
+            let slot = self.forward.entry((gw, dst)).or_insert(SimTime::ZERO);
+            let begin = (inter.end + latency).max(*slot);
+            let end = begin + wire;
+            *slot = end;
+            last = last.max(end);
+            let m = self.os.machine().metrics_mut();
+            if m.is_enabled() {
+                m.add("gateway_scatter_rows", gw as u32, dst as u32, rows);
+                m.add(
+                    "gateway_scatter_bytes",
+                    gw as u32,
+                    dst as u32,
+                    rows * row_bytes as u64,
+                );
+            }
+        }
+        let m = self.os.machine().metrics_mut();
+        if m.is_enabled() {
+            m.incr("gateway_flushes", src as u32, dst_node as u32);
+            m.add(
+                "gateway_flush_rows",
+                src as u32,
+                dst_node as u32,
+                stage.rows,
+            );
+            m.add(
+                "gateway_flush_payload_bytes",
+                src as u32,
+                dst_node as u32,
+                stage.payload,
+            );
+        }
+        let e = self.last_delivery.entry(src).or_insert(SimTime::ZERO);
+        *e = (*e).max(last);
+        stage.rows = 0;
+        stage.payload = 0;
+        stage.shares.clear();
+        inter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::Dur;
+    use gpusim::MachineConfig;
+
+    fn pod(nodes: usize, per_node: usize) -> Machine {
+        Machine::new(MachineConfig::pod_v100(nodes, per_node))
+    }
+
+    #[test]
+    fn single_node_is_bit_identical_to_plain_onesided() {
+        let cfg = PgasConfig::default();
+        let mut direct_m = Machine::new(MachineConfig::dgx_v100(4));
+        let mut gw_m = Machine::new(MachineConfig::dgx_v100(4));
+        let mut direct = OneSided::with_config(&mut direct_m, cfg);
+        let mut gw = GatewayPut::new(
+            &mut gw_m,
+            GatewayConfig {
+                pgas: cfg,
+                flush: AggregatorConfig::default(),
+            },
+        );
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..32u64 {
+            let src = (i % 4) as usize;
+            let dst = ((i + 1) % 4) as usize;
+            let at = SimTime::ZERO + Dur::from_ns(10 * i);
+            a.push(direct.put_rows_nbi(src, dst, 3, 256, at));
+            b.push(gw.put_rows_nbi(src, dst, 3, 256, at));
+        }
+        assert_eq!(a, b);
+        assert!(gw.drain(SimTime::ZERO + Dur::from_ms(1)).is_empty());
+        assert_eq!(gw.flushes(), 0);
+        for src in 0..4 {
+            let at = SimTime::ZERO + Dur::from_us(5);
+            assert_eq!(
+                direct.quiet(src, at),
+                gw.quiet(src, at),
+                "quiet must match on single-node"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_node_traffic_ships_as_one_message_per_flush() {
+        let mut m = pod(2, 2);
+        m.enable_telemetry();
+        let mut gw = GatewayPut::new(&mut m, GatewayConfig::default());
+        // 64 small rows from GPU 0 to GPUs 2 and 3 (node 1): all staged,
+        // nothing on the slow wire yet.
+        for i in 0..64u64 {
+            let at = SimTime::ZERO + Dur::from_ns(20 * i);
+            let iv = gw.put_rows_nbi(0, 2 + (i % 2) as usize, 1, 256, at);
+            assert_eq!(iv.start, iv.end, "small rows only stage");
+        }
+        assert_eq!(gw.flushes(), 0);
+        let drained = gw.drain(SimTime::ZERO + Dur::from_us(10));
+        assert_eq!(drained.len(), 1, "one buffer, one flush");
+        assert_eq!(gw.flushes(), 1);
+        let quiet = gw.quiet(0, drained[0].end);
+        assert!(quiet >= drained[0].end);
+        let m = gw.machine();
+        // Exactly one message crossed the inter-node tier.
+        assert_eq!(m.metrics().counter("fabric_tier_messages", 1, 0), 1);
+        assert_eq!(m.metrics().counter("gateway_flushes", 0, 1), 1);
+        assert_eq!(m.metrics().counter("gateway_flush_rows", 0, 1), 64);
+    }
+
+    #[test]
+    fn size_flush_fires_at_threshold() {
+        let mut m = pod(2, 2);
+        let cfg = GatewayConfig {
+            pgas: PgasConfig::default(),
+            flush: AggregatorConfig {
+                flush_bytes: 1024,
+                max_wait: Dur::from_ms(10),
+            },
+        };
+        let mut gw = GatewayPut::new(&mut m, cfg);
+        for i in 0..3u64 {
+            let iv = gw.put_rows_nbi(0, 2, 1, 256, SimTime::ZERO + Dur::from_ns(i));
+            assert_eq!(iv.start, iv.end);
+        }
+        // Fourth row reaches 1024 staged bytes: ships now.
+        let iv = gw.put_rows_nbi(0, 2, 1, 256, SimTime::ZERO + Dur::from_ns(3));
+        assert!(iv.end > iv.start, "size threshold must flush");
+        assert_eq!(gw.flushes(), 1);
+        assert!(gw.drain(SimTime::ZERO + Dur::from_us(1)).is_empty());
+    }
+
+    #[test]
+    fn age_flush_ships_stale_buffer_before_staging() {
+        let mut m = pod(2, 2);
+        let cfg = GatewayConfig {
+            pgas: PgasConfig::default(),
+            flush: AggregatorConfig {
+                flush_bytes: 1 << 20,
+                max_wait: Dur::from_us(5),
+            },
+        };
+        let mut gw = GatewayPut::new(&mut m, cfg);
+        gw.put_rows_nbi(0, 2, 1, 256, SimTime::ZERO);
+        // Arrives after the age timer: the old buffer ships without it.
+        let iv = gw.put_rows_nbi(0, 3, 1, 256, SimTime::ZERO + Dur::from_us(8));
+        assert!(iv.end > iv.start, "age threshold must flush");
+        assert_eq!(gw.flushes(), 1);
+        assert_eq!(gw.drain(SimTime::ZERO + Dur::from_us(20)).len(), 1);
+    }
+
+    #[test]
+    fn quiet_covers_gateway_scatter() {
+        let mut m = pod(2, 4);
+        let mut gw = GatewayPut::new(&mut m, GatewayConfig::default());
+        // Rows for a non-gateway GPU on the remote node: delivery includes
+        // the scatter hop from the gateway (GPU 4) to GPU 6.
+        gw.put_rows_nbi(0, 6, 16, 256, SimTime::ZERO);
+        let drained = gw.drain(SimTime::ZERO);
+        assert_eq!(drained.len(), 1);
+        let quiet = gw.quiet(0, drained[0].end);
+        assert!(
+            quiet > drained[0].end,
+            "quiet must wait for the intra-node scatter after the aggregate lands"
+        );
+    }
+
+    #[test]
+    fn fewer_inter_node_messages_than_flat_puts() {
+        let rows = 256u64;
+        let mut flat_m = pod(2, 2);
+        flat_m.enable_telemetry();
+        let mut flat = OneSided::new(&mut flat_m);
+        for i in 0..rows {
+            flat.put_rows_nbi(0, 2, 1, 256, SimTime::ZERO + Dur::from_ns(i));
+        }
+        let flat_msgs = flat_m.metrics().counter("fabric_tier_messages", 1, 0);
+
+        let mut gw_m = pod(2, 2);
+        gw_m.enable_telemetry();
+        let mut gw = GatewayPut::new(&mut gw_m, GatewayConfig::default());
+        for i in 0..rows {
+            gw.put_rows_nbi(0, 2, 1, 256, SimTime::ZERO + Dur::from_ns(i));
+        }
+        gw.drain(SimTime::ZERO + Dur::from_us(1));
+        let gw_msgs = gw_m.metrics().counter("fabric_tier_messages", 1, 0);
+        assert!(
+            gw_msgs * 32 <= flat_msgs,
+            "gateway must collapse per-row messages: {gw_msgs} vs {flat_msgs}"
+        );
+    }
+}

@@ -31,11 +31,13 @@
 
 mod aggregator;
 mod coalesce;
+mod gateway;
 mod heap;
 mod ops;
 
 pub use aggregator::{Aggregator, AggregatorConfig, FlushReport};
 pub use coalesce::{coalesce_rows, coalesce_rows_many, CoalescedBatch};
+pub use gateway::{GatewayConfig, GatewayPut};
 pub use heap::{SegmentId, SymmetricHeap};
 pub use ops::{Delivery, OneSided, PgasConfig, RetryStats};
 

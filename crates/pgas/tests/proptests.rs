@@ -169,3 +169,55 @@ proptest! {
         prop_assert_eq!(agg.flushes(), m.traffic_stats().messages);
     }
 }
+
+proptest! {
+    /// Gateway proxy routing on arbitrary pod shapes and put streams:
+    /// same-node stores bypass staging entirely, every cross-node row is
+    /// staged exactly once, each flush is one inter-node wire message (the
+    /// tier-1 message count equals the flush count), at least one flush
+    /// covers every (origin, destination-node) channel with traffic, and
+    /// `quiet` never reports completion before the drain instant.
+    #[test]
+    fn gateway_routing_stages_exactly_the_cross_node_rows(
+        nodes in 1usize..5,
+        per_node in 1usize..5,
+        puts in prop::collection::vec(
+            (0usize..25, 0usize..25, 1u64..6, 0u64..40),
+            1..40,
+        ),
+    ) {
+        use pgas_rt::{GatewayConfig, GatewayPut};
+        let n = nodes * per_node;
+        let mut m = Machine::new(MachineConfig::pod_v100(nodes, per_node));
+        m.enable_telemetry();
+        let topo = m.topology().clone();
+        let mut gw = GatewayPut::new(&mut m, GatewayConfig::default());
+        let mut t = SimTime::ZERO;
+        let mut cross_rows = 0u64;
+        let mut channels = std::collections::BTreeSet::new();
+        for &(src, dst, rows, dt_us) in &puts {
+            let (src, dst) = (src % n, dst % n);
+            if src == dst {
+                continue; // self-stores are local copies, not fabric ops
+            }
+            t += Dur::from_us(dt_us);
+            gw.put_rows_nbi(src, dst, rows, 256, t);
+            if !topo.same_node(src, dst) {
+                cross_rows += rows;
+                channels.insert((src, topo.node_of(dst)));
+            }
+        }
+        prop_assert_eq!(gw.rows_staged(), cross_rows);
+        gw.drain(t);
+        let flushes = gw.flushes();
+        prop_assert!(flushes >= channels.len() as u64);
+        if cross_rows == 0 {
+            prop_assert_eq!(flushes, 0);
+        }
+        for src in 0..n {
+            prop_assert!(gw.quiet(src, t) >= t);
+        }
+        drop(gw);
+        prop_assert_eq!(m.metrics().counter("fabric_tier_messages", 1, 0), flushes);
+    }
+}
