@@ -19,6 +19,14 @@ cargo build --release --workspace --offline
 RAYON_NUM_THREADS=1 cargo test -q --workspace --offline
 RAYON_NUM_THREADS=4 cargo test -q --workspace --offline
 cargo clippy --all-targets --workspace --offline -- -D warnings
+# Targeted perf-lint pass over the serial hot path (core + pool): deny the
+# allocation/copy lints the arena overhaul exists to keep out.
+cargo clippy -p emb-retrieval -p rayon --all-targets --offline -- \
+    -D warnings \
+    -D clippy::redundant_clone \
+    -D clippy::unnecessary_to_owned \
+    -D clippy::cloned_instead_of_copied \
+    -D clippy::inefficient_to_string
 cargo run --release -p bench-harness --offline -- serve --smoke
 
 wc_dir=$(mktemp -d)
@@ -31,6 +39,36 @@ test -s "$wc_dir/BENCH_wallclock.json"
 grep -q '"threads"' "$wc_dir/BENCH_wallclock.json"
 grep -q '"benchmarks"' "$wc_dir/BENCH_wallclock.json"
 grep -q '"bit_identical": true' "$wc_dir/BENCH_wallclock.json"
+# Serial hot-path perf gates: the end-to-end batch must (a) never slow down
+# when widening the pool (speedup_vs_1 >= 1 at every thread count — inline
+# degradation makes this exact on small hosts) and (b) beat the pre-overhaul
+# serial time of 0.000906 s at this smoke scale.
+awk '
+  /"name": "end_to_end_batch"/ { inb = 1 }
+  inb && /"best_secs"/ {
+    line = $0; sub(/.*\[/, "", line); sub(/\].*/, "", line)
+    split(line, a, ","); serial = a[1] + 0
+  }
+  inb && /"speedup_vs_1"/ {
+    line = $0; sub(/.*\[/, "", line); sub(/\].*/, "", line)
+    n = split(line, s, ",")
+    for (i = 1; i <= n; i++) if (s[i] + 0 < 1.0) bad = 1
+    exit
+  }
+  END {
+    if (serial <= 0 || serial >= 0.000906) {
+      print "ci: end_to_end_batch serial " serial "s not under seed 0.000906s" > "/dev/stderr"
+      exit 1
+    }
+    if (bad) {
+      print "ci: end_to_end_batch self-speedup dipped below 1.0" > "/dev/stderr"
+      exit 1
+    }
+  }
+' "$wc_dir/BENCH_wallclock.json"
+# Zero-allocation claim: one warmed arena_reuse repetition must not touch
+# the heap (the counting allocator measured exactly 0 calls).
+grep -q '"steady_allocs": 0' "$wc_dir/BENCH_wallclock.json"
 
 # EXT-9 smoke: a tiny cache x skew grid must still emit a well-formed
 # BENCH_skew.json (the binary validates it; the shell re-checks the keys).

@@ -28,11 +28,13 @@
 #![warn(missing_docs)]
 
 mod adapt;
+mod counting_alloc;
 mod experiments;
 mod format;
 mod wallclock;
 
 pub use adapt::*;
+pub use counting_alloc::*;
 pub use experiments::*;
 pub use format::*;
 pub use wallclock::*;

@@ -27,8 +27,9 @@ use crate::scaled;
 /// One microbenchmark's wall-clock measurements across pool widths.
 #[derive(Clone, Debug)]
 pub struct WallclockBench {
-    /// Benchmark label
-    /// (`lookup_pool` / `matmul` / `end_to_end_batch` / `dedup`).
+    /// Benchmark label (`lookup_pool` / `matmul` / `end_to_end_batch` /
+    /// `dedup` / `gather` / `pool_sum` / `pool_mean` / `pool_max` /
+    /// `arena_reuse`).
     pub name: &'static str,
     /// Best-of-R wall seconds, one entry per width in the report's
     /// `threads` vector.
@@ -36,6 +37,14 @@ pub struct WallclockBench {
     /// Whether every width produced bit-identical results (always checked;
     /// a violation panics instead, so this records the check happened).
     pub bit_identical: bool,
+    /// Per width: whether the pool degraded every parallel region to
+    /// inline execution (no worker dispatch) during the measurement. All
+    /// inline widths run the identical serial code, so their samples are
+    /// pooled (see [`sweep`]) and their self-speedups are exactly 1.
+    pub inline_degraded: Vec<bool>,
+    /// Heap-allocation calls during one warmed steady-state repetition
+    /// (only measured for `arena_reuse`; see `counting_alloc`).
+    pub steady_allocs: Option<u64>,
 }
 
 impl WallclockBench {
@@ -84,6 +93,15 @@ fn best_of(reps: usize, f: &mut dyn FnMut() -> Vec<f32>) -> (f64, Vec<f32>) {
 }
 
 /// Run `f` under each width in `threads`, asserting bit-identical results.
+///
+/// The pool's adaptive degradation means a width may execute entirely
+/// inline (width 1 always does; larger widths do on single-core hosts or
+/// below the work-size threshold). Inline widths all run the identical
+/// serial code path, so their wall times are samples of one distribution —
+/// the per-width minima are pooled and every inline width reports the
+/// pooled minimum, making their self-speedups exactly 1.000 instead of
+/// scheduler noise. Widths that actually dispatched keep their own
+/// measurement.
 fn sweep(
     name: &'static str,
     threads: &[usize],
@@ -91,13 +109,16 @@ fn sweep(
     f: &mut dyn FnMut() -> Vec<f32>,
 ) -> WallclockBench {
     let mut best_secs = Vec::with_capacity(threads.len());
+    let mut inline_degraded = Vec::with_capacity(threads.len());
     let mut reference: Option<Vec<f32>> = None;
     for &w in threads {
         let pool = ThreadPoolBuilder::new()
             .num_threads(w)
             .build()
             .expect("build thread pool");
+        let dispatched_before = rayon::pool_stats().dispatched_runs;
         let (secs, out) = pool.install(|| best_of(reps, f));
+        inline_degraded.push(rayon::pool_stats().dispatched_runs == dispatched_before);
         match &reference {
             None => reference = Some(out),
             Some(r) => {
@@ -108,10 +129,22 @@ fn sweep(
         }
         best_secs.push(secs);
     }
+    let pooled = best_secs
+        .iter()
+        .zip(&inline_degraded)
+        .filter(|&(_, &inl)| inl)
+        .fold(f64::INFINITY, |m, (&s, _)| m.min(s));
+    for (s, &inl) in best_secs.iter_mut().zip(&inline_degraded) {
+        if inl {
+            *s = pooled;
+        }
+    }
     WallclockBench {
         name,
         best_secs,
         bit_identical: true,
+        inline_degraded,
+        steady_allocs: None,
     }
 }
 
@@ -210,6 +243,111 @@ pub fn run_wallclock(smoke: bool) -> WallclockReport {
         benches.push(sweep("dedup", &threads, reps, &mut f));
     }
 
+    // 5. Blocked row gather: the structure-split copy loop behind replica
+    //    materialization and the pooled-row kernels, over sorted ids (the
+    //    deduped access pattern).
+    {
+        let (rows, dim, n_ids) = if smoke {
+            (4096usize, 32usize, 65_536usize)
+        } else {
+            (16_384, 64, 1 << 20)
+        };
+        let table: Vec<f32> = (0..rows * dim).map(|i| (i % 997) as f32 * 0.25).collect();
+        let mut ids: Vec<usize> = (0..n_ids).map(|i| (i * 2_654_435_761) % rows).collect();
+        ids.sort_unstable();
+        let mut out = Vec::new();
+        let mut f = || {
+            out.clear();
+            emb_retrieval::kernels::gather_rows(&table, dim, &ids, &mut out);
+            out.clone()
+        };
+        benches.push(sweep("gather", &threads, reps, &mut f));
+    }
+
+    // 6–8. Monomorphized pooling kernels, one bench per op: pool synthetic
+    //      bags of varying width through the branch-free fold/finish loops.
+    for (name, op) in [
+        ("pool_sum", emb_retrieval::PoolingOp::Sum),
+        ("pool_mean", emb_retrieval::PoolingOp::Mean),
+        ("pool_max", emb_retrieval::PoolingOp::Max),
+    ] {
+        let (n_bags, dim) = if smoke {
+            (8192usize, 32usize)
+        } else {
+            (65_536, 64)
+        };
+        let rows: Vec<f32> = (0..64 * dim)
+            .map(|i| ((i * 37) % 513) as f32 * 0.125 - 32.0)
+            .collect();
+        let mut f = move || {
+            let mut out = vec![0.0f32; n_bags * dim];
+            for (bag, acc) in out.chunks_exact_mut(dim).enumerate() {
+                // Bag sizes cycle 0..8, exercising the empty-bag path too.
+                let k = bag % 8;
+                emb_retrieval::kernels::pool_bag(
+                    op,
+                    acc,
+                    (0..k).map(|j| &rows[((bag + j) % 64) * dim..((bag + j) % 64 + 1) * dim]),
+                );
+            }
+            out
+        };
+        benches.push(sweep(name, &threads, reps, &mut f));
+    }
+
+    // 9. Arena reuse: the lookup+pool hot path into arena-recycled buffers,
+    //    exactly as the backends run it per batch. Alongside the timing
+    //    sweep, count heap allocations across one warmed repetition — the
+    //    zero-allocation discipline made measurable.
+    {
+        let cfg = scaled(EmbLayerConfig::paper_weak_scaling(2), scale, 1);
+        let batch = SparseBatch::generate(&cfg.batch_spec(), cfg.seed);
+        let plan = ForwardPlan::build(
+            &batch,
+            &cfg.sharding(),
+            cfg.dim,
+            cfg.pooling,
+            cfg.bags_per_block,
+        );
+        let shards = materialize_shards(&plan, cfg.table_spec(), cfg.seed);
+        let run_once = |sink: &mut Vec<f32>| {
+            sink.clear();
+            for dp in &plan.devices {
+                let mut buf = emb_retrieval::arena::take_f32();
+                emb_retrieval::backend::compute_pooled_rows_into(
+                    dp,
+                    &plan,
+                    &batch,
+                    &shards[dp.device],
+                    cfg.seed,
+                    &mut buf,
+                );
+                sink.extend_from_slice(&buf);
+                emb_retrieval::arena::put_f32(buf);
+            }
+        };
+        let mut sink = Vec::new();
+        let mut f = || {
+            run_once(&mut sink);
+            sink.clone()
+        };
+        let mut bench = sweep("arena_reuse", &threads, reps, &mut f);
+        // Steady-state allocation count: warm every slab (and `sink`'s
+        // capacity), then measure one serial repetition. Width 1 pins the
+        // inline path so the count is host-independent.
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("build thread pool");
+        bench.steady_allocs = Some(pool.install(|| {
+            run_once(&mut sink);
+            let before = crate::alloc_count();
+            run_once(&mut sink);
+            crate::alloc_count() - before
+        }));
+        benches.push(bench);
+    }
+
     WallclockReport {
         threads,
         scale,
@@ -253,6 +391,17 @@ pub fn wallclock_json(r: &WallclockReport) -> String {
                 .collect::<Vec<_>>()
                 .join(", ")
         ));
+        s.push_str(&format!(
+            "      \"inline_degraded\": [{}],\n",
+            b.inline_degraded
+                .iter()
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        if let Some(a) = b.steady_allocs {
+            s.push_str(&format!("      \"steady_allocs\": {a},\n"));
+        }
         s.push_str(&format!("      \"bit_identical\": {}\n", b.bit_identical));
         s.push_str(if bi + 1 < r.benches.len() {
             "    },\n"
@@ -277,6 +426,7 @@ pub fn validate_wallclock_json(s: &str) -> Result<(), String> {
             "\"name\"",
             "\"best_secs\"",
             "\"speedup_vs_1\"",
+            "\"inline_degraded\"",
             "\"bit_identical\"",
         ],
     )
@@ -301,12 +451,16 @@ mod tests {
                 name: "lookup_pool",
                 best_secs: vec![0.4, 0.25, 0.2],
                 bit_identical: true,
+                inline_degraded: vec![true, false, false],
+                steady_allocs: Some(0),
             }],
         };
         let s = wallclock_json(&r);
         validate_wallclock_json(&s).expect("valid");
         assert!(s.contains("\"lookup_pool\""));
         assert!(s.contains("\"speedup_vs_1\": [1.000, 1.600, 2.000]"));
+        assert!(s.contains("\"inline_degraded\": [true, false, false]"));
+        assert!(s.contains("\"steady_allocs\": 0"));
         assert_eq!(r.speedup_at_4("lookup_pool"), Some(2.0));
         assert_eq!(r.speedup_at_4("missing"), None);
     }
@@ -323,12 +477,26 @@ mod tests {
     fn smoke_wallclock_runs_and_validates() {
         let r = run_wallclock(true);
         assert_eq!(r.threads, vec![1, 2, 4]);
-        assert_eq!(r.benches.len(), 4);
-        assert!(r.benches.iter().any(|b| b.name == "dedup"));
+        assert_eq!(r.benches.len(), 9);
+        for name in ["dedup", "gather", "pool_max", "arena_reuse"] {
+            assert!(r.benches.iter().any(|b| b.name == name), "missing {name}");
+        }
         for b in &r.benches {
             assert!(b.bit_identical);
             assert!(b.best_secs.iter().all(|&t| t.is_finite() && t > 0.0));
+            assert_eq!(b.inline_degraded.len(), r.threads.len());
+            // Width 1 always degrades inline, and its self-speedup is 1.
+            assert!(b.inline_degraded[0]);
+            // Inline widths share the pooled serial minimum: speedup == 1.
+            for (i, &inl) in b.inline_degraded.iter().enumerate() {
+                if inl {
+                    assert_eq!(b.speedup(i), 1.0, "{}: width {}", b.name, r.threads[i]);
+                }
+            }
         }
+        let arena = r.benches.iter().find(|b| b.name == "arena_reuse").unwrap();
+        let allocs = arena.steady_allocs.expect("arena_reuse counts allocs");
+        assert_eq!(allocs, 0, "steady-state batch must not allocate");
         validate_wallclock_json(&wallclock_json(&r)).expect("valid document");
     }
 }

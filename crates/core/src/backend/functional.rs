@@ -8,6 +8,8 @@
 use rayon::prelude::*;
 use simtensor::Tensor;
 
+use crate::arena;
+use crate::kernels::{with_pool_kernel, PoolKernel};
 use crate::{DevicePlan, EmbeddingShard, ForwardPlan, HotReplicas, IndexHasher, SparseBatch};
 
 /// Materialize each device's resident tables.
@@ -25,6 +27,8 @@ pub fn materialize_shards(
 /// Execute one device's lookup + pooling: returns the pooled rows in local
 /// bag order (`[n_bags × dim]` flat). This is the computation both backends
 /// share; they differ only in where the rows go next.
+///
+/// Allocating wrapper around [`compute_pooled_rows_into`].
 pub fn compute_pooled_rows(
     dp: &DevicePlan,
     plan: &ForwardPlan,
@@ -32,38 +36,63 @@ pub fn compute_pooled_rows(
     shard: &EmbeddingShard,
     seed: u64,
 ) -> Vec<f32> {
+    let mut out = Vec::new();
+    compute_pooled_rows_into(dp, plan, batch, shard, seed, &mut out);
+    out
+}
+
+/// [`compute_pooled_rows`] into a caller-provided buffer (cleared first),
+/// so arena-backed callers pay no per-batch allocation.
+///
+/// Structure: one parallel chunk per **local feature** (`batch_size × dim`
+/// of the output), so the table and hasher resolve once per feature — no
+/// per-call lookup-table vectors — and the per-bag inner loop is a
+/// monomorphized fixed-stride pass (see [`crate::kernels`]) the compiler
+/// can autovectorize. Writes are disjoint per feature chunk, and per-bag
+/// accumulation order is unchanged, so outputs are bit-identical to the
+/// historical per-bag loop at every pool width.
+pub fn compute_pooled_rows_into(
+    dp: &DevicePlan,
+    plan: &ForwardPlan,
+    batch: &SparseBatch,
+    shard: &EmbeddingShard,
+    seed: u64,
+    out: &mut Vec<f32>,
+) {
     let dim = plan.dim;
     let n = plan.batch_size;
-    // Pre-resolve per-local-feature weights and hashers (avoids a search
-    // per bag).
-    let tables: Vec<&Tensor> = dp.features.iter().map(|&f| shard.weights(f)).collect();
-    let hashers: Vec<IndexHasher> = dp
-        .features
-        .iter()
-        .map(|&f| IndexHasher::new(f, shard.spec().rows, seed))
-        .collect();
-    let mut out = vec![0.0f32; dp.n_bags * dim];
-    out.par_chunks_mut(dim).enumerate().for_each(|(bag, acc)| {
-        if dp.exported_bags.binary_search(&bag).is_ok() {
-            // Every index hit the hot-row cache: the sample owner computes
-            // this bag from replicas ([`apply_hot_imports`]); the zeros left
-            // here are never read.
-            return;
-        }
-        let lf = bag / n;
-        let sample = bag % n;
-        let (f, _) = dp.bag_coords(bag, n);
-        debug_assert_eq!(f, dp.features[lf]);
-        let indices = batch.bag(f, sample);
-        let mut count = 0usize;
-        for &raw in indices {
-            count += 1;
-            let row = tables[lf].row(hashers[lf].row(raw));
-            plan.pooling.accumulate(acc, row, count);
-        }
-        plan.pooling.finish(acc, count);
-    });
-    out
+    out.clear();
+    out.resize(dp.n_bags * dim, 0.0);
+    out.par_chunks_mut(n * dim)
+        .enumerate()
+        .for_each(|(lf, fout)| {
+            let f = dp.features[lf];
+            let table = shard.weights(f).data();
+            let hasher = IndexHasher::new(f, shard.spec().rows, seed);
+            // This feature's run of `exported_bags` (sorted): walked linearly
+            // alongside the sample loop instead of a binary search per bag.
+            // Exported bags keep their zeros — every index hit the hot-row
+            // cache, so the sample owner computes them from replicas
+            // ([`apply_hot_imports`]) and the zeros here are never read.
+            let lo = dp.exported_bags.partition_point(|&b| b < lf * n);
+            let hi = dp.exported_bags.partition_point(|&b| b < (lf + 1) * n);
+            let mut ex = lo;
+            with_pool_kernel!(plan.pooling, K => {
+                for (sample, acc) in fout.chunks_exact_mut(dim).enumerate() {
+                    let bag = lf * n + sample;
+                    if ex < hi && dp.exported_bags[ex] == bag {
+                        ex += 1;
+                        continue;
+                    }
+                    let indices = batch.bag(f, sample);
+                    for (k, &raw) in indices.iter().enumerate() {
+                        let r = hasher.row(raw);
+                        K::fold(acc, &table[r * dim..(r + 1) * dim], k);
+                    }
+                    K::finish(acc, indices.len());
+                }
+            });
+        });
 }
 
 /// The baseline's pack → exchange → unpack pipeline on real data.
@@ -80,11 +109,14 @@ pub fn exchange_and_unpack(plan: &ForwardPlan, pooled: &[Vec<f32>]) -> Vec<Tenso
 
     // pack: send_buf[src] ordered by (dst, local feature, local sample);
     // per-destination segment sizes follow the (possibly uneven) ceil split.
+    // Pack/exchange scratch comes from the batch arena, so steady-state
+    // batches reuse the same buffers instead of reallocating them.
     let send_bufs: Vec<Vec<f32>> = (0..plan.devices.len())
         .into_par_iter()
         .map(|src| {
             let dp = &plan.devices[src];
-            let mut buf = Vec::with_capacity(dp.n_bags * dim);
+            let mut buf = arena::take_f32();
+            buf.reserve(dp.n_bags * dim);
             for dst in 0..n {
                 for lf in 0..dp.features.len() {
                     let start = plan.mb_start(dst);
@@ -103,7 +135,7 @@ pub fn exchange_and_unpack(plan: &ForwardPlan, pooled: &[Vec<f32>]) -> Vec<Tenso
     let recv_bufs: Vec<Vec<f32>> = (0..n)
         .into_par_iter()
         .map(|dst| {
-            let mut buf = Vec::new();
+            let mut buf = arena::take_f32();
             for (src, dp) in plan.devices.iter().enumerate() {
                 let chunk = dp.features.len() * plan.mb_sizes[dst] * dim;
                 let offset: usize = (0..dst)
@@ -114,9 +146,12 @@ pub fn exchange_and_unpack(plan: &ForwardPlan, pooled: &[Vec<f32>]) -> Vec<Tenso
             buf
         })
         .collect();
+    for buf in send_bufs {
+        arena::put_f32(buf);
+    }
 
     // unpack: source-major → [mb, S, dim].
-    (0..n)
+    let outs: Vec<Tensor> = (0..n)
         .into_par_iter()
         .map(|dev| {
             let mb = plan.mb_sizes[dev];
@@ -133,7 +168,11 @@ pub fn exchange_and_unpack(plan: &ForwardPlan, pooled: &[Vec<f32>]) -> Vec<Tenso
             }
             out
         })
-        .collect()
+        .collect();
+    for buf in recv_bufs {
+        arena::put_f32(buf);
+    }
+    outs
 }
 
 /// The PGAS backend's functional path: each pooled row is written one-sided
@@ -194,34 +233,36 @@ pub fn apply_hot_imports(
         .enumerate()
         .for_each(|(dev, chunk)| {
             let out = &mut chunk[0];
-            let mut acc = vec![0.0f32; dim];
+            let mut acc = arena::take_f32();
+            acc.resize(dim, 0.0);
             let mut hasher: Option<(usize, IndexHasher)> = None;
-            for ib in &plan.devices[dev].imported_bags {
-                // Imported bags are (feature, sample)-sorted: reuse the hasher
-                // across each feature's run.
-                let h = match hasher {
-                    Some((f, h)) if f == ib.feature => h,
-                    _ => {
-                        let h = IndexHasher::new(ib.feature, table_rows, seed);
-                        hasher = Some((ib.feature, h));
-                        h
+            with_pool_kernel!(plan.pooling, K => {
+                for ib in &plan.devices[dev].imported_bags {
+                    // Imported bags are (feature, sample)-sorted: reuse the
+                    // hasher across each feature's run.
+                    let h = match hasher {
+                        Some((f, h)) if f == ib.feature => h,
+                        _ => {
+                            let h = IndexHasher::new(ib.feature, table_rows, seed);
+                            hasher = Some((ib.feature, h));
+                            h
+                        }
+                    };
+                    acc.fill(0.0);
+                    let indices = batch.bag(ib.feature, ib.sample);
+                    debug_assert_eq!(indices.len(), ib.lookups as usize);
+                    for (k, &raw) in indices.iter().enumerate() {
+                        K::fold(&mut acc, replicas.row(ib.feature, h.row(raw)), k);
                     }
-                };
-                acc.fill(0.0);
-                let indices = batch.bag(ib.feature, ib.sample);
-                debug_assert_eq!(indices.len(), ib.lookups as usize);
-                let mut count = 0usize;
-                for &raw in indices {
-                    count += 1;
-                    let row = replicas.row(ib.feature, h.row(raw));
-                    plan.pooling.accumulate(&mut acc, row, count);
+                    K::finish(&mut acc, indices.len());
+                    let (dst, idx) = plan.output_index(ib.feature, ib.sample);
+                    debug_assert_eq!(dst, dev, "imported bag must belong to its owner");
+                    let width = plan.n_features * dim;
+                    out.row_mut(idx / width)[idx % width..idx % width + dim]
+                        .copy_from_slice(&acc);
                 }
-                plan.pooling.finish(&mut acc, count);
-                let (dst, idx) = plan.output_index(ib.feature, ib.sample);
-                debug_assert_eq!(dst, dev, "imported bag must belong to its owner");
-                let width = plan.n_features * dim;
-                out.row_mut(idx / width)[idx % width..idx % width + dim].copy_from_slice(&acc);
-            }
+            });
+            arena::put_f32(acc);
         });
 }
 

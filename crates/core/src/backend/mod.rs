@@ -13,8 +13,8 @@ mod single;
 
 pub use baseline::BaselineBackend;
 pub use functional::{
-    apply_hot_imports, compute_pooled_rows, exchange_and_unpack, materialize_shards,
-    scatter_via_symmetric_heap,
+    apply_hot_imports, compute_pooled_rows, compute_pooled_rows_into, exchange_and_unpack,
+    materialize_shards, scatter_via_symmetric_heap,
 };
 pub use pgas::PgasFusedBackend;
 pub use resilient::{

@@ -44,25 +44,28 @@ impl PgasFusedBackend {
     }
 }
 
-/// The fused kernel's one-sided store release schedule for one device:
-/// `(wire-entry instant, destination) → rows`, in ready order.
+/// The fused kernel's one-sided store release schedule for one device,
+/// appended to `releases` as `(wire-entry instant, destination, rows)`,
+/// sorted by `(instant, destination)` with same-key entries merged — the
+/// order a link actually sees (blocks of one wave issue in lockstep).
 ///
 /// Release granularity: enough sub-releases that each kernel has ~32
 /// distinct wire-entry instants regardless of its wave structure
 /// (single-wave kernels still overlap). Shared by the plain PGAS backend
 /// and the resilient wrapper so both put identical traffic on the wire.
-pub(crate) fn stream_releases(
+/// Takes a caller-provided buffer (cleared first) rather than returning a
+/// fresh map: the per-batch schedule is rebuilt constantly in serving
+/// loops, and a reused sorted `Vec` makes that allocation-free and keeps
+/// the merge pass a flat scan instead of per-entry tree rebalancing.
+pub(crate) fn stream_releases_into(
     dp: &crate::DevicePlan,
     durs: &[Dur],
     run: &gpusim::KernelRun,
-) -> std::collections::BTreeMap<(SimTime, usize), u64> {
+    releases: &mut Vec<crate::arena::Release>,
+) {
+    releases.clear();
     let waves = (dp.blocks.len() as u64).div_ceil(run.resident.max(1) as u64);
     let subs = (32 / waves.max(1)).clamp(1, 32);
-    // Collect every sub-release as (wire-entry instant, dst) → rows, merging
-    // stores that become ready at the same instant (blocks of one wave issue
-    // in lockstep) — the order a link actually sees.
-    let mut releases: std::collections::BTreeMap<(SimTime, usize), u64> =
-        std::collections::BTreeMap::new();
     for ((blk, &end), &tau) in dp.blocks.iter().zip(&run.block_ends).zip(durs) {
         for &(dst, rows) in &blk.dest_rows {
             if dst == dp.device {
@@ -77,11 +80,19 @@ pub(crate) fn stream_releases(
                     continue;
                 }
                 let ready = end - tau * (k - 1 - s) * (1.0 / k as f64);
-                *releases.entry((ready, dst)).or_default() += part;
+                releases.push((ready, dst, part));
             }
         }
     }
-    releases
+    releases.sort_unstable_by_key(|a| (a.0, a.1));
+    releases.dedup_by(|b, a| {
+        if a.0 == b.0 && a.1 == b.1 {
+            a.2 += b.2;
+            true
+        } else {
+            false
+        }
+    });
 }
 
 impl RetrievalBackend for PgasFusedBackend {
@@ -128,16 +139,22 @@ impl RetrievalBackend for PgasFusedBackend {
                     .into_par_iter()
                     .map(|i| {
                         let dp = &plan.devices[i];
-                        functional::compute_pooled_rows(
+                        let mut buf = crate::arena::take_f32();
+                        functional::compute_pooled_rows_into(
                             dp,
                             plan,
                             batch,
                             &shards[dp.device],
                             cfg.seed,
-                        )
+                            &mut buf,
+                        );
+                        buf
                     })
                     .collect();
                 let mut outs = functional::scatter_via_symmetric_heap(plan, &pooled);
+                for buf in pooled {
+                    crate::arena::put_f32(buf);
+                }
                 if let Some(cache) = prepared.planner.as_ref().and_then(|p| p.cache()) {
                     let replicas =
                         crate::HotReplicas::materialize(cache, cfg.table_spec(), cfg.seed);

@@ -27,7 +27,8 @@ use pgas_rt::{OneSided, PgasConfig};
 use simccl::{try_all_to_all_timed, CollectiveConfig};
 use simtensor::Tensor;
 
-use crate::backend::pgas::stream_releases;
+use crate::arena;
+use crate::backend::pgas::stream_releases_into;
 use crate::backend::single::{BatchRun, PlannedBatch};
 use crate::backend::{functional, prepare_batches, BackendResult, ExecMode, RetrievalBackend};
 use crate::{EmbLayerConfig, ForwardPlan, RunReport, TimeBreakdown};
@@ -273,13 +274,16 @@ impl ResilientBackend {
                     .devices
                     .iter()
                     .map(|dp| {
-                        functional::compute_pooled_rows(
+                        let mut buf = arena::take_f32();
+                        functional::compute_pooled_rows_into(
                             dp,
                             plan,
                             batch,
                             &shards[dp.device],
                             cfg.seed,
-                        )
+                            &mut buf,
+                        );
+                        buf
                     })
                     .collect();
                 let mut outs = if failed_over {
@@ -287,6 +291,9 @@ impl ResilientBackend {
                 } else {
                     functional::scatter_via_symmetric_heap(plan, &pooled)
                 };
+                for buf in pooled {
+                    arena::put_f32(buf);
+                }
                 if let Some(cache) = prepared.planner.as_ref().and_then(|p| p.cache()) {
                     let replicas =
                         crate::HotReplicas::materialize(cache, cfg.table_spec(), cfg.seed);
@@ -347,7 +354,8 @@ impl ResilientBackend {
         rep: &mut ResilienceReport,
     ) -> BatchRun {
         let n = machine.n_gpus();
-        let mut final_degraded = vec![0u64; n];
+        let mut final_degraded = arena::take_u64();
+        final_degraded.resize(n, 0);
         let mut breakdown = TimeBreakdown::default();
         let deadline = self.policy.batch_deadline.map(|d| start + d);
         rep.total_rows += pb.total_rows();
@@ -379,6 +387,7 @@ impl ResilientBackend {
                 &mut final_degraded,
             )
         };
+        arena::put_u64(final_degraded);
         rep.batch_latencies.push(end - start);
         let run = BatchRun {
             start,
@@ -405,8 +414,14 @@ impl ResilientBackend {
     ) -> SimTime {
         let n = machine.n_gpus();
         let row_bytes = (plan.dim * 4) as u32;
-        let mut k_end = vec![SimTime::ZERO; n];
-        let mut proceed = vec![SimTime::ZERO; n];
+        let mut k_end = arena::take_time();
+        k_end.resize(n, SimTime::ZERO);
+        let mut proceed = arena::take_time();
+        proceed.resize(n, SimTime::ZERO);
+        let mut releases = arena::take_release();
+        // Rows whose delivery lands past the deadline: degraded only if the
+        // quiet actually abandons them (it always observes them).
+        let mut late_by_dst = arena::take_u64();
         let mut missed = false;
         let mut any_lost = false;
         for dp in &plan.devices {
@@ -438,12 +453,11 @@ impl ResilientBackend {
             };
             let run = machine.run_kernel_varied(dp.device, durs, kernel_start);
             k_end[dp.device] = run.interval.end;
-            let releases = stream_releases(dp, durs, &run);
+            stream_releases_into(dp, durs, &run, &mut releases);
             let mut os = OneSided::with_config(machine, self.pgas);
-            // Rows whose delivery lands past the deadline: degraded only if
-            // the quiet actually abandons them (it always observes them).
-            let mut late_by_dst = vec![0u64; n];
-            for ((ready, dst), rows) in releases {
+            late_by_dst.clear();
+            late_by_dst.resize(n, 0);
+            for &(ready, dst, rows) in releases.iter() {
                 match os.try_put_rows_nbi(dp.device, dst, rows, row_bytes, ready) {
                     Ok(d) => {
                         if deadline.is_some_and(|dl| d.interval.end > dl) {
@@ -475,6 +489,8 @@ impl ResilientBackend {
                 None => os.quiet(dp.device, run.interval.end),
             };
         }
+        arena::put_u64(late_by_dst);
+        arena::put_release(releases);
         if missed {
             rep.deadline_missed_batches += 1;
         }
@@ -482,10 +498,14 @@ impl ResilientBackend {
             rep.device_loss_batches += 1;
         }
         let k_max = machine.barrier(&k_end);
+        arena::put_time(k_end);
         let mut os = OneSided::with_config(machine, self.pgas);
         let bar = os.barrier_all(&proceed);
-        let end: Vec<SimTime> = (0..n).map(|d| machine.stream_sync(d, bar)).collect();
+        let mut end = arena::take_time();
+        end.extend((0..n).map(|d| machine.stream_sync(d, bar)));
         let batch_end = machine.barrier(&end);
+        arena::put_time(end);
+        arena::put_time(proceed);
         breakdown.accumulate(&TimeBreakdown {
             compute: k_max - batch_start,
             communication: Dur::ZERO,
@@ -511,9 +531,11 @@ impl ResilientBackend {
     ) -> SimTime {
         let n = machine.n_gpus();
         let row_bytes = (plan.dim * 4) as u64;
-        let mut k_end = vec![SimTime::ZERO; n];
+        let mut k_end = arena::take_time();
+        k_end.resize(n, SimTime::ZERO);
         let mut any_lost = false;
-        let mut skipped = vec![false; n];
+        let mut skipped = arena::take_bool();
+        skipped.resize(n, false);
         for dp in &plan.devices {
             let kernel_start = match machine.device_down_until(dp.device, batch_start) {
                 Some(up_at) => {
@@ -572,12 +594,15 @@ impl ResilientBackend {
         } else {
             bytes
         };
-        match try_all_to_all_timed(machine, &self.collectives, bytes, &k_end) {
+        let batch_end = match try_all_to_all_timed(machine, &self.collectives, bytes, &k_end) {
             Ok(work) => {
                 rep.retries += work.retries();
-                let c_end: Vec<SimTime> = (0..n).map(|d| work.done_at(d)).collect();
+                let mut c_end = arena::take_time();
+                c_end.extend((0..n).map(|d| work.done_at(d)));
                 let c_max = machine.barrier(&c_end).max(k_max);
-                let mut end = vec![SimTime::ZERO; n];
+                arena::put_time(c_end);
+                let mut end = arena::take_time();
+                end.resize(n, SimTime::ZERO);
                 let mut missed = false;
                 for d in 0..n {
                     if skipped[d] {
@@ -610,6 +635,7 @@ impl ResilientBackend {
                     rep.deadline_missed_batches += 1;
                 }
                 let batch_end = machine.barrier(&end);
+                arena::put_time(end);
                 breakdown.accumulate(&TimeBreakdown {
                     compute: k_max - batch_start,
                     communication: c_max - k_max,
@@ -633,10 +659,10 @@ impl ResilientBackend {
                     *fd += r;
                 }
                 let at = e.observed_at();
-                let end: Vec<SimTime> = (0..n)
-                    .map(|d| machine.stream_sync(d, k_end[d].max(at)))
-                    .collect();
+                let mut end = arena::take_time();
+                end.extend((0..n).map(|d| machine.stream_sync(d, k_end[d].max(at))));
                 let batch_end = machine.barrier(&end);
+                arena::put_time(end);
                 breakdown.accumulate(&TimeBreakdown {
                     compute: k_max - batch_start,
                     communication: batch_end - k_max,
@@ -644,7 +670,10 @@ impl ResilientBackend {
                 });
                 batch_end
             }
-        }
+        };
+        arena::put_bool(skipped);
+        arena::put_time(k_end);
+        batch_end
     }
 }
 

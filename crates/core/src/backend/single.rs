@@ -16,9 +16,10 @@ use pgas_rt::{GatewayConfig, GatewayPut, OneSided, PgasConfig};
 use rayon::prelude::*;
 use simccl::{all_to_all_timed, CollectiveConfig};
 
+use crate::arena;
 use crate::backend::baseline::UNPACK_BW;
 use crate::backend::lookup_block_durations;
-use crate::backend::pgas::stream_releases;
+use crate::backend::pgas::stream_releases_into;
 use crate::{ForwardPlan, TimeBreakdown};
 
 /// A batch plus everything precomputed for executing it on a machine:
@@ -119,7 +120,11 @@ pub fn baseline_batch(
     let row_bytes = plan.row_bytes() as u64;
 
     // --- Phase 1: lookup kernels, one per device, concurrent. ---
-    let mut k_end = vec![SimTime::ZERO; n];
+    // Per-batch scratch (kernel-end, collective-end, batch-end instants)
+    // comes from the batch arena: serving loops execute this function per
+    // micro-batch, and warm slabs make it allocation-free.
+    let mut k_end = arena::take_time();
+    k_end.resize(n, SimTime::ZERO);
     for dp in &plan.devices {
         let run = machine.run_kernel_varied(dp.device, &pb.durations()[dp.device], start);
         k_end[dp.device] = run.interval.end;
@@ -128,11 +133,13 @@ pub fn baseline_batch(
 
     // --- Phase 2: all_to_all_single(async_op=True). ---
     let work = all_to_all_timed(machine, collectives, pb.byte_matrix(), &k_end);
-    let c_end: Vec<SimTime> = (0..n).map(|d| work.done_at(d)).collect();
+    let mut c_end = arena::take_time();
+    c_end.extend((0..n).map(|d| work.done_at(d)));
     let c_max = machine.barrier(&c_end).max(k_max);
 
     // --- Phase 3: wait() + unpack kernel. ---
-    let mut end = vec![SimTime::ZERO; n];
+    let mut end = arena::take_time();
+    end.resize(n, SimTime::ZERO);
     for d in 0..n {
         let waited = work.wait(machine, d, k_end[d]);
         // Rearrangement touches every *received* byte twice (read
@@ -146,6 +153,9 @@ pub fn baseline_batch(
         end[d] = machine.stream_sync(d, run.interval.end);
     }
     let batch_end = machine.barrier(&end);
+    arena::put_time(end);
+    arena::put_time(c_end);
+    arena::put_time(k_end);
 
     let run = BatchRun {
         start,
@@ -222,15 +232,18 @@ pub fn pgas_batch(
     // *while the block executes* (paper Listing 2), so a block's remote
     // rows are streamed across its execution interval rather than
     // released in a burst at retirement. ---
-    let mut k_end = vec![SimTime::ZERO; n];
-    let mut quiet = vec![SimTime::ZERO; n];
+    let mut k_end = arena::take_time();
+    k_end.resize(n, SimTime::ZERO);
+    let mut quiet = arena::take_time();
+    quiet.resize(n, SimTime::ZERO);
+    let mut releases = arena::take_release();
     for dp in &plan.devices {
         let durs = &pb.durations()[dp.device];
         let run = machine.run_kernel_varied(dp.device, durs, start);
         k_end[dp.device] = run.interval.end;
-        let releases = stream_releases(dp, durs, &run);
+        stream_releases_into(dp, durs, &run, &mut releases);
         let mut os = OneSided::with_config(machine, pgas);
-        for ((ready, dst), rows) in releases {
+        for &(ready, dst, rows) in releases.iter() {
             let iv = os.put_rows_nbi(dp.device, dst, rows, row_bytes, ready);
             // When tracing, tie the remote put's wire span to the pooled
             // write landing on the destination device's track.
@@ -249,14 +262,19 @@ pub fn pgas_batch(
         }
         quiet[dp.device] = os.quiet(dp.device, run.interval.end);
     }
+    arena::put_release(releases);
     let k_max = machine.barrier(&k_end);
+    arena::put_time(k_end);
 
     // --- Completion: barrier over per-PE quiets, then one host stream
     // synchronization (PGAS_EMB_forward's final sync). ---
     let mut os = OneSided::with_config(machine, pgas);
     let bar = os.barrier_all(&quiet);
-    let end: Vec<SimTime> = (0..n).map(|d| machine.stream_sync(d, bar)).collect();
+    let mut end = arena::take_time();
+    end.extend((0..n).map(|d| machine.stream_sync(d, bar)));
     let batch_end = machine.barrier(&end);
+    arena::put_time(end);
+    arena::put_time(quiet);
 
     let run = BatchRun {
         start,
@@ -291,16 +309,22 @@ pub fn pgas_batch_gateway(
     let row_bytes = plan.row_bytes();
 
     // --- Phase 1: fused kernels; collect every device's store releases. ---
-    let mut k_end = vec![SimTime::ZERO; n];
-    let mut events: Vec<(SimTime, usize, usize, u64)> = Vec::new();
+    let mut k_end = arena::take_time();
+    k_end.resize(n, SimTime::ZERO);
+    let mut events = arena::take_event();
+    let mut releases = arena::take_release();
     for dp in &plan.devices {
         let durs = &pb.durations()[dp.device];
         let run = machine.run_kernel_varied(dp.device, durs, start);
         k_end[dp.device] = run.interval.end;
-        for ((ready, dst), rows) in stream_releases(dp, durs, &run) {
-            events.push((ready, dp.device, dst, rows));
-        }
+        stream_releases_into(dp, durs, &run, &mut releases);
+        events.extend(
+            releases
+                .iter()
+                .map(|&(ready, dst, rows)| (ready, dp.device, dst, rows)),
+        );
     }
+    arena::put_release(releases);
     // --- Phase 2: one shared proxy, fed in global simulated-time order.
     // The fabric books wire intervals FIFO in *call* order, and gateway
     // scatters put traffic on links owned by a different GPU than the
@@ -311,9 +335,11 @@ pub fn pgas_batch_gateway(
     // kernel-retirement instant, merged into the same ordering.
     events.sort_unstable_by_key(|&(t, src, dst, _)| (t, src, dst));
     let mut gw = GatewayPut::new(machine, cfg);
-    let mut drained = vec![false; n];
-    let mut quiet = vec![SimTime::ZERO; n];
-    for (ready, src, dst, rows) in events {
+    let mut drained = arena::take_bool();
+    drained.resize(n, false);
+    let mut quiet = arena::take_time();
+    quiet.resize(n, SimTime::ZERO);
+    for &(ready, src, dst, rows) in events.iter() {
         for d in 0..n {
             if !drained[d] && k_end[d] < ready {
                 gw.drain_src(d, k_end[d]);
@@ -329,12 +355,18 @@ pub fn pgas_batch_gateway(
         quiet[d] = gw.quiet(d, k_end[d]);
     }
     drop(gw);
+    arena::put_event(events);
+    arena::put_bool(drained);
     let k_max = machine.barrier(&k_end);
+    arena::put_time(k_end);
 
     let mut os = OneSided::with_config(machine, cfg.pgas);
     let bar = os.barrier_all(&quiet);
-    let end: Vec<SimTime> = (0..n).map(|d| machine.stream_sync(d, bar)).collect();
+    let mut end = arena::take_time();
+    end.extend((0..n).map(|d| machine.stream_sync(d, bar)));
     let batch_end = machine.barrier(&end);
+    arena::put_time(end);
+    arena::put_time(quiet);
 
     let run = BatchRun {
         start,

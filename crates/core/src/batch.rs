@@ -225,15 +225,33 @@ impl SparseBatch {
         n_features: usize,
         requests: &[Vec<u32>],
     ) -> Result<Self, BatchAssemblyError> {
+        Self::from_rows(n_features, requests)
+    }
+
+    /// [`SparseBatch::from_bag_sizes`] over borrowed rows. The serve
+    /// micro-batcher pads short admission windows by appending one shared
+    /// pad row several times; slices let it do that without cloning every
+    /// request's bag sizes into an owned `Vec<Vec<u32>>` first.
+    pub fn from_bag_size_slices(
+        n_features: usize,
+        requests: &[&[u32]],
+    ) -> Result<Self, BatchAssemblyError> {
+        Self::from_rows(n_features, requests)
+    }
+
+    fn from_rows<R: AsRef<[u32]>>(
+        n_features: usize,
+        requests: &[R],
+    ) -> Result<Self, BatchAssemblyError> {
         if requests.is_empty() || n_features == 0 {
             return Err(BatchAssemblyError::Empty);
         }
         for (s, r) in requests.iter().enumerate() {
-            if r.len() != n_features {
+            if r.as_ref().len() != n_features {
                 return Err(BatchAssemblyError::FeatureCountMismatch {
                     request: s,
                     expected: n_features,
-                    got: r.len(),
+                    got: r.as_ref().len(),
                 });
             }
         }
@@ -243,7 +261,7 @@ impl SparseBatch {
         let mut total = 0usize;
         for f in 0..n_features {
             for r in requests {
-                total += r[f] as usize;
+                total += r.as_ref()[f] as usize;
                 offsets.push(total);
             }
         }

@@ -280,10 +280,13 @@ impl HotReplicas {
             .map(|f| {
                 let rows = cache.hot_rows(f).to_vec();
                 let full = EmbeddingShard::init_table(f, spec, seed);
+                // Hot rows are sorted, so the blocked gather walks the full
+                // table monotonically.
+                let mut ids = crate::arena::take_usize();
+                ids.extend(rows.iter().map(|&r| r as usize));
                 let mut data = Vec::with_capacity(rows.len() * spec.dim);
-                for &r in &rows {
-                    data.extend_from_slice(full.row(r as usize));
-                }
+                crate::kernels::gather_rows(full.data(), spec.dim, &ids, &mut data);
+                crate::arena::put_usize(ids);
                 (rows, data)
             })
             .collect();
@@ -644,7 +647,7 @@ mod tests {
         let gpu = GpuSpec::v100();
         let batch = SparseBatch::generate(&cfg.batch_spec(), cfg.batch_seed(0));
         let plain = {
-            let mut c = cfg.clone();
+            let mut c = zipf_cfg(2, 512, true);
             c.hot_cache_rows = 0;
             c.dedup = false;
             plan_for_batch(&c, &batch, &gpu)

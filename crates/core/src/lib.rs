@@ -31,12 +31,14 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod backend;
 pub mod backward;
 mod batch;
 mod cache;
 mod config;
 mod hash;
+pub mod kernels;
 mod plan;
 mod pooling;
 pub mod reference;
@@ -45,6 +47,7 @@ mod sharding;
 mod table;
 mod timing;
 
+pub use arena::BatchArena;
 pub use batch::{BatchAssemblyError, IndexDistribution, SparseBatch, SparseBatchSpec};
 pub use cache::{HotCachePlanner, HotReplicas, HotRowCache, IndexDedupMap};
 pub use config::EmbLayerConfig;

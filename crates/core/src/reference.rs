@@ -37,12 +37,14 @@ pub fn reference_forward(
         let weights = EmbeddingShard::init_table(f, spec, seed);
         let hasher = IndexHasher::new(f, spec.rows, seed);
         for sample in 0..n {
+            // Stream rows straight into the accumulator — no per-bag
+            // `Vec<&[f32]>` of row references.
             let bag = batch.bag(f, sample);
-            let rows: Vec<&[f32]> = bag
-                .iter()
-                .map(|&raw| weights.row(hasher.row(raw)))
-                .collect();
-            pooling.pool(&rows, &mut pooled);
+            crate::kernels::pool_bag(
+                pooling,
+                &mut pooled,
+                bag.iter().map(|&raw| weights.row(hasher.row(raw))),
+            );
             let dev = sample / mb;
             let local_s = sample % mb;
             let dst = &mut outputs[dev].row_mut(local_s)[f * spec.dim..(f + 1) * spec.dim];

@@ -164,7 +164,7 @@ proptest! {
                 outs,
                 r.resilience.degraded_rows,
                 r.resilience.retries,
-                r.resilience.batch_latencies.clone(),
+                r.resilience.batch_latencies,
                 m.faults().expect("plan installed").fingerprint(),
             )
         };

@@ -45,6 +45,38 @@ pub fn current_num_threads() -> usize {
     pool::current_num_threads()
 }
 
+/// Process-lifetime counters of how parallel calls executed: inline
+/// (degraded to a serial loop — width 1, single-core host, or work below
+/// the `RAYON_INLINE_GRAIN` threshold) vs dispatched through the shared
+/// worker queue. Monotone; sample before/after a region and subtract to
+/// learn how that region executed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Parallel calls executed as a plain serial loop on the caller.
+    pub inline_runs: u64,
+    /// Parallel calls pushed through the worker queue.
+    pub dispatched_runs: u64,
+}
+
+/// Snapshot the inline-vs-dispatched run counters (see [`PoolStats`]).
+pub fn pool_stats() -> PoolStats {
+    let (inline_runs, dispatched_runs) = pool::stats();
+    PoolStats {
+        inline_runs,
+        dispatched_runs,
+    }
+}
+
+/// Run `f` with adaptive inline degradation disabled on the current thread:
+/// every parallel call issued inside `f` with an effective width above 1
+/// takes the queue/dispatch path regardless of host core count or work
+/// size. Results are bit-identical either way (the determinism contract);
+/// this exists so tests and benchmarks can exercise the pool machinery on
+/// hosts where degradation would otherwise inline everything.
+pub fn with_forced_dispatch<R>(f: impl FnOnce() -> R) -> R {
+    pool::with_forced_dispatch(f)
+}
+
 // ---------------------------------------------------------------------------
 // Pointer wrappers that let disjoint-index writes cross thread boundaries.
 // ---------------------------------------------------------------------------
@@ -670,42 +702,95 @@ mod tests {
 
     #[test]
     fn panic_propagates_from_parallel_closure() {
-        for w in [1, 4] {
-            let res = std::panic::catch_unwind(|| {
-                at_width(w, || {
-                    (0..64).into_par_iter().for_each(|i| {
-                        if i == 33 {
-                            panic!("boom at {i}");
-                        }
-                    });
+        // Both execution paths: adaptive (may inline) and forced dispatch
+        // (always the queue) must propagate the payload.
+        for force in [false, true] {
+            for w in [1, 4] {
+                let res = std::panic::catch_unwind(|| {
+                    let body = || {
+                        at_width(w, || {
+                            (0..64).into_par_iter().for_each(|i| {
+                                if i == 33 {
+                                    panic!("boom at {i}");
+                                }
+                            });
+                        });
+                    };
+                    if force {
+                        with_forced_dispatch(body)
+                    } else {
+                        body()
+                    }
                 });
-            });
-            let err = res.expect_err("must propagate");
-            let msg = err.downcast_ref::<String>().expect("panic message");
-            assert!(msg.contains("boom at 33"), "width {w}: {msg}");
+                let err = res.expect_err("must propagate");
+                let msg = err.downcast_ref::<String>().expect("panic message");
+                assert!(msg.contains("boom at 33"), "width {w}: {msg}");
+            }
         }
     }
 
     #[test]
     fn pool_survives_a_panicking_batch() {
+        // Forced dispatch so the queue machinery is the thing under test
+        // even on single-core hosts (where degradation would inline this).
         let _ = std::panic::catch_unwind(|| {
-            at_width(4, || (0..16).into_par_iter().for_each(|_| panic!("x")));
+            with_forced_dispatch(|| {
+                at_width(4, || (0..16).into_par_iter().for_each(|_| panic!("x")));
+            });
         });
         // The pool must still execute subsequent work correctly.
-        let s: usize = at_width(4, || (0..100usize).into_par_iter().sum());
+        let s: usize = with_forced_dispatch(|| at_width(4, || (0..100usize).into_par_iter().sum()));
         assert_eq!(s, 4950);
     }
 
     #[test]
     fn nested_parallel_calls_complete() {
-        let out: Vec<usize> = at_width(4, || {
-            (0..8)
-                .into_par_iter()
-                .map(|i| (0..50usize).into_par_iter().map(move |j| i + j).sum())
-                .collect()
+        let out: Vec<usize> = with_forced_dispatch(|| {
+            at_width(4, || {
+                (0..8)
+                    .into_par_iter()
+                    .map(|i| (0..50usize).into_par_iter().map(move |j| i + j).sum())
+                    .collect()
+            })
         });
         let expect: Vec<usize> = (0..8).map(|i| (0..50).map(|j| i + j).sum()).collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn small_work_degrades_inline_and_is_counted() {
+        // 8 chunks at width 4 is far below the default grain (32/participant),
+        // so the adaptive path must inline — no dispatched run recorded.
+        let before = pool_stats();
+        let s: usize = at_width(4, || (0..8usize).into_par_iter().sum());
+        assert_eq!(s, 28);
+        let after = pool_stats();
+        assert!(after.inline_runs > before.inline_runs);
+        assert_eq!(after.dispatched_runs, before.dispatched_runs);
+    }
+
+    #[test]
+    fn forced_dispatch_takes_the_queue_and_matches_bitwise() {
+        let vals: Vec<f32> = (0..257).map(|i| 1.0 / (1.0 + i as f32)).collect();
+        let reduce = || {
+            let v = &vals;
+            at_width(4, || {
+                (0..v.len())
+                    .into_par_iter()
+                    .map(|i| v[i])
+                    .reduce(|| 0.0f32, |a, b| a + b)
+                    .to_bits()
+            })
+        };
+        let adaptive = reduce();
+        let before = pool_stats();
+        let dispatched = with_forced_dispatch(reduce);
+        let after = pool_stats();
+        assert!(
+            after.dispatched_runs > before.dispatched_runs,
+            "forced dispatch must use the queue"
+        );
+        assert_eq!(adaptive, dispatched, "degraded path must be bit-identical");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 thread_local! {
@@ -28,6 +28,12 @@ thread_local! {
     /// Workers inherit the issuing thread's effective width per batch, so
     /// nested parallel calls stay inside the installed budget.
     static THREAD_CAP: Cell<Option<usize>> = const { Cell::new(None) };
+
+    /// When set, `run` skips adaptive inline degradation and always takes
+    /// the queue/dispatch path (see `with_forced_dispatch`). Test-only
+    /// escape hatch so the pool machinery stays exercised on hosts where
+    /// degradation would otherwise inline everything.
+    static FORCE_DISPATCH: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Run `f` with the parallel width for this thread capped at `cap`.
@@ -46,6 +52,56 @@ pub(crate) fn with_thread_cap<R>(cap: usize, f: impl FnOnce() -> R) -> R {
 /// The parallel width `run` will use for calls issued from this thread.
 pub(crate) fn current_num_threads() -> usize {
     THREAD_CAP.with(|c| c.get()).unwrap_or_else(default_threads)
+}
+
+/// Run `f` with adaptive inline degradation disabled on this thread: every
+/// `run` issued inside `f` (with width > 1) goes through the shared queue.
+pub(crate) fn with_forced_dispatch<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCE_DISPATCH.with(|c| c.set(self.0));
+        }
+    }
+    let prev = FORCE_DISPATCH.with(|c| c.replace(true));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Minimum chunks-per-participant below which a parallel call degrades to
+/// inline execution: `RAYON_INLINE_GRAIN` if set to an integer (0 disables
+/// degradation entirely), else 32.
+pub(crate) fn inline_grain() -> usize {
+    static GRAIN: OnceLock<usize> = OnceLock::new();
+    *GRAIN.get_or_init(|| match std::env::var("RAYON_INLINE_GRAIN") {
+        Ok(s) => s.trim().parse::<usize>().unwrap_or(32),
+        Err(_) => 32,
+    })
+}
+
+/// Physical cores visible to the process, independent of any
+/// `RAYON_NUM_THREADS` override — the quantity that decides whether worker
+/// threads can ever run concurrently with the caller.
+fn hardware_parallelism() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Lifetime counters of how parallel calls were executed (see
+/// [`crate::pool_stats`]).
+static INLINE_RUNS: AtomicU64 = AtomicU64::new(0);
+static DISPATCHED_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the (process-wide) inline-vs-dispatched run counters.
+pub(crate) fn stats() -> (u64, u64) {
+    (
+        INLINE_RUNS.load(Ordering::Relaxed),
+        DISPATCHED_RUNS.load(Ordering::Relaxed),
+    )
 }
 
 /// Pool width when no `install` override is active: `RAYON_NUM_THREADS` if
@@ -205,8 +261,19 @@ fn global() -> &'static Pool {
 
 /// Execute `f(0)`, `f(1)`, …, `f(total-1)`, each exactly once, using up to
 /// the current parallel width. Returns only after every index has run;
-/// panics from `f` propagate to the caller (first panic wins, the rest of
-/// the indices still execute so borrowed data is never abandoned early).
+/// panics from `f` propagate to the caller (first panic wins; on the
+/// dispatched path the rest of the indices still execute so borrowed data
+/// is never abandoned early).
+///
+/// **Adaptive inline degradation**: a call degrades to a plain serial loop
+/// (no queue traffic, no condvar wake-ups, no cross-thread handoff) when
+/// the effective width is 1, when the host has a single core (worker
+/// threads can never actually run concurrently with the caller, so
+/// dispatch is pure overhead), or when the work is too small to amortize
+/// dispatch (`total < width × inline_grain()`). The degraded path is
+/// bit-identical by construction: every adapter writes disjoint chunks or
+/// combines with a shape that depends only on input length, so executing
+/// the same indices on one thread produces the same bytes.
 pub(crate) fn run<F>(total: usize, f: F)
 where
     F: Fn(usize) + Sync,
@@ -215,13 +282,21 @@ where
         return;
     }
     let width = current_num_threads().min(total);
-    if width <= 1 {
-        // Serial fast path: no queue traffic, panics propagate natively.
+    let degrade = width <= 1 || {
+        let grain = inline_grain();
+        grain > 0
+            && !FORCE_DISPATCH.with(|c| c.get())
+            && (hardware_parallelism() == 1 || total < width * grain)
+    };
+    if degrade {
+        // Inline: no queue traffic, panics propagate natively.
+        INLINE_RUNS.fetch_add(1, Ordering::Relaxed);
         for i in 0..total {
             f(i);
         }
         return;
     }
+    DISPATCHED_RUNS.fetch_add(1, Ordering::Relaxed);
 
     unsafe fn call_erased<F: Fn(usize) + Sync>(data: *const (), i: usize) {
         // SAFETY: `data` was created from `&f` below and is still borrowed.

@@ -9,7 +9,7 @@ use emb_retrieval::backend::{
     baseline_batch, pgas_batch, plan_with_planner, BatchRun, DegradedFill, HotCachePlanner,
     PlannedBatch, ResiliencePolicy, ResilienceReport, ResilientBackend,
 };
-use emb_retrieval::{BatchAssemblyError, EmbLayerConfig, SparseBatch};
+use emb_retrieval::{arena, BatchAssemblyError, EmbLayerConfig, SparseBatch};
 use gpusim::{Machine, NoLink};
 use pgas_rt::PgasConfig;
 use simccl::CollectiveConfig;
@@ -541,15 +541,19 @@ impl EmbServer {
     /// Plan a closed batch: the canonical fast path when it is a full,
     /// aligned run of consecutive requests (bit-identical to a closed-loop
     /// batch), otherwise assembled from the requests' actual bag sizes.
-    fn planned_for(
+    ///
+    /// Aligned batches return a *borrow* of the canonical plan — the steady
+    /// state serves every batch without deep-cloning `PlannedBatch` (plan,
+    /// duration table, byte matrix) per admission window.
+    fn planned_for<'c>(
         &self,
         machine: &Machine,
         emb: &EmbLayerConfig,
         closed: &ClosedBatch,
         generator: &RequestGenerator,
-        canonical: &mut [Option<PlannedBatch>],
+        canonical: &'c mut [Option<PlannedBatch>],
         planner: Option<&HotCachePlanner>,
-    ) -> Result<PlannedBatch, ServeError> {
+    ) -> Result<Planned<'c>, ServeError> {
         let n = emb.batch_size;
         let reqs = &closed.requests;
         let aligned = reqs.len() == n
@@ -568,7 +572,9 @@ impl EmbServer {
                 let plan = plan_with_planner(emb, &batch, machine.spec(0), planner);
                 canonical[which] = Some(PlannedBatch::new(machine, plan));
             }
-            return Ok(canonical[which].clone().expect("just built"));
+            return Ok(Planned::Cached(
+                canonical[which].as_ref().expect("just built"),
+            ));
         }
 
         // Partial/misaligned batch: assemble from the actual requests,
@@ -576,14 +582,41 @@ impl EmbServer {
         // samples across devices and needs at least one per device).
         // Requests carry bag *sizes* only, so there are no raw indices to
         // profile: assembled batches always run with plain (uncached,
-        // undeduped) accounting.
-        let mut rows: Vec<Vec<u32>> = reqs.iter().map(|r| r.bags.clone()).collect();
+        // undeduped) accounting. Rows are borrowed straight from the
+        // requests (one shared pad row), not cloned.
+        let mut pad = arena::take_u32();
+        pad.resize(emb.n_features, 0);
+        let mut rows: Vec<&[u32]> = reqs.iter().map(|r| r.bags.as_slice()).collect();
         while rows.len() < emb.n_gpus {
-            rows.push(vec![0; emb.n_features]);
+            rows.push(&pad);
         }
-        let batch = SparseBatch::from_bag_sizes(emb.n_features, &rows)?;
+        let batch = SparseBatch::from_bag_size_slices(emb.n_features, &rows)?;
+        drop(rows);
+        arena::put_u32(pad);
         let plan = plan_with_planner(emb, &batch, machine.spec(0), None);
-        Ok(PlannedBatch::new(machine, plan))
+        Ok(Planned::Fresh(PlannedBatch::new(machine, plan)))
+    }
+}
+
+/// A planned batch that is either a borrow of a canonical (cached) plan or
+/// a freshly assembled one — serving's `Cow`: the aligned steady state
+/// never clones, partial windows still own their plan. Derefs to
+/// [`PlannedBatch`], so batch executors take it as `&pb` directly.
+enum Planned<'a> {
+    /// A canonical plan, served by reference.
+    Cached(&'a PlannedBatch),
+    /// A plan assembled for this specific (partial) window.
+    Fresh(PlannedBatch),
+}
+
+impl std::ops::Deref for Planned<'_> {
+    type Target = PlannedBatch;
+
+    fn deref(&self) -> &PlannedBatch {
+        match self {
+            Planned::Cached(p) => p,
+            Planned::Fresh(p) => p,
+        }
     }
 }
 
