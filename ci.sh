@@ -9,7 +9,9 @@
 # is produced and well-formed), the chaos-sweep smoke (EXT-7, asserts the
 # SLO-violation-minutes columns land in chaos.csv), the pod-fabric smoke
 # (EXT-11, asserts BENCH_pods.json is produced with both crossover claims
-# holding), and the adaptive control-plane smoke (EXT-13, asserts
+# holding), the executed-pipeline smoke (EXT-15, asserts BENCH_pipeline.json
+# is produced with both scheduling claims holding), and the
+# adaptive control-plane smoke (EXT-13, asserts
 # BENCH_adapt.json is produced and claims adaptive dominance). Run from
 # the repo root. Fails fast on the first broken step.
 set -eu
@@ -117,6 +119,28 @@ fi
 grep -q '"flat_pgas_loses_cross_node": true' "$wc_dir/BENCH_pods.json"
 grep -q '"gateway_recovers_pgas": true' "$wc_dir/BENCH_pods.json"
 grep -q '"within_tolerance": true' "$wc_dir/BENCH_pods.json"
+
+# EXT-15 smoke: the executed-pipeline sweep must emit both artifacts and
+# both scheduling claims must hold (the fused + software-pipelined schedule
+# beating the analytic serial one on every cell for both backends, and a
+# single-node cell where PGAS's lead does not shrink under fusion — the
+# validator refuses to emit a false claim; the shell re-checks and refuses
+# a false flag outright).
+cargo run --release -p bench-harness --offline -- pipeline --smoke --out-dir "$wc_dir" > /dev/null
+test -s "$wc_dir/pipeline.csv"
+test -s "$wc_dir/BENCH_pipeline.json"
+grep -q '"experiment": "pipeline"' "$wc_dir/BENCH_pipeline.json"
+grep -q '"base_exec_ms"' "$wc_dir/BENCH_pipeline.json"
+if grep -q '"fusion_wins": false' "$wc_dir/BENCH_pipeline.json"; then
+    echo "ci: BENCH_pipeline.json claims the executed schedule does NOT beat analytic-serial" >&2
+    exit 1
+fi
+if grep -q '"pgas_lead_widens": false' "$wc_dir/BENCH_pipeline.json"; then
+    echo "ci: BENCH_pipeline.json claims fusion does NOT widen the PGAS lead" >&2
+    exit 1
+fi
+grep -q '"fusion_wins": true' "$wc_dir/BENCH_pipeline.json"
+grep -q '"pgas_lead_widens": true' "$wc_dir/BENCH_pipeline.json"
 
 # EXT-13 smoke: the adaptive-vs-static scenario suite must emit both
 # artifacts and the dominance claim must hold (the validator refuses to

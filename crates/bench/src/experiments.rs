@@ -1359,6 +1359,195 @@ pub fn serve_load_sweep(
     }
 }
 
+/// One cell of the EXT-15 executed-pipeline sweep: one topology × scale ×
+/// batch size, running the DLRM forward four ways — both retrieval
+/// backends through the analytic serial pipeline and through the executed
+/// fused + software-pipelined engine.
+#[derive(Clone, Debug)]
+pub struct PipelineCell {
+    /// Nodes in the machine (1 = a single DGX box).
+    pub nodes: usize,
+    /// GPUs per node.
+    pub per_node: usize,
+    /// Harness scale factor (1 = the paper's exact workload).
+    pub scale: usize,
+    /// Global batch size after scaling.
+    pub batch_size: usize,
+    /// Batches executed.
+    pub batches: usize,
+    /// Analytic serial total, baseline backend.
+    pub base_serial: Dur,
+    /// Executed fused + pipelined total, baseline backend.
+    pub base_exec: Dur,
+    /// Analytic serial total, PGAS backend.
+    pub pgas_serial: Dur,
+    /// Executed fused + pipelined total, PGAS backend.
+    pub pgas_exec: Dur,
+    /// Mean head-stream bubble fraction of the executed baseline run.
+    pub base_bubble: f64,
+    /// Mean head-stream bubble fraction of the executed PGAS run.
+    pub pgas_bubble: f64,
+}
+
+impl PipelineCell {
+    /// Total GPUs in this cell.
+    pub fn gpus(&self) -> usize {
+        self.nodes * self.per_node
+    }
+
+    /// Executed speedup over analytic-serial, baseline backend.
+    pub fn base_gain(&self) -> f64 {
+        self.base_serial.as_secs_f64() / self.base_exec.as_secs_f64()
+    }
+
+    /// Executed speedup over analytic-serial, PGAS backend.
+    pub fn pgas_gain(&self) -> f64 {
+        self.pgas_serial.as_secs_f64() / self.pgas_exec.as_secs_f64()
+    }
+
+    /// PGAS:baseline end-to-end ratio under the analytic serial schedule.
+    pub fn serial_ratio(&self) -> f64 {
+        self.base_serial.as_secs_f64() / self.pgas_serial.as_secs_f64()
+    }
+
+    /// PGAS:baseline end-to-end ratio under the executed fused schedule.
+    pub fn fused_ratio(&self) -> f64 {
+        self.base_exec.as_secs_f64() / self.pgas_exec.as_secs_f64()
+    }
+}
+
+/// EXT-15 sweep output.
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// One cell per (shape, batch-size multiplier), shapes outer.
+    pub cells: Vec<PipelineCell>,
+}
+
+impl PipelineResult {
+    /// Claim (a): on every cell, for both backends, the executed fused +
+    /// pipelined schedule strictly beats the analytic serial one.
+    pub fn fusion_wins(&self) -> bool {
+        !self.cells.is_empty()
+            && self
+                .cells
+                .iter()
+                .all(|c| c.base_exec < c.base_serial && c.pgas_exec < c.pgas_serial)
+    }
+
+    /// Claim (b): there is a single-node (NVLink) cell where PGAS's
+    /// end-to-end lead over the baseline is at least as large under the
+    /// executed fused schedule as under the analytic serial one —
+    /// fine-grained releases gate head chunks early, shrinking the
+    /// post-EMB tail the analytic model charged in full. An existence
+    /// claim (like EXT-11's) because the amplification needs the EMB
+    /// stage to cover the head chain: on cells where the interaction +
+    /// bottom-MLP chain itself is the floor, both backends pin to it and
+    /// the ratio compresses toward 1 — the sweep deliberately spans both
+    /// regimes. Multi-node cells are excluded: EXT-11 already showed flat
+    /// per-row PGAS can lose its lead on a header-dominated inter-node
+    /// tier, fused or not.
+    pub fn pgas_lead_widens(&self) -> bool {
+        self.cells
+            .iter()
+            .any(|c| c.nodes == 1 && c.fused_ratio() >= c.serial_ratio())
+    }
+}
+
+/// Run one pipeline cell: four runs (2 schedules × 2 backends), each on a
+/// fresh machine of the cell's topology.
+fn pipeline_cell(
+    nodes: usize,
+    per_node: usize,
+    scale: usize,
+    batches: usize,
+    bs_mult: usize,
+) -> PipelineCell {
+    use dlrm_model::{Dlrm, DlrmConfig, EngineBackend, InferencePipeline, PipelineEngine};
+
+    let g = nodes * per_node;
+    let mut cfg = DlrmConfig::paper_inference(g);
+    cfg.emb = scaled(cfg.emb, scale, batches);
+    cfg.emb.batch_size *= bs_mult;
+    // Scaled-down runs must shrink the MLP stack along with the embedding
+    // workload: the paper's regime is EMB-dominated, and leaving the MLPs
+    // at full width while dividing the EMB axes by `scale` would invert
+    // that (the top MLP would dwarf a 512×-shrunk retrieval and there
+    // would be nothing left to overlap).
+    if scale > 1 {
+        for w in cfg
+            .top_hidden
+            .iter_mut()
+            .chain(cfg.bottom_hidden.iter_mut())
+        {
+            *w = (*w / scale).max(4);
+        }
+    }
+    let batch_size = cfg.emb.batch_size;
+    let model = Dlrm::new(cfg);
+    let fresh = || {
+        if nodes == 1 {
+            Machine::new(MachineConfig::dgx_v100(g))
+        } else {
+            Machine::new(MachineConfig::pod_v100(nodes, per_node))
+        }
+    };
+
+    let pipeline = InferencePipeline::new(&model);
+    let mut m = fresh();
+    let base_serial = pipeline
+        .run(&mut m, &BaselineBackend::new(), ExecMode::Timing)
+        .total;
+    let mut m = fresh();
+    let pgas_serial = pipeline
+        .run(&mut m, &PgasFusedBackend::new(), ExecMode::Timing)
+        .total;
+
+    let engine = PipelineEngine::new(&model);
+    let mut m = fresh();
+    let be = engine.run(&mut m, &EngineBackend::baseline(), ExecMode::Timing);
+    let mut m = fresh();
+    let pe = engine.run(&mut m, &EngineBackend::pgas(), ExecMode::Timing);
+
+    PipelineCell {
+        nodes,
+        per_node,
+        scale,
+        batch_size,
+        batches,
+        base_serial,
+        base_exec: be.total,
+        pgas_serial,
+        pgas_exec: pe.total,
+        base_bubble: be.bubble_fraction,
+        pgas_bubble: pe.bubble_fraction,
+    }
+}
+
+/// **EXT-15** — the executed-pipeline sweep: `shapes` as `(nodes, per_node,
+/// scale)` triples × `bs_mults` batch-size multipliers, `batches` batches
+/// per run. Every cell runs its four machines independently, so the whole
+/// grid fans out (ordered collect keeps shapes-outer row order).
+pub fn pipeline_sweep(
+    shapes: &[(usize, usize, usize)],
+    batches: usize,
+    bs_mults: &[usize],
+) -> PipelineResult {
+    let cells: Vec<(usize, usize, usize, usize)> = shapes
+        .iter()
+        .flat_map(|&(nodes, per_node, scale)| {
+            bs_mults.iter().map(move |&m| (nodes, per_node, scale, m))
+        })
+        .collect();
+    let cells: Vec<PipelineCell> = (0..cells.len())
+        .into_par_iter()
+        .map(|i| {
+            let (nodes, per_node, scale, m) = cells[i];
+            pipeline_cell(nodes, per_node, scale, batches, m)
+        })
+        .collect();
+    PipelineResult { cells }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,7 +6,7 @@ use desim::SimTime;
 
 use crate::{
     validate_json_doc, AdaptSweep, ChaosPoint, CommVolumeResult, LinkUtilStats, NetUtilResult,
-    PodsResult, ScalingResult, ServeSweep, SkewSweep,
+    PipelineResult, PodsResult, ScalingResult, ServeSweep, SkewSweep,
 };
 
 /// Render the paper's speedup table (Table I / Table II).
@@ -750,6 +750,120 @@ pub fn validate_pods_json(s: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Render the EXT-15 executed-pipeline sweep as the `pipeline.csv` body.
+pub fn pipeline_table(r: &PipelineResult, title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== {title} ==");
+    let _ = writeln!(
+        s,
+        "nodes,per_node,gpus,scale,batch_size,batches,base_serial_ms,base_exec_ms,pgas_serial_ms,pgas_exec_ms,base_gain,pgas_gain,serial_ratio,fused_ratio,base_bubble,pgas_bubble"
+    );
+    for c in &r.cells {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.4},{:.4}",
+            c.nodes,
+            c.per_node,
+            c.gpus(),
+            c.scale,
+            c.batch_size,
+            c.batches,
+            c.base_serial.as_millis_f64(),
+            c.base_exec.as_millis_f64(),
+            c.pgas_serial.as_millis_f64(),
+            c.pgas_exec.as_millis_f64(),
+            c.base_gain(),
+            c.pgas_gain(),
+            c.serial_ratio(),
+            c.fused_ratio(),
+            c.base_bubble,
+            c.pgas_bubble,
+        );
+    }
+    let _ = writeln!(
+        s,
+        "fusion_wins: {}  pgas_lead_widens: {}",
+        r.fusion_wins(),
+        r.pgas_lead_widens()
+    );
+    s
+}
+
+/// Serialize the EXT-15 sweep as the `BENCH_pipeline.json` artifact.
+pub fn pipeline_json(r: &PipelineResult) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"pipeline\",\n");
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in r.cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"nodes\": {}, \"per_node\": {}, \"gpus\": {}, \"scale\": {}, \"batch_size\": {}, \"batches\": {}, \"base_serial_ms\": {:.3}, \"base_exec_ms\": {:.3}, \"pgas_serial_ms\": {:.3}, \"pgas_exec_ms\": {:.3}, \"base_gain\": {:.4}, \"pgas_gain\": {:.4}, \"serial_ratio\": {:.4}, \"fused_ratio\": {:.4}, \"base_bubble\": {:.4}, \"pgas_bubble\": {:.4}}}{}\n",
+            c.nodes,
+            c.per_node,
+            c.gpus(),
+            c.scale,
+            c.batch_size,
+            c.batches,
+            c.base_serial.as_millis_f64(),
+            c.base_exec.as_millis_f64(),
+            c.pgas_serial.as_millis_f64(),
+            c.pgas_exec.as_millis_f64(),
+            c.base_gain(),
+            c.pgas_gain(),
+            c.serial_ratio(),
+            c.fused_ratio(),
+            c.base_bubble,
+            c.pgas_bubble,
+            if i + 1 < r.cells.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"fusion_wins\": {},\n", r.fusion_wins()));
+    s.push_str(&format!(
+        "  \"pgas_lead_widens\": {}\n",
+        r.pgas_lead_widens()
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Structural validation of a `BENCH_pipeline.json` document. Beyond shape,
+/// this enforces EXT-15's two claims — the document must assert
+/// `"fusion_wins": true` (every cell, both backends: the executed fused +
+/// pipelined schedule beats the analytic serial one) and
+/// `"pgas_lead_widens": true` (a single-node cell where PGAS's end-to-end
+/// lead does not shrink under fusion). `reproduce pipeline` refuses to
+/// write an artifact that fails either.
+pub fn validate_pipeline_json(s: &str) -> Result<(), String> {
+    validate_json_doc(
+        s,
+        &[
+            "\"experiment\"",
+            "\"cells\"",
+            "\"nodes\"",
+            "\"per_node\"",
+            "\"batch_size\"",
+            "\"base_serial_ms\"",
+            "\"base_exec_ms\"",
+            "\"pgas_serial_ms\"",
+            "\"pgas_exec_ms\"",
+            "\"fused_ratio\"",
+            "\"base_bubble\"",
+            "\"pgas_bubble\"",
+        ],
+    )?;
+    if !s.contains("\"fusion_wins\": true") {
+        return Err(
+            "fusion claim failed: executed fused+pipelined schedule did not beat analytic-serial on every cell".into(),
+        );
+    }
+    if !s.contains("\"pgas_lead_widens\": true") {
+        return Err(
+            "widening claim failed: PGAS's end-to-end lead shrank under fusion on a single-node cell".into(),
+        );
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -825,6 +939,18 @@ mod tests {
         validate_pods_json(&j).expect("valid pods json");
         assert!(j.contains("\"gateway_recovers_pgas\": true"));
         assert!(j.contains("\"within_tolerance\": true"));
+    }
+
+    #[test]
+    fn pipeline_table_and_json_render_and_validate() {
+        let r = crate::pipeline_sweep(&[(1, 2, 512), (2, 2, 512)], 3, &[1]);
+        let t = pipeline_table(&r, "EXT-15");
+        assert!(t.contains("nodes,per_node,gpus,scale,batch_size"));
+        assert!(t.contains("fusion_wins: true"));
+        let j = pipeline_json(&r);
+        validate_pipeline_json(&j).expect("valid pipeline json");
+        assert!(j.contains("\"fusion_wins\": true"));
+        assert!(j.contains("\"pgas_lead_widens\": true"));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! | EXT-9 hot-row cache × index-skew grid | [`skew_sweep`] |
 //! | EXT-10 link-utilization timelines | [`netutil_sweep`] |
 //! | EXT-13 adaptive-vs-static resilience suite | [`adapt_sweep`] |
+//! | EXT-15 executed pipeline engine (fusion + software pipelining) | [`pipeline_sweep`] |
 
 #![warn(missing_docs)]
 

@@ -28,6 +28,12 @@
 //!                             hierarchical alltoall vs flat/gateway PGAS
 //!                             across nodes × GPUs-per-node × row size;
 //!                             BENCH_pods.json asserts the crossover claims)
+//!   pipeline                  EXT-15 executed pipeline engine (fused
+//!                             comm→interaction + inter-batch software
+//!                             pipelining vs the analytic serial schedule,
+//!                             backend × batch size × pod shape;
+//!                             BENCH_pipeline.json asserts fusion wins and
+//!                             PGAS's lead widens)
 //!   skew                      EXT-9 hot-row cache × index-skew grid
 //!                             (BENCH_skew.json; materializes raw indices,
 //!                             so run it at --scale 16 or smaller workloads
@@ -41,8 +47,8 @@
 //! --scale K    shrink every workload axis by K (default 1 = paper scale)
 //! --batches N  batches per run (default 100, the paper's count)
 //! --seed S     fault-plan/arrival seed for `chaos` and `serve` (default 42)
-//! --smoke      shrink `chaos`/`serve`/`adapt`/`skew`/`netutil`/`pods`/`wallclock`
-//!              to a seconds-long CI gate
+//! --smoke      shrink `chaos`/`serve`/`adapt`/`skew`/`netutil`/`pods`/
+//!              `pipeline`/`wallclock` to a seconds-long CI gate
 //! --out-dir D  write every experiment's CSV into D (alias: --csv)
 //! ```
 
@@ -409,6 +415,37 @@ fn main() {
         );
         emit_json(&args, "BENCH_pods.json", &pods_json(&r), |j| {
             validate_pods_json(j)
+        });
+    }
+    if matches!(e, "pipeline" | "all") {
+        let _t = HostTimer::new("pipeline");
+        let r = if args.smoke {
+            pipeline_sweep(
+                &[(1, 2, args.scale.max(512)), (2, 2, args.scale.max(512))],
+                args.batches.min(3),
+                &[1],
+            )
+        } else {
+            pipeline_sweep(
+                &[
+                    (1, 4, args.scale),
+                    (2, 4, args.scale.max(8)),
+                    (8, 4, args.scale.max(8)),
+                ],
+                args.batches.min(8),
+                &[1, 2],
+            )
+        };
+        emit(
+            &args,
+            "pipeline",
+            &pipeline_table(
+                &r,
+                "EXT-15: executed pipeline engine (fused comm-interaction overlap + inter-batch software pipelining)",
+            ),
+        );
+        emit_json(&args, "BENCH_pipeline.json", &pipeline_json(&r), |j| {
+            validate_pipeline_json(j)
         });
     }
     if matches!(e, "netutil" | "all") {

@@ -12,7 +12,7 @@ use rayon::prelude::*;
 use simccl::CollectiveConfig;
 
 use crate::backend::single::{baseline_batch, PlannedBatch};
-use crate::backend::{functional, prepare_batches, BackendResult, ExecMode, RetrievalBackend};
+use crate::backend::{prepare_batches, BackendResult, ExecMode, RetrievalBackend};
 use crate::{EmbLayerConfig, RunReport, TimeBreakdown};
 
 /// Baseline NCCL-style retrieval.
@@ -66,37 +66,7 @@ impl RetrievalBackend for BaselineBackend {
         let outputs = match mode {
             ExecMode::Timing => None,
             ExecMode::Functional => {
-                let which = (cfg.n_batches.saturating_sub(1)) % prepared.plans.len();
-                let plan = &prepared.plans[which];
-                let batch = &prepared.batches[which];
-                let shards = functional::materialize_shards(plan, cfg.table_spec(), cfg.seed);
-                let pooled: Vec<Vec<f32>> = (0..plan.devices.len())
-                    .into_par_iter()
-                    .map(|i| {
-                        let dp = &plan.devices[i];
-                        functional::compute_pooled_rows(
-                            dp,
-                            plan,
-                            batch,
-                            &shards[dp.device],
-                            cfg.seed,
-                        )
-                    })
-                    .collect();
-                let mut outs = functional::exchange_and_unpack(plan, &pooled);
-                if let Some(cache) = prepared.planner.as_ref().and_then(|p| p.cache()) {
-                    let replicas =
-                        crate::HotReplicas::materialize(cache, cfg.table_spec(), cfg.seed);
-                    functional::apply_hot_imports(
-                        plan,
-                        batch,
-                        &replicas,
-                        cfg.table_rows,
-                        &mut outs,
-                        cfg.seed,
-                    );
-                }
-                Some(outs)
+                Some(crate::backend::final_batch_outputs(cfg, &prepared, false))
             }
         };
 

@@ -20,7 +20,10 @@ pub use pgas::PgasFusedBackend;
 pub use resilient::{
     DegradedFill, ResiliencePolicy, ResilienceReport, ResilientBackend, ResilientResult,
 };
-pub use single::{baseline_batch, pgas_batch, pgas_batch_gateway, BatchRun, PlannedBatch};
+pub use single::{
+    baseline_batch, baseline_batch_logged, pgas_batch, pgas_batch_gateway, pgas_batch_logged,
+    ArrivalLog, BatchRun, PlannedBatch,
+};
 
 pub use crate::cache::{HotCachePlanner, HotReplicas, HotRowCache, IndexDedupMap};
 
@@ -130,8 +133,14 @@ pub(crate) fn lookup_block_durations(
 }
 
 /// The distinct input batches a run cycles through, and their plans.
-pub(crate) struct PreparedBatches {
+///
+/// Public so executed-schedule frontends (the dlrm pipeline engine) can
+/// drive the same per-batch functions the closed-loop backends chain,
+/// against the same prepared state.
+pub struct PreparedBatches {
+    /// The distinct batches, seed-index order.
     pub batches: Vec<SparseBatch>,
+    /// One forward plan per batch.
     pub plans: Vec<ForwardPlan>,
     /// The hot-row/dedup planner, when `cfg` enables either — kept so the
     /// functional path can materialize replicas without re-ranking.
@@ -181,11 +190,9 @@ pub fn plan_with_planner(
     p
 }
 
-pub(crate) fn prepare_batches(
-    cfg: &EmbLayerConfig,
-    mode: ExecMode,
-    gpu: &GpuSpec,
-) -> PreparedBatches {
+/// Generate the distinct batches of a closed-loop run under `cfg` and plan
+/// each one — the state every backend's `run` builds before its batch loop.
+pub fn prepare_batches(cfg: &EmbLayerConfig, mode: ExecMode, gpu: &GpuSpec) -> PreparedBatches {
     let spec = cfg.batch_spec();
     let distinct = cfg.distinct_batches.max(1).min(cfg.n_batches.max(1));
     let planner = HotCachePlanner::new(cfg, gpu);
@@ -213,6 +220,62 @@ pub(crate) fn prepare_batches(
         plans,
         planner,
     }
+}
+
+/// Final-batch functional outputs of a prepared run — the exact code the
+/// closed-loop backends execute in [`ExecMode::Functional`], factored out so
+/// executed-schedule frontends (the dlrm pipeline engine) get bit-identical
+/// predictions by construction rather than by re-implementation. `via_pgas`
+/// selects the PGAS path (arena-buffered pooled rows scattered through the
+/// symmetric heap) over the baseline path (exchange + unpack); the two
+/// produce bit-equal tensors — the flag exists so each backend keeps
+/// exercising its own data-movement code.
+pub fn final_batch_outputs(
+    cfg: &EmbLayerConfig,
+    prepared: &PreparedBatches,
+    via_pgas: bool,
+) -> Vec<Tensor> {
+    let which = (cfg.n_batches.saturating_sub(1)) % prepared.plans.len();
+    let plan = &prepared.plans[which];
+    let batch = &prepared.batches[which];
+    let shards = functional::materialize_shards(plan, cfg.table_spec(), cfg.seed);
+    let mut outs = if via_pgas {
+        let pooled: Vec<Vec<f32>> = (0..plan.devices.len())
+            .into_par_iter()
+            .map(|i| {
+                let dp = &plan.devices[i];
+                let mut buf = crate::arena::take_f32();
+                functional::compute_pooled_rows_into(
+                    dp,
+                    plan,
+                    batch,
+                    &shards[dp.device],
+                    cfg.seed,
+                    &mut buf,
+                );
+                buf
+            })
+            .collect();
+        let outs = functional::scatter_via_symmetric_heap(plan, &pooled);
+        for buf in pooled {
+            crate::arena::put_f32(buf);
+        }
+        outs
+    } else {
+        let pooled: Vec<Vec<f32>> = (0..plan.devices.len())
+            .into_par_iter()
+            .map(|i| {
+                let dp = &plan.devices[i];
+                functional::compute_pooled_rows(dp, plan, batch, &shards[dp.device], cfg.seed)
+            })
+            .collect();
+        functional::exchange_and_unpack(plan, &pooled)
+    };
+    if let Some(cache) = prepared.planner.as_ref().and_then(|p| p.cache()) {
+        let replicas = crate::HotReplicas::materialize(cache, cfg.table_spec(), cfg.seed);
+        functional::apply_hot_imports(plan, batch, &replicas, cfg.table_rows, &mut outs, cfg.seed);
+    }
+    outs
 }
 
 #[cfg(test)]

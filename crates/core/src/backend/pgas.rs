@@ -13,7 +13,7 @@ use pgas_rt::{AggregatorConfig, GatewayConfig, PgasConfig};
 use rayon::prelude::*;
 
 use crate::backend::single::{pgas_batch, pgas_batch_gateway, PlannedBatch};
-use crate::backend::{functional, prepare_batches, BackendResult, ExecMode, RetrievalBackend};
+use crate::backend::{prepare_batches, BackendResult, ExecMode, RetrievalBackend};
 use crate::{EmbLayerConfig, RunReport, TimeBreakdown};
 
 /// PGAS fused retrieval.
@@ -130,45 +130,7 @@ impl RetrievalBackend for PgasFusedBackend {
 
         let outputs = match mode {
             ExecMode::Timing => None,
-            ExecMode::Functional => {
-                let which = (cfg.n_batches.saturating_sub(1)) % prepared.plans.len();
-                let plan = &prepared.plans[which];
-                let batch = &prepared.batches[which];
-                let shards = functional::materialize_shards(plan, cfg.table_spec(), cfg.seed);
-                let pooled: Vec<Vec<f32>> = (0..plan.devices.len())
-                    .into_par_iter()
-                    .map(|i| {
-                        let dp = &plan.devices[i];
-                        let mut buf = crate::arena::take_f32();
-                        functional::compute_pooled_rows_into(
-                            dp,
-                            plan,
-                            batch,
-                            &shards[dp.device],
-                            cfg.seed,
-                            &mut buf,
-                        );
-                        buf
-                    })
-                    .collect();
-                let mut outs = functional::scatter_via_symmetric_heap(plan, &pooled);
-                for buf in pooled {
-                    crate::arena::put_f32(buf);
-                }
-                if let Some(cache) = prepared.planner.as_ref().and_then(|p| p.cache()) {
-                    let replicas =
-                        crate::HotReplicas::materialize(cache, cfg.table_spec(), cfg.seed);
-                    functional::apply_hot_imports(
-                        plan,
-                        batch,
-                        &replicas,
-                        cfg.table_rows,
-                        &mut outs,
-                        cfg.seed,
-                    );
-                }
-                Some(outs)
-            }
+            ExecMode::Functional => Some(crate::backend::final_batch_outputs(cfg, &prepared, true)),
         };
 
         BackendResult {

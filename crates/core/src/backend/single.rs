@@ -89,6 +89,96 @@ impl PlannedBatch {
     }
 }
 
+/// Per-destination arrival schedule of one batch's pooled output rows —
+/// the release stream the paper's fused emission makes visible to
+/// consumers, exposed so an executed pipeline schedule can gate downstream
+/// (interaction/MLP) chunks on actual data availability.
+///
+/// Semantics per backend:
+/// - **PGAS** ([`pgas_batch_logged`]): one entry per one-sided put at its
+///   wire-delivery instant, plus local rows at their producing block's
+///   retirement and hot-cache import blocks at theirs — rows become
+///   consumable *before* the quiet/barrier tail, which is exactly the
+///   overlap the fused schedule converts into end-to-end speedup.
+/// - **Baseline** ([`baseline_batch_logged`]): a single entry per device at
+///   its post-unpack stream-sync — the bulk-synchronous collective releases
+///   everything at once.
+///
+/// Observation only: the logged variants are bit-identical in timing and
+/// traffic to their plain counterparts.
+#[derive(Clone, Debug, Default)]
+pub struct ArrivalLog {
+    /// `arrivals[dst]` = `(instant, rows)` entries, sorted by instant after
+    /// [`ArrivalLog::finish`].
+    arrivals: Vec<Vec<(SimTime, u64)>>,
+}
+
+impl ArrivalLog {
+    /// An empty log; sized on first use by a logged batch function.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear and size for `n` destination devices.
+    fn reset(&mut self, n: usize) {
+        self.arrivals.iter_mut().for_each(Vec::clear);
+        self.arrivals.resize(n, Vec::new());
+    }
+
+    fn push(&mut self, dst: usize, at: SimTime, rows: u64) {
+        if rows > 0 {
+            self.arrivals[dst].push((at, rows));
+        }
+    }
+
+    /// Sort each destination's entries into arrival order.
+    fn finish(&mut self) {
+        for a in &mut self.arrivals {
+            a.sort_unstable();
+        }
+    }
+
+    /// Number of destination devices covered.
+    pub fn n_devices(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// The sorted `(instant, rows)` arrivals into `dst`.
+    pub fn arrivals(&self, dst: usize) -> &[(SimTime, u64)] {
+        &self.arrivals[dst]
+    }
+
+    /// Total pooled rows delivered to `dst`.
+    pub fn total_rows(&self, dst: usize) -> u64 {
+        self.arrivals[dst].iter().map(|&(_, r)| r).sum()
+    }
+
+    /// Instant the last row lands on `dst` ([`SimTime::ZERO`] if none).
+    pub fn last(&self, dst: usize) -> SimTime {
+        self.arrivals[dst].last().map_or(SimTime::ZERO, |&(t, _)| t)
+    }
+
+    /// Earliest instant at which at least `frac` (of 1.0) of `dst`'s rows
+    /// have arrived — the gate for the chunk of downstream work that reads
+    /// that span of the output. `frac >= 1.0` returns the last arrival;
+    /// an empty destination returns [`SimTime::ZERO`].
+    pub fn ready_at_fraction(&self, dst: usize, frac: f64) -> SimTime {
+        let total = self.total_rows(dst);
+        if total == 0 {
+            return SimTime::ZERO;
+        }
+        let target = ((frac * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for &(t, r) in &self.arrivals[dst] {
+            cum += r;
+            if cum >= target {
+                return t;
+            }
+        }
+        self.last(dst)
+    }
+}
+
 /// Timing of one executed batch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BatchRun {
@@ -115,6 +205,29 @@ pub fn baseline_batch(
     pb: &PlannedBatch,
     start: SimTime,
 ) -> BatchRun {
+    baseline_batch_inner(machine, collectives, pb, start, None)
+}
+
+/// [`baseline_batch`] recording the per-device output-availability schedule
+/// into `log` (reset to this batch). Timing and traffic are bit-identical
+/// to the plain function — the log is pure observation.
+pub fn baseline_batch_logged(
+    machine: &mut Machine,
+    collectives: &CollectiveConfig,
+    pb: &PlannedBatch,
+    start: SimTime,
+    log: &mut ArrivalLog,
+) -> BatchRun {
+    baseline_batch_inner(machine, collectives, pb, start, Some(log))
+}
+
+fn baseline_batch_inner(
+    machine: &mut Machine,
+    collectives: &CollectiveConfig,
+    pb: &PlannedBatch,
+    start: SimTime,
+    mut log: Option<&mut ArrivalLog>,
+) -> BatchRun {
     let plan = pb.plan();
     let n = plan.n_devices;
     let row_bytes = plan.row_bytes() as u64;
@@ -138,6 +251,9 @@ pub fn baseline_batch(
     let c_max = machine.barrier(&c_end).max(k_max);
 
     // --- Phase 3: wait() + unpack kernel. ---
+    if let Some(l) = log.as_deref_mut() {
+        l.reset(n);
+    }
     let mut end = arena::take_time();
     end.resize(n, SimTime::ZERO);
     for d in 0..n {
@@ -151,6 +267,14 @@ pub fn baseline_batch(
         let dur = Dur::from_secs_f64(unpack_bytes as f64 / UNPACK_BW);
         let run = machine.run_kernel_varied(d, &[dur], waited);
         end[d] = machine.stream_sync(d, run.interval.end);
+        if let Some(l) = log.as_deref_mut() {
+            // Bulk-synchronous release: every pooled row of d's output
+            // becomes consumable at once, after wait + unpack + sync.
+            l.push(d, end[d], (plan.mb_sizes[d] * plan.n_features) as u64);
+        }
+    }
+    if let Some(l) = log {
+        l.finish();
     }
     let batch_end = machine.barrier(&end);
     arena::put_time(end);
@@ -224,9 +348,36 @@ pub fn pgas_batch(
     pb: &PlannedBatch,
     start: SimTime,
 ) -> BatchRun {
+    pgas_batch_inner(machine, pgas, pb, start, None)
+}
+
+/// [`pgas_batch`] recording the fused-emission arrival schedule into `log`
+/// (reset to this batch): every one-sided put at its wire-delivery instant,
+/// local and import rows at their producing block's retirement. Timing and
+/// traffic are bit-identical to the plain function.
+pub fn pgas_batch_logged(
+    machine: &mut Machine,
+    pgas: PgasConfig,
+    pb: &PlannedBatch,
+    start: SimTime,
+    log: &mut ArrivalLog,
+) -> BatchRun {
+    pgas_batch_inner(machine, pgas, pb, start, Some(log))
+}
+
+fn pgas_batch_inner(
+    machine: &mut Machine,
+    pgas: PgasConfig,
+    pb: &PlannedBatch,
+    start: SimTime,
+    mut log: Option<&mut ArrivalLog>,
+) -> BatchRun {
     let plan = pb.plan();
     let n = plan.n_devices;
     let row_bytes = plan.row_bytes();
+    if let Some(l) = log.as_deref_mut() {
+        l.reset(n);
+    }
 
     // --- Fused kernel per device; every thread's one-sided store issues
     // *while the block executes* (paper Listing 2), so a block's remote
@@ -242,9 +393,33 @@ pub fn pgas_batch(
         let run = machine.run_kernel_varied(dp.device, durs, start);
         k_end[dp.device] = run.interval.end;
         stream_releases_into(dp, durs, &run, &mut releases);
+        if let Some(l) = log.as_deref_mut() {
+            // Rows pooled for this device's own output are consumable the
+            // instant their producing block retires — no wire involved.
+            for (blk, &end) in dp.blocks.iter().zip(&run.block_ends) {
+                for &(dst, rows) in &blk.dest_rows {
+                    if dst == dp.device {
+                        l.push(dst, end, rows);
+                    }
+                }
+            }
+            // Hot-cache import blocks (appended after the regular blocks)
+            // pool one local row per imported bag.
+            for (chunk, &end) in dp
+                .imported_bags
+                .chunks(plan.bags_per_block)
+                .zip(&run.block_ends[dp.blocks.len()..])
+            {
+                l.push(dp.device, end, chunk.len() as u64);
+            }
+        }
         let mut os = OneSided::with_config(machine, pgas);
         for &(ready, dst, rows) in releases.iter() {
             let iv = os.put_rows_nbi(dp.device, dst, rows, row_bytes, ready);
+            if let Some(l) = log.as_deref_mut() {
+                // The remote rows are consumable once the put delivers.
+                l.push(dst, iv.end, rows);
+            }
             // When tracing, tie the remote put's wire span to the pooled
             // write landing on the destination device's track.
             if iv.end > iv.start {
@@ -261,6 +436,9 @@ pub fn pgas_batch(
             }
         }
         quiet[dp.device] = os.quiet(dp.device, run.interval.end);
+    }
+    if let Some(l) = log {
+        l.finish();
     }
     arena::put_release(releases);
     let k_max = machine.barrier(&k_end);
@@ -514,6 +692,68 @@ mod tests {
             gw.service(),
             flat.service()
         );
+    }
+
+    #[test]
+    fn logged_variants_are_bit_identical_to_plain() {
+        let cfg = tiny_cfg(2);
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let pb = planned(&m, &cfg, 0);
+        let plain = pgas_batch(&mut m, PgasConfig::default(), &pb, SimTime::ZERO);
+        let mut m2 = Machine::new(MachineConfig::dgx_v100(2));
+        let mut log = ArrivalLog::new();
+        let logged =
+            pgas_batch_logged(&mut m2, PgasConfig::default(), &pb, SimTime::ZERO, &mut log);
+        assert_eq!(plain, logged);
+        assert_eq!(m.traffic_stats(), m2.traffic_stats());
+
+        let cc = CollectiveConfig::default();
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let plain = baseline_batch(&mut m, &cc, &pb, SimTime::ZERO);
+        let mut m2 = Machine::new(MachineConfig::dgx_v100(2));
+        let logged = baseline_batch_logged(&mut m2, &cc, &pb, SimTime::ZERO, &mut log);
+        assert_eq!(plain, logged);
+        assert_eq!(m.traffic_stats(), m2.traffic_stats());
+    }
+
+    #[test]
+    fn arrival_log_covers_every_output_row_and_respects_batch_end() {
+        let cfg = tiny_cfg(4);
+        let mut m = Machine::new(MachineConfig::dgx_v100(4));
+        let pb = planned(&m, &cfg, 0);
+        let mut plog = ArrivalLog::new();
+        let prun = pgas_batch_logged(&mut m, PgasConfig::default(), &pb, SimTime::ZERO, &mut plog);
+        let mut m2 = Machine::new(MachineConfig::dgx_v100(4));
+        let mut blog = ArrivalLog::new();
+        let brun = baseline_batch_logged(
+            &mut m2,
+            &CollectiveConfig::default(),
+            &pb,
+            SimTime::ZERO,
+            &mut blog,
+        );
+        let plan = pb.plan();
+        for d in 0..4 {
+            let rows = (plan.mb_sizes[d] * plan.n_features) as u64;
+            // Both logs account every pooled row of every device's output.
+            assert_eq!(plog.total_rows(d), rows, "pgas dev {d}");
+            assert_eq!(blog.total_rows(d), rows, "baseline dev {d}");
+            // No arrival outruns the batch, and PGAS arrivals are sorted.
+            assert!(plog.last(d) <= prun.end);
+            assert!(blog.last(d) <= brun.end);
+            assert!(plog.arrivals(d).windows(2).all(|w| w[0].0 <= w[1].0));
+            // Fused emission spreads arrivals: the first half of d's rows
+            // lands strictly before the last row (many release instants),
+            // whereas the baseline releases everything at one instant.
+            assert!(plog.ready_at_fraction(d, 0.5) < plog.last(d), "dev {d}");
+            assert_eq!(blog.arrivals(d).len(), 1, "bulk-synchronous release");
+            // And the PGAS half-point strictly precedes the baseline's
+            // all-at-once release — the overlap the engine exploits.
+            assert!(plog.ready_at_fraction(d, 0.5) < blog.last(d));
+        }
+        // Fraction endpoints behave.
+        assert_eq!(plog.ready_at_fraction(0, 1.0), plog.last(0));
+        assert!(plog.ready_at_fraction(0, 0.0) <= plog.ready_at_fraction(0, 1.0));
     }
 
     #[test]

@@ -40,8 +40,20 @@ pub struct PipelineReport {
 impl PipelineReport {
     /// Fraction of end-to-end time spent in the EMB stage (including its
     /// communication) — the paper's motivation for optimizing it.
+    /// A zero-total run (e.g. zero batches) reports 0.0, not NaN.
     pub fn emb_fraction(&self) -> f64 {
-        self.emb.total.as_secs_f64() / self.total.as_secs_f64()
+        ratio(self.emb.total, self.total)
+    }
+}
+
+/// `num / den` as seconds, with zero-duration denominators mapped to 0.0 so
+/// degenerate (empty or zero-batch) runs report a defined fraction instead
+/// of NaN. Shared by every report-level ratio helper in this crate.
+pub(crate) fn ratio(num: Dur, den: Dur) -> f64 {
+    if den.is_zero() {
+        0.0
+    } else {
+        num.as_secs_f64() / den.as_secs_f64()
     }
 }
 
@@ -63,6 +75,20 @@ impl BatchCosts {
     pub fn completion(&self, emb: Dur) -> Dur {
         self.top_mlp.max(emb) + self.head
     }
+}
+
+/// Launch-free per-batch stage durations for the executed pipeline engine:
+/// the analytic [`BatchCosts`] split at kernel granularity. See
+/// [`InferencePipeline::stage_durations`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageDurations {
+    /// Top-MLP kernel execution time (launch overhead excluded).
+    pub top: Dur,
+    /// Interaction share of the head kernel.
+    pub interact: Dur,
+    /// Bottom-MLP share of the head kernel (`interact + bottom` equals the
+    /// head kernel's launch-free duration exactly).
+    pub bottom: Dur,
 }
 
 /// Drives a [`Dlrm`] over a stream of batches with a chosen retrieval
@@ -130,6 +156,35 @@ impl<'a> InferencePipeline<'a> {
         };
         let head = spec.kernel_launch + head_shape.duration(&spec);
         BatchCosts { top_mlp, head }
+    }
+
+    /// The same per-batch shapes as [`InferencePipeline::batch_costs`],
+    /// split into launch-free kernel durations for the executed engine
+    /// (`crate::engine`): the head kernel's time is divided between its
+    /// interaction and bottom-MLP parts in proportion to their FLOP shares,
+    /// exactly (`interact + bottom` reassembles the head duration bit for
+    /// bit, so an executed schedule issuing these stages does the same
+    /// per-stream work as the analytic serial schedule charges).
+    pub fn stage_durations(&self, machine: &Machine, batch_size: usize) -> StageDurations {
+        let cfg = &self.model.cfg;
+        let mb = batch_size.div_ceil(cfg.emb.n_gpus).max(1);
+        let spec = machine.spec(0);
+        let costs = self.batch_costs(machine, batch_size);
+        let top = costs.top_mlp - spec.kernel_launch;
+        let head = costs.head - spec.kernel_launch;
+        let i_flops = interact_flops(mb, cfg.emb.n_features, cfg.emb.dim) as f64;
+        let b_flops = self.model.bottom.flops(mb) as f64;
+        let frac = if i_flops + b_flops > 0.0 {
+            i_flops / (i_flops + b_flops)
+        } else {
+            1.0
+        };
+        let interact = Dur::from_ns((head.as_ns() as f64 * frac).round() as u64);
+        StageDurations {
+            top,
+            interact,
+            bottom: head - interact,
+        }
     }
 
     /// Fold an EMB-stage result into the end-to-end pipeline report.
@@ -281,6 +336,37 @@ mod tests {
         let emb = Dur::from_us(10_000);
         assert_eq!(full.completion(emb), emb.max(full.top_mlp) + full.head);
         assert_eq!(full.completion(Dur::ZERO), full.top_mlp + full.head);
+    }
+
+    #[test]
+    fn stage_durations_reassemble_batch_costs_exactly() {
+        let cfg = DlrmConfig::tiny(2);
+        let model = Dlrm::new(cfg);
+        let m = Machine::new(MachineConfig::dgx_v100(2));
+        let pipeline = InferencePipeline::new(&model);
+        let costs = pipeline.batch_costs(&m, model.cfg.emb.batch_size);
+        let stages = pipeline.stage_durations(&m, model.cfg.emb.batch_size);
+        let launch = m.spec(0).kernel_launch;
+        // The split is exact: launch + kernel time reassembles each analytic
+        // cost bit for bit, so the executed engine charges the same
+        // per-stream work as the serial schedule.
+        assert_eq!(launch + stages.top, costs.top_mlp);
+        assert_eq!(launch + stages.interact + stages.bottom, costs.head);
+        assert!(!stages.interact.is_zero());
+        assert!(!stages.bottom.is_zero());
+    }
+
+    #[test]
+    fn zero_batch_run_reports_zero_emb_fraction_not_nan() {
+        let mut cfg = DlrmConfig::tiny(2);
+        cfg.emb.n_batches = 0;
+        let model = Dlrm::new(cfg);
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        let r =
+            InferencePipeline::new(&model).run(&mut m, &BaselineBackend::new(), ExecMode::Timing);
+        assert_eq!(r.total, Dur::ZERO);
+        assert_eq!(r.emb_fraction(), 0.0);
+        assert!(r.emb_fraction().is_finite());
     }
 
     #[test]

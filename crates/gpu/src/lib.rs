@@ -37,6 +37,7 @@ mod fault;
 mod kernel;
 mod machine;
 mod spec;
+mod stream;
 mod topology;
 mod trace;
 
@@ -47,5 +48,6 @@ pub use fault::{
 pub use kernel::{KernelRun, KernelShape};
 pub use machine::{Machine, MachineConfig, TrafficStats};
 pub use spec::GpuSpec;
+pub use stream::{Event, StageChunk, StreamId};
 pub use topology::{LinkSpec, NoLink, Topology};
 pub use trace::{TraceEvent, TraceLog};

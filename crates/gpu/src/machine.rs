@@ -100,6 +100,11 @@ pub struct Machine {
     cfg: MachineConfig,
     /// Next-free time of each device's default stream.
     streams: Vec<SimTime>,
+    /// Auxiliary compute streams per device ([`Machine::add_stream`]).
+    /// Each serializes its own kernels and runs concurrently with the
+    /// default stream; empty unless a scheduler asks for them, so existing
+    /// single-stream schedules never touch this path.
+    aux_streams: Vec<Vec<Resource>>,
     /// One serialized resource per ordered pair, indexed `src * n + dst`.
     links: Vec<Resource>,
     /// Per-device injection port (the GPU's whole NVLink/NIC complex).
@@ -142,6 +147,7 @@ impl Machine {
         let bucket = cfg.traffic_bucket;
         Machine {
             streams: vec![SimTime::ZERO; n],
+            aux_streams: vec![Vec::new(); n],
             links: vec![Resource::new(); n * n],
             injection: vec![Resource::new(); n],
             nics: vec![Resource::new(); cfg.topology.nodes()],
@@ -416,6 +422,108 @@ impl Machine {
             interval,
             block_ends,
             resident,
+        }
+    }
+
+    /// Create one auxiliary compute stream on `dev` (the CUDA analogue of
+    /// `cudaStreamCreate`). Kernels issued on it via
+    /// [`Machine::run_on_stream`] / [`Machine::run_chunked_on`] serialize
+    /// among themselves but overlap the default stream and every other
+    /// stream. Trace spans land on their own `gpu{dev}.s{idx}` lane.
+    pub fn add_stream(&mut self, dev: usize) -> crate::StreamId {
+        let idx = self.aux_streams[dev].len();
+        self.aux_streams[dev].push(Resource::new());
+        crate::StreamId { dev, idx }
+    }
+
+    /// Instant stream `s` becomes free for new work.
+    pub fn stream_free_at(&self, s: crate::StreamId) -> SimTime {
+        self.aux_streams[s.dev][s.idx].free_at()
+    }
+
+    /// Total kernel-execution time issued on stream `s` (gaps excluded) —
+    /// the numerator of a stream-occupancy / pipeline-bubble metric.
+    pub fn stream_busy_time(&self, s: crate::StreamId) -> Dur {
+        self.aux_streams[s.dev][s.idx].busy_time()
+    }
+
+    /// Launch one kernel of duration `dur` on auxiliary stream `s`, not
+    /// before `gate` fires. Pays the launch overhead like every default-
+    /// stream kernel, honours straggler scaling, and serializes behind
+    /// whatever the stream is already running.
+    pub fn run_on_stream(
+        &mut self,
+        s: crate::StreamId,
+        label: &'static str,
+        dur: Dur,
+        gate: crate::Event,
+    ) -> Interval {
+        let slow = self.straggler_factor(s.dev);
+        let d = if slow != 1.0 { dur * slow } else { dur };
+        let launch = self.cfg.specs[s.dev].kernel_launch;
+        let res = &mut self.aux_streams[s.dev][s.idx];
+        let begin = res.free_at().max(gate.when()) + launch;
+        let iv = res.acquire(begin, d);
+        self.note_stream_kernel(s, label, iv);
+        iv
+    }
+
+    /// Launch one *persistent* kernel on stream `s` whose thread blocks
+    /// consume `chunks` in order, each chunk polling until its gate event
+    /// has fired (the fused-communication consumer pattern: interaction
+    /// blocks spin on the arrival flags of the embedding rows they read).
+    /// One launch overhead is paid for the whole kernel; chunk `c` then
+    /// executes at `max(end of chunk c-1, gate_c)`. Returns the kernel's
+    /// overall interval. Gaps between chunks are *not* billed to
+    /// [`Machine::stream_busy_time`] — they are exactly the pipeline
+    /// bubbles the occupancy metric exists to expose.
+    pub fn run_chunked_on(
+        &mut self,
+        s: crate::StreamId,
+        chunks: &[crate::StageChunk],
+        gate: crate::Event,
+    ) -> Interval {
+        let slow = self.straggler_factor(s.dev);
+        let launch = self.cfg.specs[s.dev].kernel_launch;
+        let begin = self.aux_streams[s.dev][s.idx].free_at().max(gate.when()) + launch;
+        if chunks.is_empty() {
+            let iv = self.aux_streams[s.dev][s.idx].acquire(begin, Dur::ZERO);
+            self.bump(iv.end);
+            return iv;
+        }
+        let mut first: Option<SimTime> = None;
+        let mut cursor = begin;
+        for c in chunks {
+            let d = if slow != 1.0 { c.dur * slow } else { c.dur };
+            let iv = self.aux_streams[s.dev][s.idx].acquire(cursor.max(c.gate.when()), d);
+            self.note_stream_kernel(s, c.label, iv);
+            first.get_or_insert(iv.start);
+            cursor = iv.end;
+        }
+        Interval {
+            start: first.expect("non-empty chunk list"),
+            end: cursor,
+        }
+    }
+
+    /// Shared bookkeeping for auxiliary-stream kernels: horizon, the
+    /// `stream_busy_ns` occupancy timeline (labelled `(dev, stream)`), and
+    /// the `gpu{dev}.s{idx}` trace lane.
+    fn note_stream_kernel(&mut self, s: crate::StreamId, label: &str, iv: Interval) {
+        self.bump(iv.end);
+        if self.metrics.is_enabled() {
+            self.metrics
+                .incr("stream_kernels", s.dev as u32, s.idx as u32);
+            self.metrics.span(
+                "stream_busy_ns",
+                s.dev as u32,
+                s.idx as u32,
+                iv.start,
+                iv.end,
+            );
+        }
+        if let Some(t) = &mut self.trace {
+            t.record(format!("gpu{}.s{}", s.dev, s.idx), label.to_string(), iv);
         }
     }
 
@@ -792,6 +900,90 @@ mod tests {
         assert_eq!(stats.payload_bytes, 1 << 20);
         assert_eq!(stats.header_bytes, link.header_bytes as u64);
         assert_eq!(stats.messages, 1);
+    }
+
+    #[test]
+    fn aux_streams_overlap_the_default_stream_and_serialize_internally() {
+        let mut m = machine(1);
+        let s = m.add_stream(0);
+        let k = m.run_kernel(0, KernelShape::memory_bound(100, 1 << 20), SimTime::ZERO);
+        let a = m.run_on_stream(s, "head", Dur::from_us(50), crate::Event::READY);
+        let b = m.run_on_stream(s, "head", Dur::from_us(50), crate::Event::READY);
+        // Aux kernel a starts at launch overhead, regardless of the busy
+        // default stream…
+        assert_eq!(a.start, SimTime::ZERO + m.spec(0).kernel_launch);
+        assert!(a.start < k.interval.end, "streams overlap");
+        // …and b queues behind a on the same stream.
+        assert!(b.start >= a.end);
+        assert_eq!(m.stream_busy_time(s), Dur::from_us(100));
+        assert_eq!(m.stream_free_at(s), b.end);
+    }
+
+    #[test]
+    fn event_gates_delay_stream_kernels() {
+        let mut m = machine(1);
+        let s = m.add_stream(0);
+        let gate = crate::Event::at(SimTime::ZERO + Dur::from_us(500));
+        let iv = m.run_on_stream(s, "gated", Dur::from_us(10), gate);
+        assert_eq!(iv.start, gate.when() + m.spec(0).kernel_launch);
+    }
+
+    #[test]
+    fn chunked_kernel_pays_one_launch_and_honours_gates() {
+        let mut m = machine(1);
+        let launch = m.spec(0).kernel_launch;
+        let s = m.add_stream(0);
+        let chunk = |us: u64, gate: crate::Event| crate::StageChunk {
+            gate,
+            dur: Dur::from_us(us),
+            label: "c",
+        };
+        // Ungated chunks run back to back after a single launch overhead.
+        let iv = m.run_chunked_on(
+            s,
+            &[
+                chunk(10, crate::Event::READY),
+                chunk(10, crate::Event::READY),
+            ],
+            crate::Event::READY,
+        );
+        assert_eq!(iv.start, SimTime::ZERO + launch);
+        assert_eq!(iv.end, iv.start + Dur::from_us(20));
+        // A gated chunk stalls the persistent kernel (no extra launch),
+        // and the stall is a bubble, not busy time.
+        let t0 = m.stream_free_at(s);
+        let gate = crate::Event::at(t0 + Dur::from_us(100));
+        let iv2 = m.run_chunked_on(
+            s,
+            &[chunk(10, gate), chunk(10, crate::Event::READY)],
+            crate::Event::READY,
+        );
+        assert_eq!(iv2.start, gate.when());
+        assert_eq!(iv2.end, gate.when() + Dur::from_us(20));
+        assert_eq!(m.stream_busy_time(s), Dur::from_us(40));
+    }
+
+    #[test]
+    fn stream_occupancy_lands_in_telemetry_and_trace() {
+        let mut m = machine(2);
+        m.enable_telemetry();
+        m.enable_trace();
+        let s = m.add_stream(1);
+        m.run_on_stream(s, "interact", Dur::from_us(25), crate::Event::READY);
+        assert_eq!(m.metrics().counter("stream_kernels", 1, 0), 1);
+        let busy: f64 = m
+            .metrics()
+            .timeline("stream_busy_ns", 1, 0)
+            .expect("occupancy timeline")
+            .buckets()
+            .iter()
+            .sum();
+        assert_eq!(busy, Dur::from_us(25).as_ns() as f64);
+        let t = m.trace().unwrap();
+        assert!(t
+            .events()
+            .iter()
+            .any(|e| e.track == "gpu1.s0" && e.name == "interact"));
     }
 
     #[test]

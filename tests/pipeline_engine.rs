@@ -1,0 +1,160 @@
+//! Integration tests for the executed pipeline engine (EXT-15): the fused +
+//! software-pipelined schedule must keep functional predictions bit-identical
+//! to the serial pipeline, and its executed total must sit between the
+//! per-stream critical-path lower bound and the analytic serial schedule.
+
+use pgas_embedding::dlrm::{Dlrm, DlrmConfig, EngineBackend, InferencePipeline, PipelineEngine};
+use pgas_embedding::gpusim::{Machine, MachineConfig};
+use pgas_embedding::retrieval::backend::{BaselineBackend, ExecMode, PgasFusedBackend};
+use pgas_embedding::retrieval::EmbLayerConfig;
+use proptest::prelude::*;
+
+fn machines_for(cfg: &DlrmConfig) -> (Machine, Machine) {
+    let g = cfg.emb.n_gpus;
+    (
+        Machine::new(MachineConfig::dgx_v100(g)),
+        Machine::new(MachineConfig::dgx_v100(g)),
+    )
+}
+
+/// The engine and the serial pipeline must produce bit-identical
+/// predictions in functional mode, for both backends and on more than one
+/// GPU count. (`ci.sh` runs this whole suite under `RAYON_NUM_THREADS=1`
+/// and `=4`, so the identity is also pinned across worker-pool widths.)
+#[test]
+fn executed_predictions_bit_identical_to_serial_pipeline() {
+    for gpus in [2usize, 4] {
+        let mut cfg = DlrmConfig::tiny(gpus);
+        cfg.emb.n_batches = 3;
+        let model = Dlrm::new(cfg);
+        for pgas in [false, true] {
+            let (mut ms, mut me) = machines_for(&model.cfg);
+            let serial = if pgas {
+                InferencePipeline::new(&model).run(
+                    &mut ms,
+                    &PgasFusedBackend::new(),
+                    ExecMode::Functional,
+                )
+            } else {
+                InferencePipeline::new(&model).run(
+                    &mut ms,
+                    &BaselineBackend::new(),
+                    ExecMode::Functional,
+                )
+            };
+            let be = if pgas {
+                EngineBackend::pgas()
+            } else {
+                EngineBackend::baseline()
+            };
+            let exec = PipelineEngine::new(&model).run(&mut me, &be, ExecMode::Functional);
+            let (sp, ep) = (serial.predictions.unwrap(), exec.predictions.unwrap());
+            assert_eq!(sp.len(), ep.len());
+            for (a, b) in sp.iter().zip(&ep) {
+                assert!(
+                    a.allclose(b, 0.0),
+                    "gpus={gpus} pgas={pgas}: engine predictions must be bit-identical"
+                );
+            }
+        }
+    }
+}
+
+/// Multi-batch runs must strictly beat the analytic serial schedule (the
+/// whole point of inter-batch pipelining), and PGAS must still beat the
+/// baseline end to end under the executed schedule.
+#[test]
+fn executed_schedule_strictly_beats_serial_on_multi_batch_runs() {
+    let mut cfg = DlrmConfig::tiny(2);
+    cfg.emb.n_batches = 4;
+    let model = Dlrm::new(cfg);
+    let mut totals = Vec::new();
+    for pgas in [false, true] {
+        let be = if pgas {
+            EngineBackend::pgas()
+        } else {
+            EngineBackend::baseline()
+        };
+        let (mut m, _) = machines_for(&model.cfg);
+        let e = PipelineEngine::new(&model).run(&mut m, &be, ExecMode::Timing);
+        assert!(
+            e.total < e.serial_total,
+            "pgas={pgas}: executed {} !< serial {}",
+            e.total,
+            e.serial_total
+        );
+        totals.push(e.total);
+    }
+    assert!(
+        totals[1] < totals[0],
+        "pgas must win under the executed schedule"
+    );
+}
+
+fn dlrm_strategy() -> impl Strategy<Value = DlrmConfig> {
+    (
+        1usize..=3,                         // gpus
+        1usize..=2,                         // features per gpu
+        8usize..=64,                        // table rows
+        prop_oneof![Just(4usize), Just(8)], // dim
+        1usize..=4,                         // per-gpu minibatch
+        1usize..=4,                         // batches
+        1usize..=2,                         // distinct batches
+        prop_oneof![Just(4usize), Just(8)], // mlp width
+        1usize..=4,                         // dense features
+        any::<u16>(),                       // seed
+    )
+        .prop_map(
+            |(gpus, fpg, rows, dim, mb, batches, distinct, width, n_dense, seed)| {
+                let mut emb = EmbLayerConfig::paper_weak_scaling(gpus).scaled_down(512);
+                emb.n_features = fpg * gpus;
+                emb.table_rows = rows;
+                emb.dim = dim;
+                emb.batch_size = mb * gpus;
+                emb.n_batches = batches;
+                emb.distinct_batches = distinct;
+                emb.seed = seed as u64;
+                DlrmConfig {
+                    n_dense,
+                    top_hidden: vec![width],
+                    bottom_hidden: vec![width],
+                    emb,
+                    seed: 0x515E ^ seed as u64,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For arbitrary small workloads and both backends, the executed total
+    /// is sandwiched: never worse than the analytic serial schedule
+    /// (pipelining only removes charged time, never adds work) and never
+    /// better than its own critical paths — the EMB chain and each head
+    /// stream's accumulated kernel time.
+    #[test]
+    fn executed_total_is_bounded_by_serial_and_critical_path(cfg in dlrm_strategy()) {
+        let model = Dlrm::new(cfg);
+        for pgas in [false, true] {
+            let be = if pgas { EngineBackend::pgas() } else { EngineBackend::baseline() };
+            let (mut m, _) = machines_for(&model.cfg);
+            let e = PipelineEngine::new(&model).run(&mut m, &be, ExecMode::Timing);
+            prop_assert!(
+                e.total <= e.serial_total,
+                "pgas={}: executed {} > serial {}", pgas, e.total, e.serial_total
+            );
+            prop_assert!(
+                e.total >= e.emb.total,
+                "pgas={}: executed {} < EMB chain {}", pgas, e.total, e.emb.total
+            );
+            for (d, busy) in e.head_busy.iter().enumerate() {
+                prop_assert!(
+                    e.total >= *busy,
+                    "pgas={} dev={}: executed {} < head stream busy {}", pgas, d, e.total, busy
+                );
+            }
+            prop_assert!((0.0..=1.0).contains(&e.bubble_fraction));
+        }
+    }
+}
