@@ -12,8 +12,12 @@
 # holding), the executed-pipeline smoke (EXT-15, asserts BENCH_pipeline.json
 # is produced with both scheduling claims holding), and the
 # adaptive control-plane smoke (EXT-13, asserts
-# BENCH_adapt.json is produced and claims adaptive dominance). Run from
-# the repo root. Fails fast on the first broken step.
+# BENCH_adapt.json is produced and claims adaptive dominance), the
+# critical-path blame smoke (EXT-16, asserts BENCH_blame.json is produced
+# with the exposed-communication claim holding), and a telemetry-off
+# byte-identity check (fresh weak-scaling CSVs must match the committed
+# results/ bodies exactly). Run from the repo root. Fails fast on the
+# first broken step.
 set -eu
 
 cargo fmt --all -- --check
@@ -141,6 +145,36 @@ if grep -q '"pgas_lead_widens": false' "$wc_dir/BENCH_pipeline.json"; then
 fi
 grep -q '"fusion_wins": true' "$wc_dir/BENCH_pipeline.json"
 grep -q '"pgas_lead_widens": true' "$wc_dir/BENCH_pipeline.json"
+
+# EXT-16 smoke: the critical-path blame decomposition must emit all three
+# artifacts and the exposed-communication claim must hold (>= 30% of the
+# baseline critical path, <= 5% under PGAS, on the DGX pair at paper
+# scale — the validator refuses to emit a false claim; the shell re-checks
+# and refuses a false flag outright).
+cargo run --release -p bench-harness --offline -- blame --smoke --out-dir "$wc_dir" > /dev/null
+test -s "$wc_dir/blame.csv"
+test -s "$wc_dir/BENCH_blame.json"
+test -s "$wc_dir/blame_folded.txt"
+grep -q '"experiment": "blame"' "$wc_dir/BENCH_blame.json"
+grep -q '"blame_ns"' "$wc_dir/BENCH_blame.json"
+grep -q 'critical_path' "$wc_dir/blame_folded.txt"
+if grep -q '"exposed_comm_eliminated": false' "$wc_dir/BENCH_blame.json"; then
+    echo "ci: BENCH_blame.json claims exposed communication was NOT eliminated" >&2
+    exit 1
+fi
+grep -q '"exposed_comm_eliminated": true' "$wc_dir/BENCH_blame.json"
+
+# Observability must be inert when off: rerunning the weak-scaling family
+# with no telemetry/blame enabled must reproduce the committed CSV bodies
+# byte for byte.
+cargo run --release -p bench-harness --offline -- table1 --out-dir "$wc_dir" > /dev/null
+cargo run --release -p bench-harness --offline -- fig5 --out-dir "$wc_dir" > /dev/null
+for f in table1.csv fig5.csv; do
+    cmp -s "$wc_dir/$f" "results/$f" || {
+        echo "ci: results/$f drifted from a fresh telemetry-off run" >&2
+        exit 1
+    }
+done
 
 # EXT-13 smoke: the adaptive-vs-static scenario suite must emit both
 # artifacts and the dominance claim must hold (the validator refuses to

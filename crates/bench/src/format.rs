@@ -5,8 +5,8 @@ use std::fmt::Write as _;
 use desim::SimTime;
 
 use crate::{
-    validate_json_doc, AdaptSweep, ChaosPoint, CommVolumeResult, LinkUtilStats, NetUtilResult,
-    PipelineResult, PodsResult, ScalingResult, ServeSweep, SkewSweep,
+    validate_json_doc, AdaptSweep, BlameResult, ChaosPoint, CommVolumeResult, LinkUtilStats,
+    NetUtilResult, PipelineResult, PodsResult, ScalingResult, ServeSweep, SkewSweep,
 };
 
 /// Render the paper's speedup table (Table I / Table II).
@@ -750,6 +750,126 @@ pub fn validate_pods_json(s: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Render the EXT-16 blame sweep as `blame.csv`: one row per cell with the
+/// full critical-path category decomposition, then the claim summary line.
+pub fn blame_table(r: &BlameResult, title: &str) -> String {
+    use telemetry::causal::BlameCategory;
+    let mut s = String::new();
+    let _ = writeln!(s, "== {title} ==");
+    let _ = writeln!(s, "# scale={}", r.scale);
+    let mut header = String::from("topology,backend,gpus,batches,total_ms,exposed_share");
+    for cat in BlameCategory::ALL {
+        let _ = write!(header, ",{}_ns", cat.label());
+    }
+    let _ = writeln!(s, "{header}");
+    for c in &r.cells {
+        let _ = write!(
+            s,
+            "{},{},{},{},{:.3},{:.4}",
+            c.topology,
+            c.backend,
+            c.gpus,
+            c.batches,
+            c.total().as_millis_f64(),
+            c.exposed_share()
+        );
+        for cat in BlameCategory::ALL {
+            let _ = write!(s, ",{}", c.blame.get(cat));
+        }
+        let _ = writeln!(s);
+    }
+    let _ = writeln!(
+        s,
+        "baseline_exposed_share: {:.4}  pgas_exposed_share: {:.4}  exposed_comm_eliminated: {}",
+        r.baseline_share(),
+        r.pgas_share(),
+        r.exposed_comm_eliminated()
+    );
+    s
+}
+
+/// Serialize the EXT-16 sweep as the `BENCH_blame.json` artifact.
+pub fn blame_json(r: &BlameResult) -> String {
+    use telemetry::causal::BlameCategory;
+    let mut s = String::from("{\n");
+    s.push_str("  \"experiment\": \"blame\",\n");
+    s.push_str(&format!("  \"scale\": {},\n", r.scale));
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in r.cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"topology\": \"{}\", \"backend\": \"{}\", \"gpus\": {}, \"batches\": {}, \"total_ms\": {:.3}, \"exposed_share\": {:.6}, \"blame_ns\": {{",
+            c.topology,
+            c.backend,
+            c.gpus,
+            c.batches,
+            c.total().as_millis_f64(),
+            c.exposed_share(),
+        ));
+        for (j, cat) in BlameCategory::ALL.iter().enumerate() {
+            s.push_str(&format!(
+                "\"{}\": {}{}",
+                cat.label(),
+                c.blame.get(*cat),
+                if j + 1 < BlameCategory::ALL.len() {
+                    ", "
+                } else {
+                    ""
+                },
+            ));
+        }
+        s.push_str(&format!(
+            "}}}}{}\n",
+            if i + 1 < r.cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"baseline_exposed_share\": {:.6},\n",
+        r.baseline_share()
+    ));
+    s.push_str(&format!(
+        "  \"pgas_exposed_share\": {:.6},\n",
+        r.pgas_share()
+    ));
+    s.push_str(&format!(
+        "  \"exposed_comm_eliminated\": {}\n",
+        r.exposed_comm_eliminated()
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Structural validation of a `BENCH_blame.json` document. Beyond shape,
+/// this enforces EXT-16's headline claim — the document must assert
+/// `"exposed_comm_eliminated": true` (exposed communication is ≥ 30% of the
+/// baseline critical path and ≤ 5% of the PGAS one on the same machine and
+/// workload). `reproduce blame` refuses to write an artifact that fails it.
+pub fn validate_blame_json(s: &str) -> Result<(), String> {
+    validate_json_doc(
+        s,
+        &[
+            "\"experiment\"",
+            "\"scale\"",
+            "\"cells\"",
+            "\"topology\"",
+            "\"backend\"",
+            "\"exposed_share\"",
+            "\"blame_ns\"",
+            "\"baseline_exposed_share\"",
+            "\"pgas_exposed_share\"",
+            "\"exposed_comm_eliminated\"",
+        ],
+    )?;
+    if !s.contains("\"exposed_comm_eliminated\": true") {
+        return Err(
+            "blame claim failed: exposed communication was not dominant under baseline \
+             and near-zero under PGAS"
+                .into(),
+        );
+    }
+    Ok(())
+}
+
 /// Render the EXT-15 executed-pipeline sweep as the `pipeline.csv` body.
 pub fn pipeline_table(r: &PipelineResult, title: &str) -> String {
     let mut s = String::new();
@@ -868,6 +988,7 @@ pub fn validate_pipeline_json(s: &str) -> Result<(), String> {
 mod tests {
     use super::*;
     use crate::weak_scaling;
+    use desim::Dur;
 
     #[test]
     fn tables_render() {
@@ -962,6 +1083,59 @@ mod tests {
         let j = adapt_json(&sweep);
         validate_adapt_json(&j).expect("valid adapt json");
         assert!(j.contains("\"adaptive_dominates\": true"));
+    }
+
+    fn synthetic_blame() -> crate::BlameResult {
+        use telemetry::causal::{BlameCategory, BlameVec};
+        let mk = |topology, backend, gpus, comm_ms: u64, compute_ms: u64| {
+            let mut blame = BlameVec::default();
+            blame.add(BlameCategory::QueueComm, Dur::from_ms(comm_ms));
+            blame.add(BlameCategory::GatherPool, Dur::from_ms(compute_ms));
+            crate::BlameCell {
+                topology,
+                backend,
+                gpus,
+                batches: 2,
+                blame,
+                folded: format!("critical_path;{backend};gather_pool 1\n"),
+            }
+        };
+        crate::BlameResult {
+            scale: 1,
+            cells: vec![
+                mk("dgx", "baseline", 4, 24, 48),
+                mk("dgx", "pgas", 4, 1, 70),
+                mk("pod8x4", "baseline", 32, 900, 170),
+                mk("pod8x4", "pgas_gateway", 32, 300, 85),
+            ],
+        }
+    }
+
+    #[test]
+    fn blame_table_and_json_render_and_validate() {
+        let r = synthetic_blame();
+        let t = blame_table(&r, "EXT-16");
+        assert!(t.contains("topology,backend,gpus,batches,total_ms,exposed_share"));
+        assert!(t.contains("queue_comm_ns"));
+        assert!(t.contains("exposed_comm_eliminated: true"));
+        let j = blame_json(&r);
+        validate_blame_json(&j).expect("valid blame json");
+        assert!(j.contains("\"exposed_comm_eliminated\": true"));
+        assert!(j.contains("\"baseline_exposed_share\""));
+    }
+
+    #[test]
+    fn blame_validator_refuses_a_false_claim() {
+        let mut r = synthetic_blame();
+        // Make the DGX pgas cell comm-dominated: claim must now fail.
+        r.cells[1].blame.add(
+            telemetry::causal::BlameCategory::WireIntra,
+            Dur::from_ms(500),
+        );
+        let j = blame_json(&r);
+        assert!(j.contains("\"exposed_comm_eliminated\": false"));
+        let err = validate_blame_json(&j).unwrap_err();
+        assert!(err.contains("blame claim failed"));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | EXT-10 link-utilization timelines | [`netutil_sweep`] |
 //! | EXT-13 adaptive-vs-static resilience suite | [`adapt_sweep`] |
 //! | EXT-15 executed pipeline engine (fusion + software pipelining) | [`pipeline_sweep`] |
+//! | EXT-16 critical-path blame decomposition (causal span graph) | [`blame_sweep`] |
 
 #![warn(missing_docs)]
 

@@ -34,6 +34,12 @@
 //!                             backend × batch size × pod shape;
 //!                             BENCH_pipeline.json asserts fusion wins and
 //!                             PGAS's lead widens)
+//!   blame                     EXT-16 critical-path blame decomposition
+//!                             (causal span graph walked backward from each
+//!                             batch's completion; BENCH_blame.json asserts
+//!                             exposed communication is ≥30% of the baseline
+//!                             critical path and ≤5% under PGAS; also emits
+//!                             blame_folded.txt flamegraph stacks)
 //!   skew                      EXT-9 hot-row cache × index-skew grid
 //!                             (BENCH_skew.json; materializes raw indices,
 //!                             so run it at --scale 16 or smaller workloads
@@ -48,7 +54,7 @@
 //! --batches N  batches per run (default 100, the paper's count)
 //! --seed S     fault-plan/arrival seed for `chaos` and `serve` (default 42)
 //! --smoke      shrink `chaos`/`serve`/`adapt`/`skew`/`netutil`/`pods`/
-//!              `pipeline`/`wallclock` to a seconds-long CI gate
+//!              `pipeline`/`blame`/`wallclock` to a seconds-long CI gate
 //! --out-dir D  write every experiment's CSV into D (alias: --csv)
 //! ```
 
@@ -447,6 +453,39 @@ fn main() {
         emit_json(&args, "BENCH_pipeline.json", &pipeline_json(&r), |j| {
             validate_pipeline_json(j)
         });
+    }
+    if matches!(e, "blame" | "all") {
+        let _t = HostTimer::new("blame");
+        // Blame always runs at paper scale: the claim is about where paper-
+        // scale batch time goes, and shrunk workloads are dominated by fixed
+        // per-call overheads instead of wire/queue time. Smoke just trims the
+        // batch count — the decomposition is deterministic per batch anyway.
+        let r = if args.smoke {
+            blame_sweep(1, 2)
+        } else {
+            blame_sweep(1, args.batches.min(8))
+        };
+        emit(
+            &args,
+            "blame",
+            &blame_table(
+                &r,
+                "EXT-16: critical-path blame decomposition (causal span graph, baseline vs PGAS)",
+            ),
+        );
+        emit_json(&args, "BENCH_blame.json", &blame_json(&r), |j| {
+            validate_blame_json(j)
+        });
+        if let Some(dir) = &args.csv {
+            let mut folded = String::new();
+            for c in &r.cells {
+                for line in c.folded.lines() {
+                    folded.push_str(&format!("{};{};{line}\n", c.topology, c.backend));
+                }
+            }
+            fs::create_dir_all(dir).expect("create out dir");
+            fs::write(dir.join("blame_folded.txt"), folded).expect("write folded stacks");
+        }
     }
     if matches!(e, "netutil" | "all") {
         let _t = HostTimer::new("netutil");

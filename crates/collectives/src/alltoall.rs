@@ -395,6 +395,14 @@ fn timed_hierarchical(
     // would drain its send queue.
     pairs.sort_by_key(|p| (p.agg_ready, p.gw_s, p.gw_d));
     for p in &mut pairs {
+        // Blame: the aggregate transfer is gated by the gather hop landing
+        // on the source gateway, not by the gateway's own kernel.
+        if let Some(b) = machine.blame_mut() {
+            let inbound = b.last_inbound(p.gw_s as u32);
+            if inbound.is_some() {
+                b.set_device_cause(p.gw_s as u32, inbound);
+            }
+        }
         let arrive = send_chunked(machine, cfg, p.gw_s, p.gw_d, p.total, p.agg_ready);
         done[p.gw_s] = done[p.gw_s].max(arrive);
         p.arrive = arrive;
@@ -402,6 +410,14 @@ fn timed_hierarchical(
     // Scatters, earliest-arrival first for the same reason.
     pairs.sort_by_key(|p| (p.arrive, p.gw_s, p.gw_d));
     for p in &pairs {
+        // Blame: scatters are gated by the aggregate landing on the
+        // destination gateway.
+        if let Some(b) = machine.blame_mut() {
+            let inbound = b.last_inbound(p.gw_d as u32);
+            if inbound.is_some() {
+                b.set_device_cause(p.gw_d as u32, inbound);
+            }
+        }
         for &d in &p.dst_members {
             let bytes = p.per_dst[d];
             if bytes == 0 {

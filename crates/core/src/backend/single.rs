@@ -15,6 +15,7 @@ use gpusim::Machine;
 use pgas_rt::{GatewayConfig, GatewayPut, OneSided, PgasConfig};
 use rayon::prelude::*;
 use simccl::{all_to_all_timed, CollectiveConfig};
+use telemetry::causal::{BlameCategory, Lane};
 
 use crate::arena;
 use crate::backend::baseline::UNPACK_BW;
@@ -238,9 +239,19 @@ fn baseline_batch_inner(
     // micro-batch, and warm slabs make it allocation-free.
     let mut k_end = arena::take_time();
     k_end.resize(n, SimTime::ZERO);
+    if let Some(b) = machine.blame_mut() {
+        b.set_kind(BlameCategory::GatherPool);
+        b.set_cause(None);
+    }
     for dp in &plan.devices {
         let run = machine.run_kernel_varied(dp.device, &pb.durations()[dp.device], start);
         k_end[dp.device] = run.interval.end;
+        // Data the collective emits from this device was produced by its
+        // lookup kernel: anchor wire-span causes on it.
+        let last = machine.blame_last_span();
+        if let Some(b) = machine.blame_mut() {
+            b.set_device_cause(dp.device as u32, last);
+        }
     }
     let k_max = machine.barrier(&k_end);
 
@@ -256,8 +267,20 @@ fn baseline_batch_inner(
     }
     let mut end = arena::take_time();
     end.resize(n, SimTime::ZERO);
+    // Per-device post-sync blame span ids; the latest-finishing device's
+    // span is the batch's critical-path terminal.
+    let mut sync_spans: Vec<Option<usize>> = Vec::new();
     for d in 0..n {
         let waited = work.wait(machine, d, k_end[d]);
+        if let Some(b) = machine.blame_mut() {
+            // The unpack kernel waits on the last transfer landing on d
+            // (its own kernel when nothing crossed the wire).
+            b.set_kind(BlameCategory::Unpack);
+            let cause = b
+                .last_inbound(d as u32)
+                .or_else(|| b.device_cause(d as u32));
+            b.set_cause(cause);
+        }
         // Rearrangement touches every *received* byte twice (read
         // source-major, write [mb, S, dim]); the local chunk was already
         // written in place by the lookup kernel. `unpack_rows` equals
@@ -267,6 +290,19 @@ fn baseline_batch_inner(
         let dur = Dur::from_secs_f64(unpack_bytes as f64 / UNPACK_BW);
         let run = machine.run_kernel_varied(d, &[dur], waited);
         end[d] = machine.stream_sync(d, run.interval.end);
+        let unpack_span = machine.blame_last_span();
+        if let Some(b) = machine.blame_mut() {
+            sync_spans.resize(n, None);
+            sync_spans[d] = Some(b.record(
+                BlameCategory::Sync,
+                Lane::Gpu(d as u32),
+                run.interval.end,
+                run.interval.end,
+                end[d],
+                unpack_span,
+                false,
+            ));
+        }
         if let Some(l) = log.as_deref_mut() {
             // Bulk-synchronous release: every pooled row of d's output
             // becomes consumable at once, after wait + unpack + sync.
@@ -277,6 +313,12 @@ fn baseline_batch_inner(
         l.finish();
     }
     let batch_end = machine.barrier(&end);
+    if machine.blame_enabled() {
+        let term = (0..n).max_by_key(|&d| end[d]).and_then(|d| sync_spans[d]);
+        if let Some(b) = machine.blame_mut() {
+            b.end_batch(start, batch_end, term);
+        }
+    }
     arena::put_time(end);
     arena::put_time(c_end);
     arena::put_time(k_end);
@@ -387,11 +429,22 @@ fn pgas_batch_inner(
     k_end.resize(n, SimTime::ZERO);
     let mut quiet = arena::take_time();
     quiet.resize(n, SimTime::ZERO);
+    let mut quiet_spans: Vec<Option<usize>> = Vec::new();
+    if let Some(b) = machine.blame_mut() {
+        b.set_kind(BlameCategory::GatherPool);
+        b.set_cause(None);
+        quiet_spans.resize(n, None);
+    }
     let mut releases = arena::take_release();
     for dp in &plan.devices {
         let durs = &pb.durations()[dp.device];
         let run = machine.run_kernel_varied(dp.device, durs, start);
         k_end[dp.device] = run.interval.end;
+        let kernel_span = machine.blame_last_span();
+        if let Some(b) = machine.blame_mut() {
+            // Puts issued below carry rows this kernel produced.
+            b.set_device_cause(dp.device as u32, kernel_span);
+        }
         stream_releases_into(dp, durs, &run, &mut releases);
         if let Some(l) = log.as_deref_mut() {
             // Rows pooled for this device's own output are consumable the
@@ -436,6 +489,15 @@ fn pgas_batch_inner(
             }
         }
         quiet[dp.device] = os.quiet(dp.device, run.interval.end);
+        if !quiet_spans.is_empty() {
+            quiet_spans[dp.device] = blame_quiet_span(
+                machine,
+                dp.device,
+                kernel_span,
+                run.interval.end,
+                quiet[dp.device],
+            );
+        }
     }
     if let Some(l) = log {
         l.finish();
@@ -451,6 +513,7 @@ fn pgas_batch_inner(
     let mut end = arena::take_time();
     end.extend((0..n).map(|d| machine.stream_sync(d, bar)));
     let batch_end = machine.barrier(&end);
+    blame_completion_tail(machine, start, &quiet, &quiet_spans, bar, &end, batch_end);
     arena::put_time(end);
     arena::put_time(quiet);
 
@@ -467,6 +530,88 @@ fn pgas_batch_inner(
     };
     record_batch_metrics(machine, BACKEND_PGAS, &run);
     run
+}
+
+/// Blame span for one PE's `quiet` fence: from the later of its kernel end
+/// and its last put's delivery, to the fence's completion. The cause is
+/// whichever of the two actually gated it — an outstanding put tail makes
+/// the fence's wait walk into the wire spans (exposed communication); a
+/// compute-bound device chains straight to its kernel.
+fn blame_quiet_span(
+    machine: &mut Machine,
+    dev: usize,
+    kernel_span: Option<usize>,
+    k_end: SimTime,
+    quiet_end: SimTime,
+) -> Option<usize> {
+    let b = machine.blame_mut()?;
+    let (cause, ready) = match b.last_outbound(dev as u32) {
+        Some(w) if b.spans()[w].end > k_end => (Some(w), b.spans()[w].end),
+        _ => (kernel_span, k_end),
+    };
+    Some(b.record(
+        BlameCategory::Sync,
+        Lane::Gpu(dev as u32),
+        ready,
+        ready,
+        quiet_end,
+        cause,
+        false,
+    ))
+}
+
+/// Blame spans for the PGAS completion tail shared by the flat and gateway
+/// paths: one host-lane barrier span caused by the latest-quiescing PE's
+/// fence, then one per-device stream-sync span caused by the barrier; the
+/// latest-finishing device's span terminates the batch walk.
+fn blame_completion_tail(
+    machine: &mut Machine,
+    start: SimTime,
+    quiet: &[SimTime],
+    quiet_spans: &[Option<usize>],
+    bar: SimTime,
+    end: &[SimTime],
+    batch_end: SimTime,
+) {
+    if !machine.blame_enabled() {
+        return;
+    }
+    let n = quiet.len();
+    let q_argmax = (0..n).max_by_key(|&d| quiet[d]).unwrap_or(0);
+    let q_max = quiet[q_argmax];
+    let term = {
+        let Some(b) = machine.blame_mut() else { return };
+        let bar_span = b.record(
+            BlameCategory::Sync,
+            Lane::Host,
+            q_max,
+            q_max,
+            bar,
+            quiet_spans.get(q_argmax).copied().flatten(),
+            false,
+        );
+        let mut term = None;
+        let mut latest = SimTime::ZERO;
+        for (d, &e) in end.iter().enumerate() {
+            let id = b.record(
+                BlameCategory::Sync,
+                Lane::Gpu(d as u32),
+                bar,
+                bar,
+                e,
+                Some(bar_span),
+                false,
+            );
+            if term.is_none() || e >= latest {
+                term = Some(id);
+                latest = e;
+            }
+        }
+        term
+    };
+    if let Some(b) = machine.blame_mut() {
+        b.end_batch(start, batch_end, term);
+    }
 }
 
 /// Execute one batch on the PGAS fused path with **gateway aggregation** of
@@ -491,10 +636,24 @@ pub fn pgas_batch_gateway(
     k_end.resize(n, SimTime::ZERO);
     let mut events = arena::take_event();
     let mut releases = arena::take_release();
+    let mut kernel_spans: Vec<Option<usize>> = Vec::new();
+    let mut quiet_spans: Vec<Option<usize>> = Vec::new();
+    if let Some(b) = machine.blame_mut() {
+        b.set_kind(BlameCategory::GatherPool);
+        b.set_cause(None);
+        kernel_spans.resize(n, None);
+        quiet_spans.resize(n, None);
+    }
     for dp in &plan.devices {
         let durs = &pb.durations()[dp.device];
         let run = machine.run_kernel_varied(dp.device, durs, start);
         k_end[dp.device] = run.interval.end;
+        let kernel_span = machine.blame_last_span();
+        if let Some(b) = machine.blame_mut() {
+            // Gateway traffic below originates from this kernel's stores.
+            b.set_device_cause(dp.device as u32, kernel_span);
+            kernel_spans[dp.device] = kernel_span;
+        }
         stream_releases_into(dp, durs, &run, &mut releases);
         events.extend(
             releases
@@ -531,6 +690,9 @@ pub fn pgas_batch_gateway(
     }
     for d in 0..n {
         quiet[d] = gw.quiet(d, k_end[d]);
+        if !quiet_spans.is_empty() {
+            quiet_spans[d] = blame_quiet_span(gw.machine(), d, kernel_spans[d], k_end[d], quiet[d]);
+        }
     }
     drop(gw);
     arena::put_event(events);
@@ -543,6 +705,7 @@ pub fn pgas_batch_gateway(
     let mut end = arena::take_time();
     end.extend((0..n).map(|d| machine.stream_sync(d, bar)));
     let batch_end = machine.barrier(&end);
+    blame_completion_tail(machine, start, &quiet, &quiet_spans, bar, &end, batch_end);
     arena::put_time(end);
     arena::put_time(quiet);
 

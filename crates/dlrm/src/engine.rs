@@ -38,6 +38,7 @@ use pgas_rt::PgasConfig;
 use rayon::prelude::*;
 use simccl::CollectiveConfig;
 use simtensor::Tensor;
+use telemetry::causal::BlameCategory;
 
 use crate::pipeline::ratio;
 use crate::{DenseBatch, Dlrm, InferencePipeline};
@@ -201,6 +202,14 @@ impl<'a> PipelineEngine<'a> {
             breakdown.accumulate(&run.breakdown);
 
             for d in 0..n {
+                // Blame: head work is dense math; interaction chunks are
+                // gated by pooled rows landing, so chain them to the last
+                // inbound wire span (None for the purely local top MLP).
+                if let Some(b) = machine.blame_mut() {
+                    b.set_kind(BlameCategory::Gemm);
+                    let inbound = b.last_inbound(d as u32);
+                    b.set_cause(inbound);
+                }
                 // Top MLP: independent of the EMB output, eligible the
                 // instant the batch admits; the stream serializes it after
                 // any still-draining prior head work.

@@ -1,6 +1,7 @@
 //! The machine: devices + fabric + measurement.
 
 use desim::{Dur, Histogram, Interval, Resource, SimTime, TimeSeries};
+use telemetry::causal::{BlameCategory, Lane, SpanGraph};
 use telemetry::Registry;
 
 use crate::fault::{FabricError, FaultKind, FaultPlan, LinkState, MessageFault, RetryPolicy};
@@ -130,6 +131,10 @@ pub struct Machine {
     /// Opt-in metrics registry (disabled by default: recording methods
     /// short-circuit on one branch and never allocate).
     metrics: Registry,
+    /// Opt-in causal span graph for critical-path blame attribution
+    /// (EXT-16). Like telemetry: `None` by default, every hook is one
+    /// branch, and recording never perturbs simulated timing.
+    blame: Option<SpanGraph>,
 }
 
 impl Machine {
@@ -159,6 +164,7 @@ impl Machine {
             trace: None,
             faults: None,
             metrics: Registry::disabled(),
+            blame: None,
             cfg,
         }
     }
@@ -183,6 +189,62 @@ impl Machine {
     /// metrics against this machine's clock.
     pub fn metrics_mut(&mut self) -> &mut Registry {
         &mut self.metrics
+    }
+
+    /// Start recording every billed interval (kernel, wire, NIC, retry
+    /// backoff, …) into a causal [`SpanGraph`] for critical-path blame
+    /// attribution. Opt-in like telemetry: off by default, and enabling it
+    /// never perturbs simulated timing.
+    pub fn enable_blame(&mut self) {
+        self.blame = Some(SpanGraph::new());
+    }
+
+    /// Whether blame recording is active.
+    #[inline]
+    pub fn blame_enabled(&self) -> bool {
+        self.blame.is_some()
+    }
+
+    /// The recorded span graph, if [`Machine::enable_blame`] was called.
+    pub fn blame(&self) -> Option<&SpanGraph> {
+        self.blame.as_ref()
+    }
+
+    /// Mutable span-graph access for the layers that know the causality
+    /// the machine cannot see (executors recording sync fences, the PGAS
+    /// gateway recording staging spans, serving stamping trace ids).
+    pub fn blame_mut(&mut self) -> Option<&mut SpanGraph> {
+        self.blame.as_mut()
+    }
+
+    /// Id of the most recently recorded blame span, if any.
+    pub fn blame_last_span(&self) -> Option<usize> {
+        self.blame.as_ref().and_then(|b| b.last_span())
+    }
+
+    /// Render every closed batch's critical path onto a `blame` trace
+    /// track: one span per path segment, named by its category. Requires
+    /// both [`Machine::enable_trace`] and [`Machine::enable_blame`];
+    /// otherwise a no-op. Call once, after the run, before exporting.
+    pub fn blame_trace_lanes(&mut self) {
+        let Some(trace) = self.trace.as_mut() else {
+            return;
+        };
+        let Some(blame) = self.blame.as_ref() else {
+            return;
+        };
+        for (idx, b) in blame.batches().iter().enumerate() {
+            for s in b.segments.iter().filter(|s| s.end > s.start) {
+                trace.record(
+                    format!("blame.b{idx}"),
+                    s.cat.label().to_string(),
+                    Interval {
+                        start: s.start,
+                        end: s.end,
+                    },
+                );
+            }
+        }
     }
 
     /// Install a fault schedule. Panics if the plan was generated for a
@@ -346,8 +408,21 @@ impl Machine {
         let spec = &self.cfg.specs[dev];
         let start = self.streams[dev].max(ready) + spec.kernel_launch;
         let run = KernelRun::wave_model_scaled(&shape, spec, start, slow);
+        let launch = spec.kernel_launch;
         self.streams[dev] = run.interval.end;
         self.bump(run.interval.end);
+        if let Some(b) = &mut self.blame {
+            let (cat, cause) = (b.kind(), b.cause());
+            b.record(
+                cat,
+                Lane::Gpu(dev as u32),
+                ready + launch,
+                run.interval.start,
+                run.interval.end,
+                cause,
+                false,
+            );
+        }
         if self.metrics.is_enabled() {
             self.metrics.incr("kernels_launched", dev as u32, 0);
             self.metrics.span(
@@ -380,9 +455,22 @@ impl Machine {
         let slow = self.straggler_factor(dev);
         let spec = &self.cfg.specs[dev];
         let start = self.streams[dev].max(ready) + spec.kernel_launch;
+        let launch = spec.kernel_launch;
         if block_durations.is_empty() {
             self.bump(start);
             self.streams[dev] = start;
+            if let Some(b) = &mut self.blame {
+                let (cat, cause) = (b.kind(), b.cause());
+                b.record(
+                    cat,
+                    Lane::Gpu(dev as u32),
+                    ready + launch,
+                    start,
+                    start,
+                    cause,
+                    false,
+                );
+            }
             return KernelRun {
                 interval: Interval { start, end: start },
                 block_ends: Vec::new(),
@@ -407,6 +495,18 @@ impl Machine {
         self.streams[dev] = end;
         self.bump(end);
         let interval = Interval { start, end };
+        if let Some(b) = &mut self.blame {
+            let (cat, cause) = (b.kind(), b.cause());
+            b.record(
+                cat,
+                Lane::Gpu(dev as u32),
+                ready + launch,
+                start,
+                end,
+                cause,
+                false,
+            );
+        }
         if self.metrics.is_enabled() {
             self.metrics.incr("kernels_launched", dev as u32, 0);
             self.metrics.span("gpu_busy_ns", dev as u32, 0, start, end);
@@ -464,7 +564,7 @@ impl Machine {
         let res = &mut self.aux_streams[s.dev][s.idx];
         let begin = res.free_at().max(gate.when()) + launch;
         let iv = res.acquire(begin, d);
-        self.note_stream_kernel(s, label, iv);
+        self.note_stream_kernel(s, label, iv, gate.when() + launch);
         iv
     }
 
@@ -496,7 +596,9 @@ impl Machine {
         for c in chunks {
             let d = if slow != 1.0 { c.dur * slow } else { c.dur };
             let iv = self.aux_streams[s.dev][s.idx].acquire(cursor.max(c.gate.when()), d);
-            self.note_stream_kernel(s, c.label, iv);
+            // `ready = cursor`: the gap a gate opens between the previous
+            // chunk's end and this one's start is a pipeline bubble.
+            self.note_stream_kernel(s, c.label, iv, cursor);
             first.get_or_insert(iv.start);
             cursor = iv.end;
         }
@@ -507,10 +609,29 @@ impl Machine {
     }
 
     /// Shared bookkeeping for auxiliary-stream kernels: horizon, the
-    /// `stream_busy_ns` occupancy timeline (labelled `(dev, stream)`), and
-    /// the `gpu{dev}.s{idx}` trace lane.
-    fn note_stream_kernel(&mut self, s: crate::StreamId, label: &str, iv: Interval) {
+    /// `stream_busy_ns` occupancy timeline (labelled `(dev, stream)`), the
+    /// `gpu{dev}.s{idx}` trace lane, and (when blame is on) a stream-lane
+    /// span whose ready→start gap is the pipeline bubble ahead of it.
+    fn note_stream_kernel(
+        &mut self,
+        s: crate::StreamId,
+        label: &str,
+        iv: Interval,
+        ready: SimTime,
+    ) {
         self.bump(iv.end);
+        if let Some(b) = &mut self.blame {
+            let (cat, cause) = (b.kind(), b.cause());
+            b.record(
+                cat,
+                Lane::Stream(s.dev as u32, s.idx as u32),
+                ready,
+                iv.start,
+                iv.end,
+                cause,
+                false,
+            );
+        }
         if self.metrics.is_enabled() {
             self.metrics
                 .incr("stream_kernels", s.dev as u32, s.idx as u32);
@@ -570,11 +691,14 @@ impl Machine {
         let inj_iv = self.injection[src].acquire(ready + link.latency, inj_time);
         // Cross-node traffic funnels through the source node's shared NIC
         // before its pair link; intra-node traffic rides the crossbar only.
-        let wire_from = if self.cfg.topology.same_node(src, dst) {
+        let same_node = self.cfg.topology.same_node(src, dst);
+        let mut nic_queued = false;
+        let wire_from = if same_node {
             inj_iv.start
         } else {
             let node = self.cfg.topology.node_of(src);
             let nic_iv = self.nics[node].acquire(inj_iv.start, wire);
+            nic_queued = nic_iv.start > inj_iv.start;
             if self.metrics.is_enabled() {
                 self.metrics
                     .span("nic_busy_ns", node as u32, 0, nic_iv.start, nic_iv.end);
@@ -586,6 +710,25 @@ impl Machine {
             start: iv.start,
             end: iv.end.max(inj_iv.end),
         };
+        if let Some(b) = &mut self.blame {
+            let cat = if same_node {
+                BlameCategory::WireIntra
+            } else {
+                BlameCategory::WireInter
+            };
+            let cause = b.device_cause(src as u32);
+            let id = b.record(
+                cat,
+                Lane::Link(src as u32, dst as u32),
+                ready + link.latency,
+                iv.start,
+                iv.end,
+                cause,
+                nic_queued,
+            );
+            b.note_outbound(src as u32, id);
+            b.note_inbound(dst as u32, id);
+        }
         self.traffic[src * n + dst].add_spread(iv.start, iv.end, payload as f64);
         if n_messages > 0 {
             self.msg_sizes.record(payload / n_messages.max(1));
@@ -769,6 +912,28 @@ impl Machine {
                     // back out the latency the next attempt will re-add.
                     let link_latency = self.cfg.topology.link(src, dst).latency;
                     let next = policy.next_attempt_at(&e, attempt);
+                    if let Some(b) = &mut self.blame {
+                        // The backoff window is a span in its own right:
+                        // the eventual wire span chains through it (the
+                        // retry re-anchors the device cause below), so
+                        // fault-induced waits bill `Retry` on the path.
+                        let failed_at = match &e {
+                            FabricError::LinkDown { at, .. }
+                            | FabricError::MessageDropped { at, .. } => *at,
+                            _ => next,
+                        };
+                        let cause = b.device_cause(src as u32);
+                        let rid = b.record(
+                            BlameCategory::Retry,
+                            Lane::Link(src as u32, dst as u32),
+                            failed_at,
+                            failed_at,
+                            next,
+                            cause,
+                            false,
+                        );
+                        b.set_device_cause(src as u32, Some(rid));
+                    }
                     at = if next.as_ns() >= link_latency.as_ns() {
                         next - link_latency
                     } else {

@@ -16,6 +16,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use desim::{Interval, SimTime};
 use gpusim::Machine;
+use telemetry::causal::{BlameCategory, Lane};
 
 use crate::aggregator::AggregatorConfig;
 use crate::coalesce::{coalesce_rows, CoalescedBatch};
@@ -235,7 +236,36 @@ impl<'m> GatewayPut<'m> {
             payload: stage.payload,
             messages: 1,
         };
+        // Blame: the staged dwell is its own billed interval on the gateway
+        // lane — rows sat in the buffer from the oldest store until the
+        // flush fired. The aggregate put below must chain to the staging
+        // span (not the kernel directly), so swap the origin's device cause
+        // around the put and restore it after.
+        let stage_oldest = stage.oldest;
+        let mut prev_cause = None;
+        let blame_on = self.os.machine().blame_enabled();
+        if let Some(b) = self.os.machine().blame_mut() {
+            prev_cause = b.device_cause(src as u32);
+            let staging = b.record(
+                BlameCategory::GatewayStage,
+                Lane::Gateway(gw as u32),
+                stage_oldest,
+                stage_oldest,
+                at,
+                prev_cause,
+                false,
+            );
+            b.set_device_cause(src as u32, Some(staging));
+        }
         let inter = self.os.put_batch_nbi(src, gw, batch, at);
+        let agg_span = if blame_on {
+            self.os.machine().blame_last_span()
+        } else {
+            None
+        };
+        if let Some(b) = self.os.machine().blame_mut() {
+            b.set_device_cause(src as u32, prev_cause);
+        }
         let mut last = inter.end;
         for (&(dst, row_bytes), &rows) in &stage.shares {
             if dst == gw {
@@ -260,6 +290,29 @@ impl<'m> GatewayPut<'m> {
                     dst as u32,
                     rows * row_bytes as u64,
                 );
+            }
+        }
+        // Blame: one aggregate scatter span on the gateway lane covering the
+        // intra-node forwards, caused by the aggregate's wire span. The
+        // origin's quiet fence waits on the scatter (its rows land at
+        // `last`), and each scatter destination sees it as inbound traffic.
+        if last > inter.end {
+            if let Some(b) = self.os.machine().blame_mut() {
+                let scatter = b.record(
+                    BlameCategory::GatewayStage,
+                    Lane::Gateway(gw as u32),
+                    inter.end,
+                    inter.end,
+                    last,
+                    agg_span,
+                    false,
+                );
+                b.note_outbound(src as u32, scatter);
+                for &(dst, _) in stage.shares.keys() {
+                    if dst != gw {
+                        b.note_inbound(dst as u32, scatter);
+                    }
+                }
             }
         }
         let m = self.os.machine().metrics_mut();

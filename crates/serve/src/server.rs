@@ -232,6 +232,41 @@ impl ServeReport {
             60.0 * self.slo_viol_time.as_secs_f64() / total
         }
     }
+
+    /// Compact JSON summary of the run: headline counters, latency
+    /// quantiles, and — when telemetry was enabled — the latency
+    /// histogram's exemplar, naming the request id behind the worst
+    /// observed end-to-end latency so a p99/p999 report links straight to
+    /// its offending request.
+    pub fn to_json(&self) -> String {
+        let exemplar = self.metrics.as_ref().and_then(|s| {
+            s.histograms
+                .iter()
+                .find(|(k, _)| k.name == "serve_latency_us")
+                .and_then(|(_, h)| h.max_sample())
+        });
+        let worst = match exemplar {
+            Some((us, id)) => {
+                format!(",\n  \"worst_request\": {{\"id\": {id}, \"latency_us\": {us}}}")
+            }
+            None => String::new(),
+        };
+        format!(
+            "{{\n  \"generated\": {}, \"served\": {}, \"shed\": {}, \"timed_out\": {}, \"malformed\": {},\n  \"batches\": {}, \"goodput\": {:.6},\n  \"p50_us\": {:.3}, \"p99_us\": {:.3}, \"p999_us\": {:.3}, \"batch_p50_us\": {:.3}{}\n}}\n",
+            self.generated,
+            self.served,
+            self.shed,
+            self.timed_out,
+            self.malformed,
+            self.batches,
+            self.goodput(),
+            self.latency.p50().as_ns() as f64 / 1_000.0,
+            self.latency.p99().as_ns() as f64 / 1_000.0,
+            self.latency.p999().as_ns() as f64 / 1_000.0,
+            self.batch_service.p50().as_ns() as f64 / 1_000.0,
+            worst,
+        )
+    }
 }
 
 /// Deterministic online server: open-loop arrivals → admission queue →
@@ -488,12 +523,16 @@ impl EmbServer {
                     run.service().as_ns() / 1_000,
                 );
                 for r in &closed.requests {
-                    m.observe(
+                    // Traced observation: the histogram retains the worst
+                    // sample's request id as an exemplar, so the p99/p999
+                    // report names the offending request.
+                    m.observe_traced(
                         "serve_latency_us",
                         0,
                         0,
                         telemetry::US_BOUNDS,
                         (completion - r.arrival).as_ns() / 1_000,
+                        r.id,
                     );
                 }
             }
@@ -721,6 +760,36 @@ mod tests {
         assert!(full.latency.p50() > emb_only.latency.p50());
         // Retrieval service time itself is untouched by the MLP extension.
         assert_eq!(full.batch_service.p50(), emb_only.batch_service.p50());
+    }
+
+    #[test]
+    fn report_json_names_the_worst_request_via_exemplar() {
+        // Telemetry on: the latency histogram keeps the worst sample's
+        // request id, and the report JSON surfaces it.
+        let cfg = serve_cfg(ServeBackendKind::PgasFused, 2e5);
+        let mut m = Machine::new(MachineConfig::dgx_v100(2));
+        m.enable_telemetry();
+        let rep = EmbServer::new(cfg).run(&mut m).unwrap();
+        let snap = rep.metrics.as_ref().expect("telemetry was enabled");
+        let (_, hist) = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k.name == "serve_latency_us")
+            .expect("latency histogram recorded");
+        let (worst_us, worst_id) = hist.max_sample().expect("traced observations");
+        assert!(worst_id < rep.generated, "exemplar names a real request");
+        let json = rep.to_json();
+        assert!(json.contains(&format!(
+            "\"worst_request\": {{\"id\": {worst_id}, \"latency_us\": {worst_us}}}"
+        )));
+        // Telemetry off: no metrics, no exemplar, and the summary still
+        // renders.
+        let plain = run(serve_cfg(ServeBackendKind::PgasFused, 2e5));
+        assert!(plain.metrics.is_none());
+        assert!(!plain.to_json().contains("worst_request"));
+        // The traced observations change accounting in no way.
+        assert_eq!(plain.latency.p99(), rep.latency.p99());
+        assert_eq!(plain.end, rep.end);
     }
 
     #[test]

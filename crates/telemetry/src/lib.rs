@@ -34,6 +34,8 @@
 
 #![warn(missing_docs)]
 
+pub mod causal;
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -91,6 +93,11 @@ pub struct FixedHistogram {
     counts: Vec<u64>,
     total: u64,
     sum: u128,
+    /// Exemplar: `(value, trace_id)` of the largest traced observation, so
+    /// a p99/p999 report can name the offending request. Only
+    /// [`FixedHistogram::record_traced`] sets it; plain records leave it
+    /// untouched, keeping historical artifacts byte-identical.
+    max_sample: Option<(u64, u64)>,
 }
 
 impl FixedHistogram {
@@ -102,6 +109,7 @@ impl FixedHistogram {
             counts: vec![0; bounds.len() + 1],
             total: 0,
             sum: 0,
+            max_sample: None,
         }
     }
 
@@ -115,6 +123,22 @@ impl FixedHistogram {
         self.counts[idx] += 1;
         self.total += 1;
         self.sum += u128::from(value);
+    }
+
+    /// Record one observation carrying a trace id; retains the largest
+    /// such `(value, trace_id)` pair as the histogram's exemplar. Ties
+    /// keep the earlier exemplar, so snapshots stay deterministic.
+    pub fn record_traced(&mut self, value: u64, trace_id: u64) {
+        self.record(value);
+        match self.max_sample {
+            Some((v, _)) if v >= value => {}
+            _ => self.max_sample = Some((value, trace_id)),
+        }
+    }
+
+    /// The `(value, trace_id)` exemplar of the max traced observation.
+    pub fn max_sample(&self) -> Option<(u64, u64)> {
+        self.max_sample
     }
 
     /// Upper bounds (exclusive of the implicit overflow bucket).
@@ -246,6 +270,28 @@ impl Registry {
             .entry(MetricKey { name, i, j })
             .or_insert_with(|| FixedHistogram::new(bounds))
             .record(value);
+    }
+
+    /// Like [`Registry::observe`] but carrying a request trace id: the
+    /// histogram retains the `(value, trace_id)` exemplar of its largest
+    /// traced sample (see [`FixedHistogram::record_traced`]).
+    #[inline]
+    pub fn observe_traced(
+        &mut self,
+        name: &'static str,
+        i: u32,
+        j: u32,
+        bounds: &'static [u64],
+        value: u64,
+        trace_id: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.histograms
+            .entry(MetricKey { name, i, j })
+            .or_insert_with(|| FixedHistogram::new(bounds))
+            .record_traced(value, trace_id);
     }
 
     /// Deposit the busy interval `[start, end)` into the timeline
@@ -416,11 +462,15 @@ impl Snapshot {
     /// `name{i="..",j=".."} value`, histograms as the conventional
     /// `_bucket{le=..}` / `_sum` / `_count` triple, timelines as a
     /// `_total_ns` rollup (the full series lives in [`Snapshot::to_json`]).
+    /// Each metric name gets exactly one `# HELP` and one `# TYPE` line,
+    /// emitted before its first sample as the exposition format requires —
+    /// keys are sorted, so "first sample" is well-defined.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         let mut last = "";
         for (k, v) in &self.counters {
             if k.name != last {
+                let _ = writeln!(out, "# HELP {} simulation counter", k.name);
                 let _ = writeln!(out, "# TYPE {} counter", k.name);
                 last = k.name;
             }
@@ -429,6 +479,7 @@ impl Snapshot {
         last = "";
         for (k, v) in &self.gauges {
             if k.name != last {
+                let _ = writeln!(out, "# HELP {} simulation gauge", k.name);
                 let _ = writeln!(out, "# TYPE {} gauge", k.name);
                 last = k.name;
             }
@@ -437,6 +488,7 @@ impl Snapshot {
         last = "";
         for (k, h) in &self.histograms {
             if k.name != last {
+                let _ = writeln!(out, "# HELP {} simulation histogram", k.name);
                 let _ = writeln!(out, "# TYPE {} histogram", k.name);
                 last = k.name;
             }
@@ -474,6 +526,7 @@ impl Snapshot {
         last = "";
         for (k, series) in &self.timelines {
             if k.name != last {
+                let _ = writeln!(out, "# HELP {}_total_ns simulation timeline rollup", k.name);
                 let _ = writeln!(out, "# TYPE {}_total_ns counter", k.name);
                 last = k.name;
             }
@@ -523,9 +576,16 @@ impl Snapshot {
         for (idx, (k, h)) in self.histograms.iter().enumerate() {
             let bounds: Vec<String> = h.bounds().iter().map(|b| b.to_string()).collect();
             let counts: Vec<String> = h.counts().iter().map(|c| c.to_string()).collect();
+            // Exemplar fields appear only when a traced sample exists, so
+            // snapshots from untraced runs stay byte-identical to before
+            // exemplars existed.
+            let exemplar = match h.max_sample() {
+                Some((v, id)) => format!(", \"exemplar_value\": {v}, \"exemplar_trace\": {id}"),
+                None => String::new(),
+            };
             let _ = writeln!(
                 out,
-                "    {{\"name\": \"{}\", \"i\": {}, \"j\": {}, \"bounds\": [{}], \"counts\": [{}], \"count\": {}, \"sum\": {}}}{}",
+                "    {{\"name\": \"{}\", \"i\": {}, \"j\": {}, \"bounds\": [{}], \"counts\": [{}], \"count\": {}, \"sum\": {}{}}}{}",
                 k.name,
                 k.i,
                 k.j,
@@ -533,6 +593,7 @@ impl Snapshot {
                 counts.join(", "),
                 h.total(),
                 h.sum(),
+                exemplar,
                 comma(idx, self.histograms.len())
             );
         }
@@ -783,17 +844,43 @@ mod tests {
     fn prometheus_and_json_expositions_are_well_formed() {
         let mut r = Registry::enabled(Dur::from_us(10));
         r.add("fabric_messages", 0, 1, 7);
+        r.add("fabric_messages", 1, 0, 3);
+        r.add("fabric_messages", 2, 1, 4);
         r.gauge_set("serve_queue_depth", 0, 0, 3.0);
         r.observe("serve_latency_us", 0, 0, US_BOUNDS, 420);
+        r.observe("serve_latency_us", 1, 0, US_BOUNDS, 90);
         r.span("link_busy_ns", 0, 1, t(0), t(25));
         let snap = r.snapshot();
 
         let text = snap.to_prometheus();
         assert!(text.contains("# TYPE fabric_messages counter"));
+        assert!(text.contains("# HELP fabric_messages "));
         assert!(text.contains("fabric_messages{i=\"0\",j=\"1\"} 7"));
         assert!(text.contains("serve_latency_us_bucket{i=\"0\",j=\"0\",le=\"500\"} 1"));
         assert!(text.contains("serve_latency_us_count{i=\"0\",j=\"0\"} 1"));
         assert!(text.contains("link_busy_ns_total_ns{i=\"0\",j=\"1\"} 25000"));
+        // Exactly one TYPE and one HELP line per metric name, even with
+        // several labelled series under the same name.
+        for name in ["fabric_messages", "serve_latency_us"] {
+            for kind in ["# TYPE", "# HELP"] {
+                let n = text
+                    .lines()
+                    .filter(|l| l.starts_with(&format!("{kind} {name} ")))
+                    .count();
+                assert_eq!(n, 1, "{kind} for {name} must appear exactly once");
+            }
+        }
+        // Every HELP line is immediately followed by its TYPE line.
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, l) in lines.iter().enumerate() {
+            if let Some(rest) = l.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap();
+                assert!(
+                    lines[i + 1].starts_with(&format!("# TYPE {name} ")),
+                    "HELP for {name} must precede its TYPE"
+                );
+            }
+        }
 
         let json = snap.to_json();
         validate_json_doc(
@@ -808,6 +895,28 @@ mod tests {
             ],
         )
         .unwrap();
+    }
+
+    #[test]
+    fn exemplar_tracks_max_traced_sample_only() {
+        let mut r = Registry::enabled(Dur::from_us(10));
+        r.observe("lat_us", 0, 0, US_BOUNDS, 500);
+        assert_eq!(r.histogram("lat_us", 0, 0).unwrap().max_sample(), None);
+        r.observe_traced("lat_us", 0, 0, US_BOUNDS, 300, 7);
+        r.observe_traced("lat_us", 0, 0, US_BOUNDS, 900, 42);
+        r.observe_traced("lat_us", 0, 0, US_BOUNDS, 900, 99); // tie: first wins
+        r.observe_traced("lat_us", 0, 0, US_BOUNDS, 100, 13);
+        let h = r.histogram("lat_us", 0, 0).unwrap();
+        assert_eq!(h.max_sample(), Some((900, 42)));
+        assert_eq!(h.total(), 5);
+        // The exemplar rides into the snapshot JSON; untraced histograms
+        // carry no exemplar fields at all.
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"exemplar_value\": 900, \"exemplar_trace\": 42"));
+        let mut plain = Registry::enabled(Dur::from_us(10));
+        plain.observe("lat_us", 0, 0, US_BOUNDS, 500);
+        assert!(!plain.snapshot().to_json().contains("exemplar"));
+        validate_json_doc(&json, &["\"exemplar_value\""]).unwrap();
     }
 
     #[test]
